@@ -1,0 +1,198 @@
+// Experiment A1 — ablations of the paper's design choices.
+//
+// (a) Trim multiplier. Lemma 2 justifies solving the TISE LP on m' = 3m
+//     machines. Smaller multipliers risk LP infeasibility (the trimmed
+//     problem genuinely needs more machines); larger ones waste hardware.
+// (b) Long-pipeline constants. The conclusions note "some of the
+//     constants in the reduction could be reduced": adaptive mirroring
+//     (skip Lemma 9's doubling when plain EDF already completes) and
+//     empty-calibration pruning recover much of the 2x-2x overhead while
+//     preserving the guarantee (fallback path unchanged).
+// (c) Short-window calibration policy. Footnote 3's relaxed model
+//     (overlapping calibrations allowed) removes the crossing machines;
+//     trimming unused calendar slots removes Lemma 19's 2*gamma charge
+//     for empty slots.
+#include <iostream>
+
+#include "gen/generators.hpp"
+#include "longwin/edf_assign.hpp"
+#include "longwin/fractional_edf.hpp"
+#include "longwin/long_pipeline.hpp"
+#include "longwin/rounding.hpp"
+#include "shortwin/short_pipeline.hpp"
+#include "util/table.hpp"
+#include "verify/verify.hpp"
+
+int main() {
+  using namespace calisched;
+  std::cout << "A1: ablations of design choices\n\n";
+
+  // ---- (a) trim multiplier ---------------------------------------------------
+  Table trim({"seed", "m'-multiplier", "LP-status", "LP-obj", "total-cals",
+              "verified"});
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    GenParams params;
+    params.seed = seed;
+    params.n = 12;
+    params.T = 10;
+    params.machines = 1;
+    params.horizon = 80;
+    params.max_proc = 10;
+    const Instance instance = generate_long_window(params);
+    for (const int multiplier : {1, 2, 3}) {
+      LongWindowOptions options;
+      options.trim_multiplier = multiplier;
+      const LongWindowResult result = solve_long_window(instance, options);
+      trim.row()
+          .cell(static_cast<std::int64_t>(seed))
+          .cell(std::int64_t{multiplier})
+          .cell(result.feasible ? "optimal" : "infeasible")
+          .cell(result.telemetry.lp_objective, 2)
+          .cell(result.feasible
+                    ? std::to_string(result.telemetry.total_calibrations)
+                    : std::string("-"))
+          .cell(!result.feasible ||
+                verify_tise(instance, result.schedule).ok());
+    }
+  }
+  trim.print(std::cout, "(a) TISE machine multiplier m' = k*m (Lemma 2 uses k=3)");
+
+  // ---- (b) long-pipeline constants -------------------------------------------
+  Table longopt({"seed", "n", "paper", "+adaptive-mirror", "+prune-empty",
+                 "+both", "all-verified"});
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    GenParams params;
+    params.seed = seed;
+    params.n = 10 + static_cast<int>(seed % 6);
+    params.T = 10;
+    params.machines = 2;
+    params.horizon = 100;
+    params.max_proc = 10;
+    const Instance instance = generate_long_window(params);
+    std::size_t cals[4] = {0, 0, 0, 0};
+    bool verified = true;
+    int variant = 0;
+    for (const bool adaptive : {false, true}) {
+      for (const bool prune : {false, true}) {
+        LongWindowOptions options;
+        options.adaptive_mirror = adaptive;
+        options.prune_empty_calibrations = prune;
+        const LongWindowResult result = solve_long_window(instance, options);
+        if (!result.feasible) {
+          verified = false;
+          continue;
+        }
+        cals[variant] = result.telemetry.total_calibrations;
+        verified = verified && verify_tise(instance, result.schedule).ok();
+        ++variant;
+      }
+    }
+    longopt.row()
+        .cell(static_cast<std::int64_t>(seed))
+        .cell(instance.size())
+        .cell(cals[0])   // paper: no adaptive, no prune
+        .cell(cals[2])   // adaptive only
+        .cell(cals[1])   // prune only
+        .cell(cals[3])   // both
+        .cell(verified);
+  }
+  longopt.print(std::cout,
+                "(b) long-pipeline calibrations under constant-saving "
+                "optimizations");
+
+  // ---- (c) short-window policy -------------------------------------------------
+  Table shortopt({"seed", "n", "paper-cals", "paper-machines", "trimmed-cals",
+                  "relaxed-cals", "relaxed-machines", "all-verified"});
+  const GreedyEdfMM mm;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    GenParams params;
+    params.seed = seed;
+    params.n = 14;
+    params.T = 10;
+    params.machines = 2;
+    params.horizon = 120;
+    params.max_proc = 9;
+    const Instance instance = generate_short_window(params);
+
+    IntervalOptions paper;
+    const ShortWindowResult base = solve_short_window(instance, mm, paper);
+
+    IntervalOptions trimmed;
+    trimmed.trim_unused_calibrations = true;
+    const ShortWindowResult trim_result = solve_short_window(instance, mm, trimmed);
+
+    IntervalOptions relaxed;
+    relaxed.relaxed_calibrations = true;
+    relaxed.trim_unused_calibrations = true;
+    const ShortWindowResult relax_result =
+        solve_short_window(instance, mm, relaxed);
+
+    const bool verified =
+        base.feasible && trim_result.feasible && relax_result.feasible &&
+        verify_ise(instance, base.schedule).ok() &&
+        verify_ise(instance, trim_result.schedule).ok() &&
+        verify_ise(instance, relax_result.schedule, /*require_tise=*/false,
+                   CalibrationPolicy::kOverlapAllowed)
+            .ok();
+    shortopt.row()
+        .cell(static_cast<std::int64_t>(seed))
+        .cell(instance.size())
+        .cell(base.telemetry.total_calibrations)
+        .cell(std::int64_t{base.schedule.machines_used()})
+        .cell(trim_result.telemetry.total_calibrations)
+        .cell(relax_result.telemetry.total_calibrations)
+        .cell(std::int64_t{relax_result.schedule.machines_used()})
+        .cell(verified);
+  }
+  shortopt.print(std::cout,
+                 "(c) short-window: paper vs trimmed calendars vs footnote-3 "
+                 "relaxed calibrations");
+  // ---- (d) job-assignment backend: Algorithm 2 vs Lemma 9 --------------------
+  // The paper: "we could instead use the algorithm of Lemma 9 in place of
+  // Algorithm 2. But we think Algorithm 2 is more natural." Both run on the
+  // same rounded calendar; we compare job-hosting calibrations and jobs
+  // pushed to mirror machines.
+  Table backend({"seed", "n", "alg2 hosting-cals", "lemma9 hosting-cals",
+                 "lemma9 mirrored-jobs", "both-verified"});
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    GenParams params;
+    params.seed = seed;
+    params.n = 12;
+    params.T = 10;
+    params.machines = 2;
+    params.horizon = 100;
+    params.max_proc = 10;
+    const Instance instance = generate_long_window(params);
+    const int m_prime = 3 * instance.machines;
+    const TiseFractional lp = solve_tise_lp(instance, m_prime);
+    if (lp.status != LpStatus::kOptimal) continue;
+    const auto starts = round_calibrations(lp.points, lp.calibration_mass);
+    const Schedule calendar = assign_round_robin(instance, starts, 3 * m_prime);
+
+    EdfAssignResult alg2 = edf_assign_jobs(instance, calendar);
+    const FractionalEdfResult fractional = fractional_edf(instance, calendar);
+    IntegerizeResult lemma9 =
+        integerize_fractional_edf(instance, calendar, fractional);
+    if (!alg2.unassigned.empty() || !lemma9.unassigned.empty()) continue;
+    const bool verified = verify_tise(instance, alg2.schedule).ok() &&
+                          verify_tise(instance, lemma9.schedule).ok();
+    alg2.schedule.prune_empty_calibrations(instance);
+    lemma9.schedule.prune_empty_calibrations(instance);
+    backend.row()
+        .cell(static_cast<std::int64_t>(seed))
+        .cell(instance.size())
+        .cell(alg2.schedule.num_calibrations())
+        .cell(lemma9.schedule.num_calibrations())
+        .cell(lemma9.mirrored_jobs)
+        .cell(verified);
+  }
+  backend.print(std::cout,
+                "(d) assignment backend on the same calendar: Algorithm 2 vs "
+                "the Lemma 9 integerization");
+
+  std::cout << "\nGuarantees are unchanged in every variant: adaptive "
+               "mirroring falls back to the mirrored run, pruning only "
+               "removes unused calibrations, and the relaxed policy is the "
+               "easier model of footnote 3.\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Experiment F2 — Figure 2: Algorithm 1's half-unit calibration rounding.
+//
+// Reproduces the paper's trace on its example profile, then sweeps random
+// fractional profiles and checks the two facts the analysis uses:
+//   (a) #rounded = floor(2 * total mass)   (Lemma 7's 2x factor), and
+//   (b) any window [t, t+T) holds at most 2*(1/2 + window mass) rounded
+//       calibrations (the counting step inside Lemma 4).
+#include <iostream>
+#include <numeric>
+
+#include "gen/paper_figures.hpp"
+#include "longwin/rounding.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace calisched;
+  std::cout << "F2: Algorithm 1 rounding (Figure 2)\n\n";
+
+  // --- the paper's example ---------------------------------------------------
+  const FractionalProfile profile = figure2_profile();
+  double running = 0.0;
+  Table trace({"t", "C_t", "running total", "calibrations emitted"});
+  std::size_t emitted_before = 0;
+  for (std::size_t i = 0; i < profile.points.size(); ++i) {
+    running += profile.mass[i];
+    std::vector<Time> prefix_points(profile.points.begin(),
+                                    profile.points.begin() + i + 1);
+    std::vector<double> prefix_mass(profile.mass.begin(),
+                                    profile.mass.begin() + i + 1);
+    const std::size_t emitted =
+        round_calibrations(prefix_points, prefix_mass).size();
+    trace.row()
+        .cell(profile.points[i])
+        .cell(profile.mass[i], 2)
+        .cell(running, 2)
+        .cell(emitted - emitted_before);
+    emitted_before = emitted;
+  }
+  trace.print(std::cout, "paper example: masses {0.2, 0.35, 0.25, 0.8}");
+
+  // --- randomized checks ------------------------------------------------------
+  Rng rng(5150);
+  const Time T = 10;
+  Table table({"trial", "points", "total-mass", "rounded", "floor(2*mass)",
+               "max-window", "window-bound", "all-ok"});
+  for (int trial = 0; trial < 12; ++trial) {
+    std::vector<Time> points;
+    std::vector<double> mass;
+    Time t = 0;
+    const int count = 20 + static_cast<int>(rng.index(40));
+    for (int i = 0; i < count; ++i) {
+      t += rng.uniform_int(1, 6);
+      points.push_back(t);
+      mass.push_back(rng.uniform01() * 1.2);
+    }
+    const double total = std::accumulate(mass.begin(), mass.end(), 0.0);
+    const auto starts = round_calibrations(points, mass);
+
+    // (b): sliding window count vs mass in the same window.
+    std::size_t worst_window = 0;
+    bool window_ok = true;
+    for (std::size_t i = 0; i < starts.size(); ++i) {
+      std::size_t in_window = 0;
+      for (std::size_t j = i; j < starts.size() && starts[j] < starts[i] + T; ++j) {
+        ++in_window;
+      }
+      double window_mass = 0.0;
+      for (std::size_t p = 0; p < points.size(); ++p) {
+        if (points[p] >= starts[i] && points[p] < starts[i] + T) {
+          window_mass += mass[p];
+        }
+      }
+      worst_window = std::max(worst_window, in_window);
+      if (static_cast<double>(in_window) > 2.0 * (0.5 + window_mass) + 1e-6) {
+        window_ok = false;
+      }
+    }
+    const auto expected = static_cast<std::size_t>(2.0 * total + 1e-9);
+    table.row()
+        .cell(std::int64_t{trial})
+        .cell(points.size())
+        .cell(total, 2)
+        .cell(starts.size())
+        .cell(expected)
+        .cell(worst_window)
+        .cell("2*(1/2+mass)")
+        .cell(starts.size() == expected && window_ok);
+  }
+  table.print(std::cout, "randomized rounding invariants");
+  return 0;
+}

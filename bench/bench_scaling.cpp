@@ -1,0 +1,174 @@
+// Experiment E8 — scalability (google-benchmark).
+//
+// Timing series for the components the paper's Theorem 1 multiplies
+// together: the TISE LP build+solve (dominant), the rounding + EDF steps,
+// the short-window MM reduction, and the combined solver; plus batch
+// throughput over the thread pool (instances solved in parallel).
+#include <benchmark/benchmark.h>
+
+#include "baselines/baseline.hpp"
+#include "gen/generators.hpp"
+#include "longwin/long_pipeline.hpp"
+#include "mm/lp_rounding_mm.hpp"
+#include "longwin/tise_lp.hpp"
+#include "mm/mm.hpp"
+#include "shortwin/short_pipeline.hpp"
+#include "solver/ise_solver.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace calisched;
+
+GenParams scaling_params(int n, std::uint64_t seed) {
+  GenParams params;
+  params.seed = seed;
+  params.n = n;
+  params.T = 10;
+  params.machines = 2;
+  params.horizon = 10 * params.T;
+  params.max_proc = 10;
+  return params;
+}
+
+void BM_TiseLpSolve(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const Instance instance = generate_long_window(scaling_params(n, 42));
+  std::int64_t pivots = 0;
+  int rows = 0;
+  for (auto _ : state) {
+    const TiseFractional fractional = solve_tise_lp(instance, 3 * instance.machines);
+    benchmark::DoNotOptimize(fractional.objective);
+    pivots = fractional.pivots;
+    rows = fractional.lp_rows;
+  }
+  state.counters["pivots"] = static_cast<double>(pivots);
+  state.counters["lp_rows"] = static_cast<double>(rows);
+}
+BENCHMARK(BM_TiseLpSolve)->Arg(6)->Arg(12)->Arg(18)->Arg(24)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LongPipeline(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const Instance instance = generate_long_window(scaling_params(n, 43));
+  for (auto _ : state) {
+    const LongWindowResult result = solve_long_window(instance);
+    benchmark::DoNotOptimize(result.telemetry.total_calibrations);
+  }
+}
+BENCHMARK(BM_LongPipeline)->Arg(6)->Arg(12)->Arg(18)->Arg(24)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ShortPipelineGreedy(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const Instance instance = generate_short_window(scaling_params(n, 44));
+  const GreedyEdfMM mm;
+  for (auto _ : state) {
+    const ShortWindowResult result = solve_short_window(instance, mm);
+    benchmark::DoNotOptimize(result.telemetry.total_calibrations);
+  }
+}
+BENCHMARK(BM_ShortPipelineGreedy)->Arg(20)->Arg(60)->Arg(120)->Arg(240)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_EndToEnd(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const Instance instance = generate_mixed(scaling_params(n, 45), 0.5);
+  for (auto _ : state) {
+    const IseSolveResult result = solve_ise(instance);
+    benchmark::DoNotOptimize(result.total_calibrations);
+  }
+}
+BENCHMARK(BM_EndToEnd)->Arg(8)->Arg(16)->Arg(24)
+    ->Unit(benchmark::kMillisecond);
+
+/// Batch throughput: many independent instances across the thread pool,
+/// the execution mode the experiment harness itself uses.
+void BM_BatchSolveParallel(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  std::vector<Instance> instances;
+  instances.reserve(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    instances.push_back(
+        generate_mixed(scaling_params(10, 100 + i), 0.5));
+  }
+  for (auto _ : state) {
+    parallel_for(default_pool(), batch, [&](std::size_t i) {
+      const IseSolveResult result = solve_ise(instances[i]);
+      benchmark::DoNotOptimize(result.total_calibrations);
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_BatchSolveParallel)->Arg(8)->Arg(32)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_BatchSolveSerial(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  std::vector<Instance> instances;
+  instances.reserve(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    instances.push_back(
+        generate_mixed(scaling_params(10, 100 + i), 0.5));
+  }
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < batch; ++i) {
+      const IseSolveResult result = solve_ise(instances[i]);
+      benchmark::DoNotOptimize(result.total_calibrations);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_BatchSolveSerial)->Arg(8)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LpRoundingMm(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  GenParams params = scaling_params(n, 47);
+  params.max_proc = 8;
+  const Instance instance = generate_short_window(params);
+  const LpRoundingMM mm;
+  for (auto _ : state) {
+    const MMResult result = mm.minimize(instance);
+    benchmark::DoNotOptimize(result.schedule.machines);
+  }
+}
+BENCHMARK(BM_LpRoundingMm)->Arg(8)->Arg(16)->Arg(24)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GreedyLazyIse(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  GenParams params = scaling_params(n, 48);
+  params.machines = 8;                 // roomy enough that the heuristic
+  params.horizon = 40 * params.T;      // actually completes its schedule
+  const Instance instance = generate_mixed(params, 0.5);
+  const GreedyLazyIse heuristic;
+  bool feasible = false;
+  for (auto _ : state) {
+    const BaselineResult result = heuristic.solve(instance);
+    feasible = result.feasible;
+    benchmark::DoNotOptimize(result.feasible);
+  }
+  state.counters["feasible"] = feasible ? 1.0 : 0.0;
+}
+BENCHMARK(BM_GreedyLazyIse)->Arg(20)->Arg(80)->Arg(160)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ExactMm(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  GenParams params = scaling_params(n, 46);
+  params.max_proc = 6;
+  const Instance instance = generate_short_window(params);
+  const ExactMM mm;
+  for (auto _ : state) {
+    const MMResult result = mm.minimize(instance);
+    benchmark::DoNotOptimize(result.schedule.machines);
+  }
+}
+BENCHMARK(BM_ExactMm)->Arg(6)->Arg(9)->Arg(12)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+// Experiment E6 — prior work: unit-job instances (Bender et al., SPAA'13).
+//
+// The paper generalizes Bender et al.'s unit-job setting. On unit
+// instances we compare:
+//   * the exact optimum (tiny instances),
+//   * the lazy-binning greedy reconstruction of Bender et al.,
+//   * this paper's combined solver with the exact unit MM box.
+// Bender et al. report optimality when a 1-machine schedule exists and a
+// 2-approximation on m machines; the lazy reconstruction should track the
+// optimum closely, while the general pipeline pays its constant factors.
+#include <iostream>
+
+#include "baselines/baseline.hpp"
+#include "baselines/calibration_bounds.hpp"
+#include "baselines/exact_ise.hpp"
+#include "gen/generators.hpp"
+#include "mm/mm.hpp"
+#include "solver/ise_solver.hpp"
+#include "util/table.hpp"
+#include "verify/verify.hpp"
+
+int main() {
+  using namespace calisched;
+  std::cout << "E6: unit jobs — prior work comparison\n\n";
+
+  Table table({"seed", "n", "LB", "exact", "bender-lazy", "lazy/exact",
+               "our-solver", "all-verified"});
+  double worst_lazy_ratio = 0.0;
+  for (std::uint64_t seed = 1; seed <= 14; ++seed) {
+    GenParams params;
+    params.seed = seed;
+    params.n = 8;
+    params.T = 5;
+    params.machines = 2;
+    params.horizon = 30;
+    const Instance instance = generate_unit(params, /*max_window=*/9);
+
+    const ExactIseResult exact = solve_exact_ise(instance);
+    if (!exact.solved || !exact.feasible) continue;
+    const BaselineResult lazy = BenderUnitLazyBinning().solve(instance);
+
+    IseSolverOptions options;
+    options.mm = std::make_shared<UnitEdfMM>();
+    const IseSolveResult ours = solve_ise(instance, options);
+
+    bool verified = verify_ise(instance, exact.schedule).ok();
+    std::string lazy_cell = "-";
+    double lazy_ratio = 0.0;
+    if (lazy.feasible) {
+      verified = verified && verify_ise(instance, lazy.schedule).ok();
+      lazy_cell = std::to_string(lazy.schedule.num_calibrations());
+      lazy_ratio = static_cast<double>(lazy.schedule.num_calibrations()) /
+                   static_cast<double>(exact.optimal_calibrations);
+      worst_lazy_ratio = std::max(worst_lazy_ratio, lazy_ratio);
+    }
+    std::string ours_cell = "-";
+    if (ours.feasible) {
+      verified = verified && verify_ise(instance, ours.schedule).ok();
+      ours_cell = std::to_string(ours.total_calibrations);
+    }
+    table.row()
+        .cell(static_cast<std::int64_t>(seed))
+        .cell(instance.size())
+        .cell(calibration_lower_bound(instance))
+        .cell(exact.optimal_calibrations)
+        .cell(lazy_cell)
+        .cell(lazy.feasible ? format_double(lazy_ratio, 2) : std::string("-"))
+        .cell(ours_cell)
+        .cell(verified);
+  }
+  table.print(std::cout, "unit instances (T=5, m=2, windows <= 9)");
+
+  // --- single-machine regime: Bender et al.'s first algorithm is optimal
+  // whenever a 1-machine schedule exists; measure how close the
+  // reconstruction gets there.
+  Table single({"seed", "n", "exact(m=1)", "bender-lazy", "optimal?"});
+  int optimal_count = 0, measured = 0;
+  for (std::uint64_t seed = 30; seed <= 45; ++seed) {
+    GenParams params;
+    params.seed = seed;
+    params.n = 6;
+    params.T = 5;
+    params.machines = 1;
+    params.horizon = 30;
+    const Instance instance = generate_unit(params, 9);
+    const ExactIseResult exact = solve_exact_ise(instance);
+    if (!exact.solved || !exact.feasible) continue;
+    const BaselineResult lazy = BenderUnitLazyBinning().solve(instance);
+    if (!lazy.feasible || !verify_ise(instance, lazy.schedule).ok()) continue;
+    ++measured;
+    const bool optimal =
+        lazy.schedule.num_calibrations() == exact.optimal_calibrations;
+    if (optimal) ++optimal_count;
+    single.row()
+        .cell(static_cast<std::int64_t>(seed))
+        .cell(instance.size())
+        .cell(exact.optimal_calibrations)
+        .cell(lazy.schedule.num_calibrations())
+        .cell(optimal);
+  }
+  single.print(std::cout, "single-machine regime (their optimality case)");
+  std::cout << "reconstruction optimal on " << optimal_count << "/" << measured
+            << " single-machine instances\n";
+  std::cout << "\nworst lazy-binning ratio measured: "
+            << format_double(worst_lazy_ratio, 2)
+            << " (Bender et al. prove 2.0 for their exact algorithm; ours "
+               "is a reconstruction)\n"
+            << "The general solver's counts include its worst-case-driven "
+               "constant factors; on unit jobs the specialized greedy is "
+               "the right tool, exactly as the paper positions it.\n";
+  return 0;
+}

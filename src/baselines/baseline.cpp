@@ -1,0 +1,6 @@
+#include "baselines/baseline.hpp"
+
+// The interface is header-only today; this TU anchors the vtable so the
+// library has a stable home for IseBaseline's key function.
+
+namespace calisched {}  // namespace calisched

@@ -1,0 +1,146 @@
+// Lazy-binning greedy for unit jobs (reconstruction of Bender et al.,
+// SPAA'13; see the class comment in baseline.hpp).
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <vector>
+
+#include "baselines/baseline.hpp"
+
+namespace calisched {
+namespace {
+
+struct OpenCalibration {
+  int machine;
+  Time start;
+  std::vector<bool> occupied;  // one flag per unit slot in [start, start + T)
+};
+
+/// Earliest free unit slot of `cal` inside [release, deadline), or -1.
+Time earliest_free_slot(const OpenCalibration& cal, Time T, Time release,
+                        Time deadline) {
+  const Time lo = std::max(cal.start, release);
+  const Time hi = std::min(cal.start + T, deadline);
+  for (Time s = lo; s < hi; ++s) {
+    if (!cal.occupied[static_cast<std::size_t>(s - cal.start)]) return s;
+  }
+  return -1;
+}
+
+}  // namespace
+
+BaselineResult BenderUnitLazyBinning::solve(const Instance& instance) const {
+  BaselineResult result;
+  for (const Job& job : instance.jobs) {
+    if (job.proc != 1) {
+      result.error = "bender-lazy requires unit processing times";
+      return result;
+    }
+  }
+  const Time T = instance.T;
+  const int m = instance.machines;
+
+  // Most-urgent-first processing order (deadline, then release, then id).
+  std::vector<const Job*> order;
+  order.reserve(instance.size());
+  for (const Job& job : instance.jobs) order.push_back(&job);
+  std::sort(order.begin(), order.end(), [](const Job* a, const Job* b) {
+    if (a->deadline != b->deadline) return a->deadline < b->deadline;
+    if (a->release != b->release) return a->release < b->release;
+    return a->id < b->id;
+  });
+
+  std::vector<OpenCalibration> calibrations;
+  // Per machine, sorted calibration start times for gap computation.
+  std::vector<std::vector<Time>> machine_starts(static_cast<std::size_t>(m));
+
+  Schedule schedule = Schedule::empty_like(instance, m);
+  for (const Job* job : order) {
+    // 1) Reuse: earliest free slot in any open calibration.
+    OpenCalibration* best_cal = nullptr;
+    Time best_slot = std::numeric_limits<Time>::max();
+    for (OpenCalibration& cal : calibrations) {
+      const Time slot = earliest_free_slot(cal, T, job->release, job->deadline);
+      if (slot >= 0 && slot < best_slot) {
+        best_slot = slot;
+        best_cal = &cal;
+      }
+    }
+    if (best_cal != nullptr) {
+      best_cal->occupied[static_cast<std::size_t>(best_slot - best_cal->start)] =
+          true;
+      schedule.jobs.push_back({job->id, best_cal->machine, best_slot});
+      continue;
+    }
+    // 2) Open a new calibration as late as possible while leaving room for
+    //    the other unscheduled jobs that are due by the same deadline: they
+    //    need ceil(|U|/m) slots before d_j, so the lazy start is
+    //    t = d_j - ceil(|U|/m), clamped to d_j - T.
+    Time due_load = 0;
+    for (const Job* other : order) {
+      if (other->deadline <= job->deadline) {
+        const bool scheduled =
+            std::any_of(schedule.jobs.begin(), schedule.jobs.end(),
+                        [&](const ScheduledJob& sj) { return sj.job == other->id; });
+        if (!scheduled) ++due_load;
+      }
+    }
+    const Time slots_needed = (due_load + m - 1) / m;
+    const Time target =
+        std::max(job->deadline - T, job->deadline - std::max<Time>(1, slots_needed));
+    int chosen_machine = -1;
+    Time chosen_start = std::numeric_limits<Time>::min();
+    for (int machine = 0; machine < m; ++machine) {
+      const auto& starts = machine_starts[static_cast<std::size_t>(machine)];
+      // Candidate: latest t <= target such that [t, t+T) avoids all
+      // existing calibrations on this machine.
+      Time t = target;
+      bool placed = false;
+      while (!placed) {
+        // Find a calibration overlapping [t, t+T); if any, jump left of it.
+        const Time t_end = t + T;
+        Time blocker = std::numeric_limits<Time>::min();
+        bool blocked = false;
+        for (const Time s : starts) {
+          if (s < t_end && t < s + T) {
+            blocked = true;
+            blocker = std::max(blocker, s);
+          }
+        }
+        if (!blocked) {
+          placed = true;
+          break;
+        }
+        t = blocker - T;  // latest start strictly left of the blocker
+      }
+      // The calibration must still cover a slot inside the job window.
+      const Time slot = std::min(job->deadline, t + T) - 1;
+      if (slot < job->release || slot < t) continue;
+      if (t > chosen_start) {
+        chosen_start = t;
+        chosen_machine = machine;
+      }
+    }
+    if (chosen_machine < 0) {
+      result.error = "bender-lazy: no machine can host a calibration for job " +
+                     std::to_string(job->id);
+      return result;
+    }
+    OpenCalibration cal{chosen_machine, chosen_start,
+                        std::vector<bool>(static_cast<std::size_t>(T), false)};
+    const Time slot = std::min(job->deadline, chosen_start + T) - 1;
+    assert(slot >= job->release && slot >= chosen_start);
+    cal.occupied[static_cast<std::size_t>(slot - chosen_start)] = true;
+    schedule.jobs.push_back({job->id, chosen_machine, slot});
+    schedule.calibrations.push_back({chosen_machine, chosen_start});
+    machine_starts[static_cast<std::size_t>(chosen_machine)].push_back(
+        chosen_start);
+    calibrations.push_back(std::move(cal));
+  }
+  schedule.normalize();
+  result.feasible = true;
+  result.schedule = std::move(schedule);
+  return result;
+}
+
+}  // namespace calisched

@@ -1,0 +1,74 @@
+#include "baselines/calibration_bounds.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/arith.hpp"
+
+namespace calisched {
+
+std::int64_t calibration_work_bound(const Instance& instance) {
+  if (instance.empty()) return 0;
+  return ceil_div(instance.total_work(), instance.T);
+}
+
+std::int64_t calibration_windowed_bound(const Instance& instance) {
+  if (instance.empty()) return 0;
+  struct Window {
+    Time a, b;
+    std::int64_t value;
+  };
+  std::vector<Time> releases, deadlines;
+  for (const Job& job : instance.jobs) {
+    releases.push_back(job.release);
+    deadlines.push_back(job.deadline);
+  }
+  std::sort(releases.begin(), releases.end());
+  releases.erase(std::unique(releases.begin(), releases.end()), releases.end());
+  std::sort(deadlines.begin(), deadlines.end());
+  deadlines.erase(std::unique(deadlines.begin(), deadlines.end()),
+                  deadlines.end());
+
+  std::vector<Window> windows;
+  for (const Time a : releases) {
+    for (const Time b : deadlines) {
+      if (b <= a) continue;
+      Time work = 0;
+      for (const Job& job : instance.jobs) {
+        if (a <= job.release && job.deadline <= b) work += job.proc;
+      }
+      if (work > 0) windows.push_back({a, b, ceil_div(work, instance.T)});
+    }
+  }
+  if (windows.empty()) return 0;
+
+  // Weighted interval scheduling where windows must be separated by >= T.
+  std::sort(windows.begin(), windows.end(),
+            [](const Window& x, const Window& y) { return x.b < y.b; });
+  const std::size_t count = windows.size();
+  std::vector<std::int64_t> best(count + 1, 0);
+  for (std::size_t i = 0; i < count; ++i) {
+    // Last window ending at or before windows[i].a - T.
+    const Time cutoff = windows[i].a - instance.T;
+    std::size_t lo = 0, hi = i;  // windows[0..i) sorted by b
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (windows[mid].b <= cutoff) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    best[i + 1] = std::max(best[i], best[lo] + windows[i].value);
+  }
+  return best[count];
+}
+
+std::int64_t calibration_lower_bound(const Instance& instance) {
+  if (instance.empty()) return 0;
+  return std::max<std::int64_t>(
+      1, std::max(calibration_work_bound(instance),
+                  calibration_windowed_bound(instance)));
+}
+
+}  // namespace calisched

@@ -1,0 +1,47 @@
+// Exact minimum-calibration solver for small integral instances.
+//
+// Used by the experiments to measure *true* approximation ratios (E5-E7).
+// Exponential by design; a node budget keeps it honest.
+//
+// Completeness: for integral instances, repeatedly left-shifting any
+// feasible schedule (shift the earliest unblocked event until it meets a
+// release time, a same-machine predecessor's completion, or its
+// calibration boundary) reaches a fixpoint whose event times are all sums
+// of instance data, hence integers. It therefore suffices to search
+// integer calibration start times. For each candidate calibration count K
+// (from the combinatorial lower bound upward) the solver enumerates
+// nondecreasing K-tuples of start times whose maximum overlap fits the
+// machine count, colors them greedily onto machines, and packs jobs by
+// depth-first search with an exact single-machine feasibility check per
+// calibration.
+#pragma once
+
+#include <cstdint>
+
+#include "core/schedule.hpp"
+
+namespace calisched {
+
+struct ExactIseOptions {
+  std::int64_t node_budget = 5'000'000;
+  /// Hard cap on the calibration count the search will try.
+  int max_calibrations = 16;
+  /// Restrict job placement to calibrations nested in the job's window
+  /// (exact *TISE* optimum instead of exact ISE optimum).
+  bool require_tise = false;
+};
+
+struct ExactIseResult {
+  /// True when the search ran to completion (budget not exhausted).
+  bool solved = false;
+  /// True when a feasible schedule with <= max_calibrations exists.
+  bool feasible = false;
+  std::size_t optimal_calibrations = 0;
+  Schedule schedule;  ///< an optimal schedule when feasible
+  std::int64_t nodes = 0;
+};
+
+[[nodiscard]] ExactIseResult solve_exact_ise(const Instance& instance,
+                                             const ExactIseOptions& options = {});
+
+}  // namespace calisched

@@ -1,0 +1,138 @@
+// GreedyLazyIse — lazy binning generalized to non-unit processing times.
+// See the class comment in baseline.hpp for the policy.
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "baselines/baseline.hpp"
+#include "util/arith.hpp"
+
+namespace calisched {
+namespace {
+
+/// An open calibration and the runs already packed into it.
+struct OpenCalibration {
+  int machine;
+  Time start;
+  std::vector<std::pair<Time, Time>> runs;  // sorted, disjoint [s, e)
+
+  /// Earliest start for a p-length run inside this calibration, within
+  /// [release, deadline), avoiding existing runs; -max() when impossible.
+  [[nodiscard]] Time earliest_fit(Time T, Time p, Time release,
+                                  Time deadline) const {
+    const Time lo = std::max(start, release);
+    const Time hi = std::min(start + T, deadline);
+    Time cursor = lo;
+    for (const auto& [s, e] : runs) {
+      if (cursor + p <= std::min(s, hi)) return cursor;
+      cursor = std::max(cursor, e);
+    }
+    if (cursor + p <= hi) return cursor;
+    return std::numeric_limits<Time>::min();
+  }
+
+  void insert_run(Time s, Time p) {
+    runs.emplace_back(s, s + p);
+    std::sort(runs.begin(), runs.end());
+  }
+};
+
+}  // namespace
+
+BaselineResult GreedyLazyIse::solve(const Instance& instance) const {
+  BaselineResult result;
+  const Time T = instance.T;
+  const int m = instance.machines;
+
+  // Most-urgent-first (deadline, release, id).
+  std::vector<const Job*> order;
+  order.reserve(instance.size());
+  for (const Job& job : instance.jobs) order.push_back(&job);
+  std::sort(order.begin(), order.end(), [](const Job* a, const Job* b) {
+    if (a->deadline != b->deadline) return a->deadline < b->deadline;
+    if (a->release != b->release) return a->release < b->release;
+    return a->id < b->id;
+  });
+
+  std::vector<OpenCalibration> calibrations;
+  std::vector<std::vector<Time>> machine_starts(static_cast<std::size_t>(m));
+  Schedule schedule = Schedule::empty_like(instance, m);
+
+  for (std::size_t index = 0; index < order.size(); ++index) {
+    const Job& job = *order[index];
+    // 1) Reuse: earliest feasible start across open calibrations.
+    OpenCalibration* best_cal = nullptr;
+    Time best_start = std::numeric_limits<Time>::max();
+    for (OpenCalibration& cal : calibrations) {
+      const Time s = cal.earliest_fit(T, job.proc, job.release, job.deadline);
+      if (s != std::numeric_limits<Time>::min() && s < best_start) {
+        best_start = s;
+        best_cal = &cal;
+      }
+    }
+    if (best_cal != nullptr) {
+      best_cal->insert_run(best_start, job.proc);
+      schedule.jobs.push_back({job.id, best_cal->machine, best_start});
+      continue;
+    }
+
+    // 2) Open a new calibration as late as the work due by d_j allows:
+    //    the unscheduled jobs with deadline <= d_j need their total work
+    //    done by then, so aim for t = d_j - max(p_j, ceil(W_due / m)),
+    //    clamped so the job itself still fits ([t, t+T) must reach d_j
+    //    when t <= d_j - T would cut it off).
+    Time due_work = 0;
+    for (std::size_t k = index; k < order.size(); ++k) {
+      if (order[k]->deadline <= job.deadline) due_work += order[k]->proc;
+    }
+    const Time lead = std::max<Time>(job.proc, ceil_div(due_work, m));
+    const Time target = std::max(job.deadline - T, job.deadline - lead);
+
+    int chosen_machine = -1;
+    Time chosen_start = std::numeric_limits<Time>::min();
+    for (int machine = 0; machine < m; ++machine) {
+      const auto& starts = machine_starts[static_cast<std::size_t>(machine)];
+      // Latest t <= target with [t, t+T) clear of this machine's
+      // calibrations.
+      Time t = target;
+      for (;;) {
+        Time blocker = std::numeric_limits<Time>::min();
+        bool blocked = false;
+        for (const Time s : starts) {
+          if (s < t + T && t < s + T) {
+            blocked = true;
+            blocker = std::max(blocker, s);
+          }
+        }
+        if (!blocked) break;
+        t = blocker - T;
+      }
+      // The job must fit: start >= max(t, r_j), start + p <= min(t+T, d_j).
+      const Time s = std::max(t, job.release);
+      if (s + job.proc > std::min(t + T, job.deadline)) continue;
+      if (t > chosen_start) {
+        chosen_start = t;
+        chosen_machine = machine;
+      }
+    }
+    if (chosen_machine < 0) {
+      result.error = "greedy-lazy: no machine can open a calibration for job " +
+                     std::to_string(job.id);
+      return result;
+    }
+    OpenCalibration cal{chosen_machine, chosen_start, {}};
+    const Time s = std::max(chosen_start, job.release);
+    cal.insert_run(s, job.proc);
+    schedule.jobs.push_back({job.id, chosen_machine, s});
+    schedule.calibrations.push_back({chosen_machine, chosen_start});
+    machine_starts[static_cast<std::size_t>(chosen_machine)].push_back(
+        chosen_start);
+    calibrations.push_back(std::move(cal));
+  }
+  schedule.normalize();
+  result.feasible = true;
+  result.schedule = std::move(schedule);
+  return result;
+}
+
+}  // namespace calisched

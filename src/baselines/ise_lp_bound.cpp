@@ -1,0 +1,99 @@
+#include "baselines/ise_lp_bound.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/calibration_bounds.hpp"
+#include "core/calibration_points.hpp"
+#include "lp/simplex.hpp"
+
+namespace calisched {
+namespace {
+
+/// Job j can run inside a calibration starting at t (ISE feasibility).
+bool fits(const Job& job, Time t, Time T) {
+  const Time earliest = std::max(t, job.release);
+  const Time latest = std::min(t + T, job.deadline);
+  return earliest + job.proc <= latest;
+}
+
+}  // namespace
+
+std::optional<double> ise_lp_bound(const Instance& instance) {
+  if (instance.empty()) return 0.0;
+  // Full integer grid (see header comment), pruned to points where at
+  // least one job fits.
+  std::vector<Time> points;
+  for (Time t = instance.min_release() - instance.T + 1;
+       t < instance.max_deadline(); ++t) {
+    if (std::any_of(instance.jobs.begin(), instance.jobs.end(),
+                    [&](const Job& job) { return fits(job, t, instance.T); })) {
+      points.push_back(t);
+    }
+  }
+  const auto num_points = static_cast<int>(points.size());
+
+  LpModel model;
+  std::vector<int> calibration_column;
+  calibration_column.reserve(points.size());
+  for (int p = 0; p < num_points; ++p) {
+    calibration_column.push_back(
+        model.add_variable("C@" + std::to_string(points[p]), 1.0));
+  }
+  // (1) sliding-window capacity on the instance's own m machines.
+  for (int p = 0; p < num_points; ++p) {
+    const int row = model.add_row("cap@" + std::to_string(points[p]),
+                                  RowSense::kLe,
+                                  static_cast<double>(instance.machines));
+    for (int q = p; q < num_points && points[q] < points[p] + instance.T; ++q) {
+      model.add_coefficient(row, calibration_column[q], 1.0);
+    }
+  }
+  // (3) per-point work capacity rows.
+  std::vector<int> work_rows(static_cast<std::size_t>(num_points));
+  for (int p = 0; p < num_points; ++p) {
+    const int row = model.add_row("work@" + std::to_string(points[p]),
+                                  RowSense::kLe, 0.0);
+    model.add_coefficient(row, calibration_column[p],
+                          -static_cast<double>(instance.T));
+    work_rows[static_cast<std::size_t>(p)] = row;
+  }
+  // (2) pair rows and (4) coverage.
+  for (const Job& job : instance.jobs) {
+    const int coverage =
+        model.add_row("cover@j" + std::to_string(job.id), RowSense::kEq, 1.0);
+    for (int p = 0; p < num_points; ++p) {
+      if (!fits(job, points[p], instance.T)) continue;
+      const int column = model.add_variable(
+          "X@j" + std::to_string(job.id) + "t" + std::to_string(points[p]),
+          0.0);
+      const int pair = model.add_row(
+          "pair@j" + std::to_string(job.id) + "t" + std::to_string(points[p]),
+          RowSense::kLe, 0.0);
+      model.add_coefficient(pair, column, 1.0);
+      model.add_coefficient(pair, calibration_column[p], -1.0);
+      model.add_coefficient(work_rows[static_cast<std::size_t>(p)], column,
+                            static_cast<double>(job.proc));
+      model.add_coefficient(coverage, column, 1.0);
+    }
+  }
+
+  const LpSolution solution = solve_lp(model);
+  if (solution.status != LpStatus::kOptimal) return std::nullopt;
+  return solution.objective;
+}
+
+std::int64_t ise_certified_bound(const Instance& instance,
+                                 std::size_t max_points) {
+  const std::int64_t combinatorial = calibration_lower_bound(instance);
+  if (instance.empty()) return combinatorial;
+  const auto grid_size = static_cast<std::size_t>(
+      instance.max_deadline() - instance.min_release() + instance.T - 1);
+  if (grid_size > max_points) return combinatorial;
+  const auto lp = ise_lp_bound(instance);
+  if (!lp) return combinatorial;
+  const auto lp_bound = static_cast<std::int64_t>(std::ceil(*lp - 1e-6));
+  return std::max(combinatorial, lp_bound);
+}
+
+}  // namespace calisched

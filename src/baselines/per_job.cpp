@@ -1,0 +1,48 @@
+#include <algorithm>
+#include <vector>
+
+#include "baselines/baseline.hpp"
+
+namespace calisched {
+
+BaselineResult PerJobCalibration::solve(const Instance& instance) const {
+  BaselineResult result;
+  // Calibration intervals [r_j, r_j + T); greedy interval coloring gives
+  // the minimum number of machines (max overlap).
+  struct Entry {
+    const Job* job;
+  };
+  std::vector<const Job*> order;
+  order.reserve(instance.size());
+  for (const Job& job : instance.jobs) order.push_back(&job);
+  std::sort(order.begin(), order.end(), [](const Job* a, const Job* b) {
+    return a->release != b->release ? a->release < b->release : a->id < b->id;
+  });
+
+  std::vector<Time> machine_busy_until;  // end of last calibration per machine
+  Schedule schedule = Schedule::empty_like(instance, 0);
+  for (const Job* job : order) {
+    int machine = -1;
+    for (std::size_t i = 0; i < machine_busy_until.size(); ++i) {
+      if (machine_busy_until[i] <= job->release) {
+        machine = static_cast<int>(i);
+        break;
+      }
+    }
+    if (machine < 0) {
+      machine = static_cast<int>(machine_busy_until.size());
+      machine_busy_until.push_back(0);
+    }
+    machine_busy_until[static_cast<std::size_t>(machine)] =
+        job->release + instance.T;
+    schedule.calibrations.push_back({machine, job->release});
+    schedule.jobs.push_back({job->id, machine, job->release});
+  }
+  schedule.machines = static_cast<int>(machine_busy_until.size());
+  schedule.normalize();
+  result.feasible = true;
+  result.schedule = std::move(schedule);
+  return result;
+}
+
+}  // namespace calisched

@@ -1,0 +1,73 @@
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "baselines/baseline.hpp"
+#include "util/arith.hpp"
+
+namespace calisched {
+
+BaselineResult SaturateCalibration::solve(const Instance& instance) const {
+  BaselineResult result;
+  if (instance.empty()) {
+    result.feasible = true;
+    result.schedule = Schedule::empty_like(instance, 0);
+    return result;
+  }
+  const Time T = instance.T;
+  const Time origin = instance.min_release();
+  const Time horizon = instance.max_deadline();
+  const Time slots = ceil_div(horizon - origin, T);
+  const int m = instance.machines;
+
+  Schedule schedule = Schedule::empty_like(instance, m);
+  for (int machine = 0; machine < m; ++machine) {
+    for (Time k = 0; k < slots; ++k) {
+      schedule.calibrations.push_back({machine, origin + k * T});
+    }
+  }
+
+  // EDF into the grid: a job may not cross a multiple-of-T boundary
+  // (relative to origin), so a start is bumped to the next boundary when
+  // the job would not fit in the remainder of its cell.
+  std::vector<Time> free_at(static_cast<std::size_t>(m), origin);
+  std::vector<bool> done(instance.size(), false);
+  std::size_t remaining = instance.size();
+  while (remaining > 0) {
+    const auto machine_it = std::min_element(free_at.begin(), free_at.end());
+    Time min_release = std::numeric_limits<Time>::max();
+    for (std::size_t j = 0; j < instance.size(); ++j) {
+      if (!done[j]) min_release = std::min(min_release, instance.jobs[j].release);
+    }
+    const Time now = std::max(*machine_it, min_release);
+    std::size_t chosen = instance.size();
+    for (std::size_t j = 0; j < instance.size(); ++j) {
+      if (done[j] || instance.jobs[j].release > now) continue;
+      if (chosen == instance.size() ||
+          instance.jobs[j].deadline < instance.jobs[chosen].deadline) {
+        chosen = j;
+      }
+    }
+    const Job& job = instance.jobs[chosen];
+    // Earliest grid-feasible start at or after `now`.
+    Time start = now;
+    const Time cell_end = origin + (floor_div(start - origin, T) + 1) * T;
+    if (start + job.proc > cell_end) start = cell_end;  // bump to next cell
+    if (start + job.proc > job.deadline) {
+      result.error = "saturate baseline: job " + std::to_string(job.id) +
+                     " misses its deadline under grid-aligned EDF";
+      return result;
+    }
+    schedule.jobs.push_back(
+        {job.id, static_cast<int>(machine_it - free_at.begin()), start});
+    *machine_it = start + job.proc;
+    done[chosen] = true;
+    --remaining;
+  }
+  schedule.normalize();
+  result.feasible = true;
+  result.schedule = std::move(schedule);
+  return result;
+}
+
+}  // namespace calisched

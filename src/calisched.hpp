@@ -1,0 +1,25 @@
+// Umbrella header: the public API of the calisched library.
+//
+// Downstream users normally need only this include. Internal pieces
+// (the LP engine, individual pipeline stages) are also stable headers and
+// can be included directly for finer control; see DESIGN.md for the map.
+#pragma once
+
+#include "baselines/baseline.hpp"            // per-job / saturate / lazy binning
+#include "baselines/calibration_bounds.hpp"  // combinatorial lower bounds
+#include "baselines/exact_ise.hpp"           // exact reference solver
+#include "baselines/ise_lp_bound.hpp"        // certified LP lower bound
+#include "core/calibration_points.hpp"       // Lemma 3 grid
+#include "core/instance.hpp"                 // Job / Instance + text IO
+#include "core/schedule.hpp"                 // Schedule (ticks, speed)
+#include "core/schedule_io.hpp"              // schedule text IO
+#include "gen/generators.hpp"                // instance families
+#include "longwin/long_pipeline.hpp"         // Theorems 12 & 14
+#include "mm/lp_rounding_mm.hpp"             // LP randomized-rounding MM box
+#include "mm/mm.hpp"                         // MM black boxes incl. SpeedupMM
+#include "report/ascii_gantt.hpp"            // ASCII rendering
+#include "report/stats.hpp"                  // schedule statistics
+#include "shortwin/short_pipeline.hpp"       // Theorem 20
+#include "solver/ise_solver.hpp"             // Theorem 1 combined solver
+#include "solver/mm_via_ise.hpp"             // Section 1 reduction
+#include "verify/verify.hpp"                 // independent checkers

@@ -1,0 +1,36 @@
+#include "core/calibration_points.hpp"
+
+#include <algorithm>
+
+namespace calisched {
+
+std::vector<Time> canonical_calibration_points(const Instance& instance) {
+  std::vector<Time> points;
+  const Time horizon = instance.max_deadline();
+  const auto n = static_cast<Time>(instance.size());
+  points.reserve(instance.size() * (instance.size() + 1));
+  for (const Job& job : instance.jobs) {
+    for (Time k = 0; k <= n; ++k) {
+      const Time t = job.release + k * instance.T;
+      if (t >= horizon) break;  // a calibration starting after every deadline is useless
+      points.push_back(t);
+    }
+  }
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  return points;
+}
+
+std::vector<Time> tise_calibration_points(const Instance& instance) {
+  std::vector<Time> points = canonical_calibration_points(instance);
+  const auto feasible_for_some_job = [&](Time t) {
+    return std::any_of(instance.jobs.begin(), instance.jobs.end(),
+                       [&](const Job& job) {
+                         return job.release <= t && t <= job.deadline - instance.T;
+                       });
+  };
+  std::erase_if(points, [&](Time t) { return !feasible_for_some_job(t); });
+  return points;
+}
+
+}  // namespace calisched

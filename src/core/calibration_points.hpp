@@ -1,0 +1,26 @@
+// The canonical calibration grid of Lemma 3.
+//
+// Lemma 3: some optimal TISE solution only starts calibrations at times of
+// the form r_j + k*T with 0 <= k <= n (a release time, or packed directly
+// after the previous calibration on the same machine). The same exchange
+// argument applies verbatim to the untrimmed ISE problem, so the exact
+// reference solver uses the grid too.
+#pragma once
+
+#include <vector>
+
+#include "core/instance.hpp"
+
+namespace calisched {
+
+/// All distinct r_j + k*T (k in [0, n]) that start before the last deadline.
+/// Sorted ascending. Size is O(n^2).
+[[nodiscard]] std::vector<Time> canonical_calibration_points(const Instance& instance);
+
+/// The subset of the canonical grid that is TISE-feasible for at least one
+/// long job, i.e. exists j with r_j <= t <= d_j - T. Points outside every
+/// job's trimmed window carry C_t = 0 in some LP optimum, so the TISE LP is
+/// built over this (much smaller) set.
+[[nodiscard]] std::vector<Time> tise_calibration_points(const Instance& instance);
+
+}  // namespace calisched

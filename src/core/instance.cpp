@@ -1,0 +1,125 @@
+#include "core/instance.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace calisched {
+
+Time Instance::min_release() const noexcept {
+  Time best = 0;
+  bool first = true;
+  for (const Job& job : jobs) {
+    if (first || job.release < best) best = job.release;
+    first = false;
+  }
+  return best;
+}
+
+Time Instance::max_deadline() const noexcept {
+  Time best = 0;
+  bool first = true;
+  for (const Job& job : jobs) {
+    if (first || job.deadline > best) best = job.deadline;
+    first = false;
+  }
+  return best;
+}
+
+Time Instance::total_work() const noexcept {
+  Time total = 0;
+  for (const Job& job : jobs) total += job.proc;
+  return total;
+}
+
+std::optional<std::string> Instance::validate() const {
+  if (machines < 1) return "machine count must be >= 1";
+  if (T < 2) return "calibration length T must be >= 2";
+  std::vector<bool> seen;
+  for (const Job& job : jobs) {
+    if (job.id < 0) return "job id must be non-negative";
+    if (static_cast<std::size_t>(job.id) >= seen.size()) {
+      seen.resize(static_cast<std::size_t>(job.id) + 1, false);
+    }
+    if (seen[static_cast<std::size_t>(job.id)]) {
+      return "duplicate job id " + std::to_string(job.id);
+    }
+    seen[static_cast<std::size_t>(job.id)] = true;
+    if (job.proc < 1) {
+      return "job " + std::to_string(job.id) + ": processing time must be >= 1";
+    }
+    if (job.proc > T) {
+      return "job " + std::to_string(job.id) + ": p_j must be <= T";
+    }
+    if (job.deadline < job.release + job.proc) {
+      return "job " + std::to_string(job.id) + ": window too small for p_j";
+    }
+  }
+  return std::nullopt;
+}
+
+const Job& Instance::job_by_id(JobId id) const {
+  const auto it = std::find_if(jobs.begin(), jobs.end(),
+                               [id](const Job& job) { return job.id == id; });
+  assert(it != jobs.end());
+  return *it;
+}
+
+WindowSplit split_by_window(const Instance& instance) {
+  WindowSplit split;
+  split.long_jobs.machines = instance.machines;
+  split.long_jobs.T = instance.T;
+  split.short_jobs.machines = instance.machines;
+  split.short_jobs.T = instance.T;
+  for (const Job& job : instance.jobs) {
+    (job.is_long(instance.T) ? split.long_jobs : split.short_jobs)
+        .jobs.push_back(job);
+  }
+  return split;
+}
+
+void write_instance(std::ostream& out, const Instance& instance) {
+  out << "machines " << instance.machines << '\n';
+  out << "T " << instance.T << '\n';
+  for (const Job& job : instance.jobs) {
+    out << "job " << job.id << ' ' << job.release << ' ' << job.deadline << ' '
+        << job.proc << '\n';
+  }
+}
+
+Instance read_instance(std::istream& in) {
+  Instance instance;
+  std::string line;
+  int line_number = 0;
+  auto fail = [&](const std::string& what) {
+    throw std::runtime_error("instance parse error on line " +
+                             std::to_string(line_number) + ": " + what);
+  };
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string keyword;
+    fields >> keyword;
+    if (keyword == "machines") {
+      if (!(fields >> instance.machines)) fail("expected machine count");
+    } else if (keyword == "T") {
+      if (!(fields >> instance.T)) fail("expected calibration length");
+    } else if (keyword == "job") {
+      Job job;
+      if (!(fields >> job.id >> job.release >> job.deadline >> job.proc)) {
+        fail("expected: job <id> <release> <deadline> <proc>");
+      }
+      instance.jobs.push_back(job);
+    } else {
+      fail("unknown keyword '" + keyword + "'");
+    }
+  }
+  if (auto error = instance.validate()) fail(*error);
+  return instance;
+}
+
+}  // namespace calisched

@@ -1,0 +1,57 @@
+// ISE problem instance: jobs + machine count + calibration length.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/job.hpp"
+
+namespace calisched {
+
+/// A complete ISE instance (Bender et al. / Fineman-Sheridan formulation):
+/// `machines` identical machines, calibration length `T >= 2`, and jobs with
+/// p_j <= T, d_j >= r_j + p_j.
+struct Instance {
+  std::vector<Job> jobs;
+  int machines = 1;
+  Time T = 2;
+
+  [[nodiscard]] std::size_t size() const noexcept { return jobs.size(); }
+  [[nodiscard]] bool empty() const noexcept { return jobs.empty(); }
+
+  /// Earliest release over all jobs (0 when empty).
+  [[nodiscard]] Time min_release() const noexcept;
+  /// Latest deadline over all jobs (0 when empty).
+  [[nodiscard]] Time max_deadline() const noexcept;
+  /// Total processing time of all jobs.
+  [[nodiscard]] Time total_work() const noexcept;
+
+  /// Checks the structural invariants of the problem statement; returns an
+  /// error description, or nullopt if the instance is well-formed.
+  [[nodiscard]] std::optional<std::string> validate() const;
+
+  /// Finds a job by id; precondition: the id exists.
+  [[nodiscard]] const Job& job_by_id(JobId id) const;
+};
+
+/// The Definition-1 split. Both halves keep the parent's machine count and
+/// T; the paper schedules them on *disjoint* machine pools.
+struct WindowSplit {
+  Instance long_jobs;
+  Instance short_jobs;
+};
+[[nodiscard]] WindowSplit split_by_window(const Instance& instance);
+
+/// Serialises to a small line-oriented text format:
+///   machines <m>
+///   T <T>
+///   job <id> <release> <deadline> <proc>
+void write_instance(std::ostream& out, const Instance& instance);
+
+/// Parses the format produced by write_instance; throws std::runtime_error
+/// with a line number on malformed input.
+[[nodiscard]] Instance read_instance(std::istream& in);
+
+}  // namespace calisched

@@ -1,0 +1,94 @@
+#include "core/schedule.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace calisched {
+
+Time Schedule::job_duration_ticks(Time proc) const noexcept {
+  const Time scaled = proc * time_denominator;
+  assert(scaled % speed == 0 && "job duration must be exact in ticks");
+  return scaled / speed;
+}
+
+int Schedule::machines_used() const {
+  std::vector<bool> used(static_cast<std::size_t>(machines), false);
+  auto mark = [&](int machine) {
+    assert(machine >= 0 && machine < machines);
+    used[static_cast<std::size_t>(machine)] = true;
+  };
+  for (const Calibration& cal : calibrations) mark(cal.machine);
+  for (const ScheduledJob& job : jobs) mark(job.machine);
+  return static_cast<int>(std::count(used.begin(), used.end(), true));
+}
+
+void Schedule::normalize() {
+  std::sort(calibrations.begin(), calibrations.end(),
+            [](const Calibration& a, const Calibration& b) {
+              return a.machine != b.machine ? a.machine < b.machine
+                                            : a.start < b.start;
+            });
+  std::sort(jobs.begin(), jobs.end(),
+            [](const ScheduledJob& a, const ScheduledJob& b) {
+              if (a.machine != b.machine) return a.machine < b.machine;
+              if (a.start != b.start) return a.start < b.start;
+              return a.job < b.job;
+            });
+}
+
+void Schedule::append_disjoint(const Schedule& other, int machine_offset) {
+  assert(T == other.T);
+  assert(time_denominator == other.time_denominator);
+  assert(speed == other.speed);
+  assert(machine_offset >= 0);
+  machines = std::max(machines, machine_offset + other.machines);
+  calibrations.reserve(calibrations.size() + other.calibrations.size());
+  for (Calibration cal : other.calibrations) {
+    cal.machine += machine_offset;
+    calibrations.push_back(cal);
+  }
+  jobs.reserve(jobs.size() + other.jobs.size());
+  for (ScheduledJob job : other.jobs) {
+    job.machine += machine_offset;
+    jobs.push_back(job);
+  }
+}
+
+void Schedule::scale_denominator(std::int64_t factor) {
+  assert(factor >= 1);
+  time_denominator *= factor;
+  for (Calibration& cal : calibrations) cal.start *= factor;
+  for (ScheduledJob& sj : jobs) sj.start *= factor;
+}
+
+void Schedule::scale_speed(std::int64_t factor) {
+  assert(factor >= 1);
+  speed *= factor;
+}
+
+std::size_t Schedule::prune_empty_calibrations(const Instance& instance) {
+  const Time cal_len = calibration_ticks();
+  const auto hosts_a_job = [&](const Calibration& cal) {
+    for (const ScheduledJob& sj : jobs) {
+      if (sj.machine != cal.machine) continue;
+      const Time duration = job_duration_ticks(instance.job_by_id(sj.job).proc);
+      if (cal.start <= sj.start && sj.start + duration <= cal.start + cal_len) {
+        return true;
+      }
+    }
+    return false;
+  };
+  const std::size_t before = calibrations.size();
+  std::erase_if(calibrations,
+                [&](const Calibration& cal) { return !hosts_a_job(cal); });
+  return before - calibrations.size();
+}
+
+Schedule Schedule::empty_like(const Instance& instance, int machines) {
+  Schedule schedule;
+  schedule.machines = machines;
+  schedule.T = instance.T;
+  return schedule;
+}
+
+}  // namespace calisched

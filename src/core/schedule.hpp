@@ -1,0 +1,94 @@
+// Schedule representation shared by every algorithm in the library.
+//
+// Times inside a schedule are stored in integer *ticks*. A schedule carries
+// a `time_denominator` D: real time = ticks / D. All instance quantities
+// are integral, so D = 1 everywhere except after the Lemma 13 speed
+// transform, where start times like t + iT/(2c) require D = 2c.
+//
+// A schedule also carries a uniform machine `speed` s: a job with processing
+// time p occupies p * D / s ticks. The verifier insists that p * D be
+// divisible by s, keeping all arithmetic exact.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.hpp"
+
+namespace calisched {
+
+/// One calibration: machine usable for [start, start + T*D) ticks.
+struct Calibration {
+  int machine = 0;
+  Time start = 0;  // ticks
+
+  friend constexpr bool operator==(const Calibration&, const Calibration&) noexcept =
+      default;
+};
+
+/// One scheduled job occurrence.
+struct ScheduledJob {
+  JobId job = -1;
+  int machine = 0;
+  Time start = 0;  // ticks
+
+  friend constexpr bool operator==(const ScheduledJob&, const ScheduledJob&) noexcept =
+      default;
+};
+
+struct Schedule {
+  int machines = 0;                     ///< machine indices live in [0, machines)
+  Time T = 2;                           ///< calibration length, real units
+  std::int64_t time_denominator = 1;    ///< ticks per real time unit
+  std::int64_t speed = 1;               ///< uniform machine speed
+  std::vector<Calibration> calibrations;
+  std::vector<ScheduledJob> jobs;
+
+  /// Calibration length in ticks.
+  [[nodiscard]] Time calibration_ticks() const noexcept {
+    return T * time_denominator;
+  }
+
+  /// Duration in ticks of a job with processing time `proc`.
+  /// Asserts exact divisibility (the verifier re-checks it).
+  [[nodiscard]] Time job_duration_ticks(Time proc) const noexcept;
+
+  [[nodiscard]] std::size_t num_calibrations() const noexcept {
+    return calibrations.size();
+  }
+
+  /// Number of distinct machines that carry at least one calibration or job.
+  [[nodiscard]] int machines_used() const;
+
+  /// Canonical ordering: calibrations by (machine, start), jobs likewise.
+  void normalize();
+
+  /// Splices `other` onto machines [offset, offset + other.machines).
+  /// Requires matching T, denominator, and speed.
+  void append_disjoint(const Schedule& other, int machine_offset);
+
+  /// Refines the tick resolution: multiplies time_denominator and every
+  /// stored start time by `factor` (speed unchanged). A feasible schedule
+  /// stays feasible — only the unit changes. Used when splicing schedules
+  /// with different denominators onto one machine park.
+  void scale_denominator(std::int64_t factor);
+
+  /// Reinterprets the schedule on machines `factor` times faster: speed is
+  /// multiplied, start times stay. Jobs only get shorter, so feasibility
+  /// is preserved (the paper's resource-augmentation direction: a 1-speed
+  /// schedule is trivially valid on s-speed machines). Requires the new
+  /// durations to stay exact in ticks; scale_denominator first if needed.
+  void scale_speed(std::int64_t factor);
+
+  /// Removes calibrations that contain no scheduled job. Feasibility is
+  /// preserved trivially (dropping an unused calibration cannot violate
+  /// any constraint); returns the number removed. The paper's analysis
+  /// never prunes — this is the practical optimization its conclusions
+  /// allude to ("some of the constants could be reduced").
+  std::size_t prune_empty_calibrations(const Instance& instance);
+
+  /// An empty schedule shaped like `instance` with the given machine count.
+  [[nodiscard]] static Schedule empty_like(const Instance& instance, int machines);
+};
+
+}  // namespace calisched

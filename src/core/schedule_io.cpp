@@ -1,0 +1,69 @@
+#include "core/schedule_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace calisched {
+
+void write_schedule(std::ostream& out, const Schedule& schedule) {
+  out << "machines " << schedule.machines << '\n';
+  out << "T " << schedule.T << '\n';
+  out << "denominator " << schedule.time_denominator << '\n';
+  out << "speed " << schedule.speed << '\n';
+  for (const Calibration& cal : schedule.calibrations) {
+    out << "calibration " << cal.machine << ' ' << cal.start << '\n';
+  }
+  for (const ScheduledJob& sj : schedule.jobs) {
+    out << "job " << sj.job << ' ' << sj.machine << ' ' << sj.start << '\n';
+  }
+}
+
+Schedule read_schedule(std::istream& in) {
+  Schedule schedule;
+  std::string line;
+  int line_number = 0;
+  auto fail = [&](const std::string& what) {
+    throw std::runtime_error("schedule parse error on line " +
+                             std::to_string(line_number) + ": " + what);
+  };
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string keyword;
+    fields >> keyword;
+    if (keyword == "machines") {
+      if (!(fields >> schedule.machines)) fail("expected machine count");
+    } else if (keyword == "T") {
+      if (!(fields >> schedule.T)) fail("expected calibration length");
+    } else if (keyword == "denominator") {
+      if (!(fields >> schedule.time_denominator)) fail("expected denominator");
+    } else if (keyword == "speed") {
+      if (!(fields >> schedule.speed)) fail("expected speed");
+    } else if (keyword == "calibration") {
+      Calibration cal;
+      if (!(fields >> cal.machine >> cal.start)) {
+        fail("expected: calibration <machine> <start>");
+      }
+      schedule.calibrations.push_back(cal);
+    } else if (keyword == "job") {
+      ScheduledJob sj;
+      if (!(fields >> sj.job >> sj.machine >> sj.start)) {
+        fail("expected: job <id> <machine> <start>");
+      }
+      schedule.jobs.push_back(sj);
+    } else {
+      fail("unknown keyword '" + keyword + "'");
+    }
+  }
+  if (schedule.machines < 0 || schedule.time_denominator < 1 ||
+      schedule.speed < 1) {
+    fail("invalid schedule header values");
+  }
+  return schedule;
+}
+
+}  // namespace calisched

@@ -1,0 +1,25 @@
+// Text serialization of schedules, mirroring the instance format.
+//
+//   machines <m>
+//   T <T>
+//   denominator <D>
+//   speed <s>
+//   calibration <machine> <start-ticks>
+//   job <id> <machine> <start-ticks>
+//
+// Blank lines and lines starting with '#' are ignored.
+#pragma once
+
+#include <iosfwd>
+
+#include "core/schedule.hpp"
+
+namespace calisched {
+
+void write_schedule(std::ostream& out, const Schedule& schedule);
+
+/// Parses the format above; throws std::runtime_error with a line number
+/// on malformed input.
+[[nodiscard]] Schedule read_schedule(std::istream& in);
+
+}  // namespace calisched

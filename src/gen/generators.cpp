@@ -1,0 +1,143 @@
+#include "gen/generators.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/rng.hpp"
+
+namespace calisched {
+namespace {
+
+Instance shell(const GenParams& params) {
+  Instance instance;
+  instance.machines = params.machines;
+  instance.T = params.T;
+  return instance;
+}
+
+Time draw_proc(Rng& rng, const GenParams& params) {
+  const Time lo = std::clamp<Time>(params.min_proc, 1, params.T);
+  const Time hi = std::clamp<Time>(params.max_proc, lo, params.T);
+  return rng.uniform_int(lo, hi);
+}
+
+Job make_job(JobId id, Time release, Time window, Time proc) {
+  assert(window >= proc);
+  return Job{id, release, release + window, proc};
+}
+
+}  // namespace
+
+Instance generate_long_window(const GenParams& params, Time min_window_factor,
+                              Time max_window_factor) {
+  assert(min_window_factor >= 2 && max_window_factor >= min_window_factor);
+  Rng rng(params.seed);
+  Instance instance = shell(params);
+  for (int j = 0; j < params.n; ++j) {
+    const Time proc = draw_proc(rng, params);
+    const Time window =
+        rng.uniform_int(min_window_factor * params.T, max_window_factor * params.T);
+    const Time latest_release = std::max<Time>(0, params.horizon - window);
+    const Time release = rng.uniform_int(0, latest_release);
+    instance.jobs.push_back(make_job(j, release, window, proc));
+  }
+  return instance;
+}
+
+Instance generate_short_window(const GenParams& params, Time slack_min) {
+  Rng rng(params.seed);
+  Instance instance = shell(params);
+  for (int j = 0; j < params.n; ++j) {
+    const Time proc = draw_proc(rng, params);
+    const Time window_lo = std::min(proc + slack_min, 2 * params.T - 1);
+    const Time window = rng.uniform_int(window_lo, 2 * params.T - 1);
+    const Time latest_release = std::max<Time>(0, params.horizon - window);
+    const Time release = rng.uniform_int(0, latest_release);
+    instance.jobs.push_back(make_job(j, release, window, proc));
+  }
+  return instance;
+}
+
+Instance generate_mixed(const GenParams& params, double long_fraction) {
+  Rng rng(params.seed);
+  Instance instance = shell(params);
+  for (int j = 0; j < params.n; ++j) {
+    const Time proc = draw_proc(rng, params);
+    Time window;
+    if (rng.chance(long_fraction)) {
+      window = rng.uniform_int(2 * params.T, 6 * params.T);
+    } else {
+      window = rng.uniform_int(std::min(proc, 2 * params.T - 1), 2 * params.T - 1);
+      window = std::max(window, proc);
+    }
+    const Time latest_release = std::max<Time>(0, params.horizon - window);
+    const Time release = rng.uniform_int(0, latest_release);
+    instance.jobs.push_back(make_job(j, release, window, proc));
+  }
+  return instance;
+}
+
+Instance generate_unit(const GenParams& params, Time max_window) {
+  Rng rng(params.seed);
+  Instance instance = shell(params);
+  for (int j = 0; j < params.n; ++j) {
+    const Time window = rng.uniform_int(1, std::max<Time>(1, max_window));
+    const Time latest_release = std::max<Time>(0, params.horizon - window);
+    const Time release = rng.uniform_int(0, latest_release);
+    instance.jobs.push_back(make_job(j, release, window, /*proc=*/1));
+  }
+  return instance;
+}
+
+Instance generate_partition_adversarial(std::uint64_t seed, int pieces,
+                                        Time piece_max) {
+  assert(pieces >= 1 && piece_max >= 1);
+  Rng rng(seed);
+  // Build one machine side of total work T, then mirror it, so a perfect
+  // partition exists by construction.
+  std::vector<Time> side;
+  Time total = 0;
+  for (int i = 0; i < pieces; ++i) {
+    const Time piece = rng.uniform_int(1, piece_max);
+    side.push_back(piece);
+    total += piece;
+  }
+  Instance instance;
+  instance.machines = 2;
+  instance.T = std::max<Time>(2, total);
+  JobId id = 0;
+  for (int copy = 0; copy < 2; ++copy) {
+    for (const Time piece : side) {
+      instance.jobs.push_back(Job{id++, 0, instance.T, piece});
+    }
+  }
+  return instance;
+}
+
+Instance generate_clustered(const GenParams& params, int bursts, Time burst_span,
+                            bool long_windows) {
+  assert(bursts >= 1);
+  Rng rng(params.seed);
+  Instance instance = shell(params);
+  std::vector<Time> centers;
+  for (int b = 0; b < bursts; ++b) {
+    centers.push_back(rng.uniform_int(0, std::max<Time>(0, params.horizon)));
+  }
+  for (int j = 0; j < params.n; ++j) {
+    const Time center = centers[rng.index(centers.size())];
+    const Time proc = draw_proc(rng, params);
+    Time window;
+    if (long_windows) {
+      window = rng.uniform_int(2 * params.T, 4 * params.T);
+    } else {
+      window = rng.uniform_int(std::min(proc, 2 * params.T - 1), 2 * params.T - 1);
+      window = std::max(window, proc);
+    }
+    const Time release =
+        std::max<Time>(0, center + rng.uniform_int(0, burst_span) - burst_span / 2);
+    instance.jobs.push_back(make_job(j, release, window, proc));
+  }
+  return instance;
+}
+
+}  // namespace calisched

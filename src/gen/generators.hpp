@@ -1,0 +1,56 @@
+// Randomized instance families for tests and experiments.
+//
+// All generators are deterministic in their seed and produce instances
+// that pass Instance::validate(). Families mirror the regimes the paper's
+// analysis distinguishes: long windows (Section 3), short windows
+// (Section 4), mixtures (Theorem 1), unit jobs (prior work, Bender et
+// al.), and the Partition-shaped adversarial construction from the
+// NP-hardness remark in Section 1.
+#pragma once
+
+#include <cstdint>
+
+#include "core/instance.hpp"
+
+namespace calisched {
+
+struct GenParams {
+  std::uint64_t seed = 1;
+  int n = 10;          ///< number of jobs
+  Time T = 10;         ///< calibration length
+  int machines = 2;
+  Time horizon = 100;  ///< release times drawn so windows fit in [0, horizon)
+  Time min_proc = 1;   ///< clamped to [1, T]
+  Time max_proc = 10;  ///< clamped to [min_proc, T]
+};
+
+/// All windows in [min_window_factor*T, max_window_factor*T], factors >= 2
+/// (Definition 1 long).
+[[nodiscard]] Instance generate_long_window(const GenParams& params,
+                                            Time min_window_factor = 2,
+                                            Time max_window_factor = 6);
+
+/// All windows < 2T (Definition 1 short); window length drawn uniformly in
+/// [p_j + slack_min, 2T - 1].
+[[nodiscard]] Instance generate_short_window(const GenParams& params,
+                                             Time slack_min = 0);
+
+/// Each job long with probability `long_fraction`, otherwise short.
+[[nodiscard]] Instance generate_mixed(const GenParams& params,
+                                      double long_fraction = 0.5);
+
+/// Unit jobs (p_j = 1) with window length uniform in [1, max_window].
+[[nodiscard]] Instance generate_unit(const GenParams& params, Time max_window = 8);
+
+/// The Section-1 NP-hardness shape: machines = 2, r_j = 0, d_j = T, and
+/// processing times that admit a perfect 2-partition with total work 2T.
+/// `pieces` is the number of jobs per machine side (n = 2 * pieces).
+[[nodiscard]] Instance generate_partition_adversarial(std::uint64_t seed,
+                                                      int pieces, Time piece_max);
+
+/// Poisson-ish bursts: `bursts` clusters of releases, each burst tight in
+/// time; exercises the case where calibration sharing matters most.
+[[nodiscard]] Instance generate_clustered(const GenParams& params, int bursts,
+                                          Time burst_span, bool long_windows);
+
+}  // namespace calisched

@@ -1,0 +1,36 @@
+#include "gen/paper_figures.hpp"
+
+namespace calisched {
+
+Instance figure1_instance() {
+  Instance instance;
+  instance.machines = 1;
+  instance.T = 10;
+  //                       id  release deadline proc
+  instance.jobs.push_back({1, -15, 5, 3});   // advanced by Lemma 2
+  instance.jobs.push_back({2, 0, 25, 4});
+  instance.jobs.push_back({3, 0, 30, 3});
+  instance.jobs.push_back({4, 5, 30, 3});
+  instance.jobs.push_back({5, -5, 18, 3});   // advanced by Lemma 2
+  instance.jobs.push_back({6, 10, 32, 2});
+  instance.jobs.push_back({7, 12, 35, 2});   // delayed by Lemma 2
+  return instance;
+}
+
+Schedule figure1_ise_schedule() {
+  Schedule schedule;
+  schedule.machines = 1;
+  schedule.T = 10;
+  schedule.calibrations = {{0, 0}, {0, 10}};
+  schedule.jobs = {
+      {1, 0, 0}, {2, 0, 3}, {3, 0, 7},           // first calibration
+      {4, 0, 10}, {5, 0, 13}, {6, 0, 16}, {7, 0, 18},  // second calibration
+  };
+  return schedule;
+}
+
+FractionalProfile figure2_profile() {
+  return {{0, 4, 9, 13}, {0.2, 0.35, 0.25, 0.8}};
+}
+
+}  // namespace calisched

@@ -1,0 +1,34 @@
+// Hand-built fixtures shaped like the paper's illustrative figures.
+//
+// Figure 1: seven long-window jobs feasibly scheduled on one machine with
+// two calibrations; jobs 1 and 5 violate the TISE constraint on the right
+// (deadline inside the calibration) and job 7 on the left (release after
+// the calibration start), so the Lemma 2 transformation must advance /
+// delay them.
+//
+// Figure 2/3: a four-point fractional calibration profile whose running
+// total crosses 1/2 at the second point (one rounded calibration) and
+// crosses both 1.0 and 1.5 at the fourth (two rounded calibrations).
+#pragma once
+
+#include <vector>
+
+#include "core/schedule.hpp"
+
+namespace calisched {
+
+/// One machine, T = 10; see file comment. All jobs are long (window >= 2T).
+[[nodiscard]] Instance figure1_instance();
+
+/// The feasible 1-machine, 2-calibration ISE schedule drawn in Figure 1(B).
+[[nodiscard]] Schedule figure1_ise_schedule();
+
+struct FractionalProfile {
+  std::vector<Time> points;
+  std::vector<double> mass;
+};
+
+/// The Figure 2 rounding example: masses {0.2, 0.35, 0.25, 0.8}.
+[[nodiscard]] FractionalProfile figure2_profile();
+
+}  // namespace calisched

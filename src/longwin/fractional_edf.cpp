@@ -1,0 +1,127 @@
+#include "longwin/fractional_edf.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace calisched {
+
+FractionalEdfResult fractional_edf(const Instance& instance,
+                                   const Schedule& calendar, double eps) {
+  assert(calendar.time_denominator == 1 && calendar.speed == 1);
+  FractionalEdfResult result;
+  result.calendar_order = calendar.calibrations;
+  std::sort(result.calendar_order.begin(), result.calendar_order.end(),
+            [](const Calibration& a, const Calibration& b) {
+              return a.start != b.start ? a.start < b.start
+                                        : a.machine < b.machine;
+            });
+  result.pieces.resize(result.calendar_order.size());
+
+  std::vector<double> remaining(instance.size(), 1.0);
+  for (std::size_t c = 0; c < result.calendar_order.size(); ++c) {
+    const Time t = result.calendar_order[c].start;
+    double capacity = static_cast<double>(instance.T);
+    while (capacity > eps) {
+      // Earliest-deadline unfinished TISE-eligible job ("ties broken by
+      // job number", as the fractional-EDF definition specifies).
+      std::size_t chosen = instance.size();
+      for (std::size_t j = 0; j < instance.size(); ++j) {
+        if (remaining[j] <= eps) continue;
+        const Job& job = instance.jobs[j];
+        if (job.release > t || t > job.deadline - instance.T) continue;
+        if (chosen == instance.size() ||
+            job.deadline < instance.jobs[chosen].deadline ||
+            (job.deadline == instance.jobs[chosen].deadline &&
+             job.id < instance.jobs[chosen].id)) {
+          chosen = j;
+        }
+      }
+      if (chosen == instance.size()) break;
+      const Job& job = instance.jobs[chosen];
+      const double fraction =
+          std::min(remaining[chosen], capacity / static_cast<double>(job.proc));
+      result.pieces[c].push_back({job.id, fraction});
+      remaining[chosen] -= fraction;
+      capacity -= fraction * static_cast<double>(job.proc);
+    }
+  }
+  result.complete = std::all_of(remaining.begin(), remaining.end(),
+                                [&](double r) { return r <= eps; });
+  return result;
+}
+
+IntegerizeResult integerize_fractional_edf(const Instance& instance,
+                                           const Schedule& calendar,
+                                           const FractionalEdfResult& fractional,
+                                           double eps) {
+  IntegerizeResult result;
+  Schedule& schedule = result.schedule;
+  schedule = Schedule::empty_like(instance, calendar.machines * 2);
+  schedule.calibrations.reserve(fractional.calendar_order.size() * 2);
+  for (const Calibration& cal : fractional.calendar_order) {
+    schedule.calibrations.push_back(cal);
+    schedule.calibrations.push_back({cal.machine + calendar.machines, cal.start});
+  }
+
+  // Classify each job: single full piece -> integral in that calibration;
+  // split across pieces -> whole job on the mirror of its first piece's
+  // calibration (Lemma 9). Jobs with no piece at all are reported.
+  struct Placement {
+    std::size_t calendar_index = 0;
+    bool mirrored = false;
+    bool found = false;
+  };
+  std::map<JobId, Placement> placements;
+  std::map<JobId, int> piece_counts;
+  for (const auto& pieces : fractional.pieces) {
+    for (const FractionalPiece& piece : pieces) ++piece_counts[piece.job];
+  }
+  for (std::size_t c = 0; c < fractional.pieces.size(); ++c) {
+    for (const FractionalPiece& piece : fractional.pieces[c]) {
+      auto& placement = placements[piece.job];
+      if (placement.found) continue;  // first piece decides
+      placement.found = true;
+      placement.calendar_index = c;
+      placement.mirrored =
+          piece_counts[piece.job] > 1 || piece.fraction < 1.0 - eps;
+      if (placement.mirrored) ++result.mirrored_jobs;
+    }
+  }
+
+  // Pack jobs into calibrations: per calibration, jobs in piece order with
+  // cumulative offsets (mirror calibrations receive at most one job each —
+  // Lemma 9's counting argument; asserted here).
+  std::vector<Time> used(fractional.calendar_order.size(), 0);
+  std::vector<bool> mirror_taken(fractional.calendar_order.size(), false);
+  for (std::size_t c = 0; c < fractional.pieces.size(); ++c) {
+    const Calibration& cal = fractional.calendar_order[c];
+    for (const FractionalPiece& piece : fractional.pieces[c]) {
+      const auto it = placements.find(piece.job);
+      if (it == placements.end() || !it->second.found) continue;
+      const Placement& placement = it->second;
+      if (placement.calendar_index != c) continue;  // later piece of a job
+      const Job& job = instance.job_by_id(piece.job);
+      if (placement.mirrored) {
+        assert(!mirror_taken[c] && "Lemma 9: one mirrored job per calibration");
+        mirror_taken[c] = true;
+        schedule.jobs.push_back(
+            {job.id, cal.machine + calendar.machines, cal.start});
+      } else {
+        assert(used[c] + job.proc <= instance.T);
+        schedule.jobs.push_back({job.id, cal.machine, cal.start + used[c]});
+        used[c] += job.proc;
+      }
+    }
+  }
+
+  for (const Job& job : instance.jobs) {
+    if (!placements.count(job.id) || !placements[job.id].found) {
+      result.unassigned.push_back(job.id);
+    }
+  }
+  schedule.normalize();
+  return result;
+}
+
+}  // namespace calisched

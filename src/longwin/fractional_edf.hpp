@@ -1,0 +1,53 @@
+// Lemmas 8-10: fractional EDF and its integerization — the alternative
+// job-assignment backend the paper analyzes.
+//
+// * fractional_edf (Lemma 8): scan the rounded calendar in nondecreasing
+//   start order; for each calibration repeatedly assign as much as
+//   possible of the earliest-deadline unfinished TISE-eligible job, until
+//   the calibration's T units of work are exhausted. If any fractional
+//   TISE assignment exists on the calendar, this one is complete.
+// * integerize_fractional_edf (Lemma 9): mirror the calendar; every job
+//   with a single full piece stays put; a job split across calibrations is
+//   placed whole on the mirror of the calibration holding its first
+//   (partial) piece. At most one job lands on each mirror calibration, so
+//   the result is a feasible integral schedule on twice the machines.
+//
+// The paper keeps Algorithm 2 as the "more natural" algorithm and proves
+// (Lemma 10) it is at least as good; the test suite checks that relation
+// empirically and the ablation bench compares the two backends.
+#pragma once
+
+#include <vector>
+
+#include "core/schedule.hpp"
+
+namespace calisched {
+
+struct FractionalPiece {
+  JobId job = -1;
+  double fraction = 0.0;  ///< in (0, 1]
+};
+
+/// Per-calibration pieces, parallel to `calendar_order` (the calendar's
+/// calibrations sorted by (start, machine)).
+struct FractionalEdfResult {
+  std::vector<Calibration> calendar_order;
+  std::vector<std::vector<FractionalPiece>> pieces;
+  bool complete = false;  ///< every job fully assigned
+};
+
+[[nodiscard]] FractionalEdfResult fractional_edf(const Instance& instance,
+                                                 const Schedule& calendar,
+                                                 double eps = 1e-9);
+
+struct IntegerizeResult {
+  Schedule schedule;               ///< on 2 * calendar.machines machines
+  std::vector<JobId> unassigned;   ///< empty when the input was complete
+  std::size_t mirrored_jobs = 0;   ///< jobs moved whole to mirror calibrations
+};
+
+[[nodiscard]] IntegerizeResult integerize_fractional_edf(
+    const Instance& instance, const Schedule& calendar,
+    const FractionalEdfResult& fractional, double eps = 1e-9);
+
+}  // namespace calisched

@@ -1,0 +1,93 @@
+#include "longwin/fractional_witness.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace calisched {
+
+double WitnessCalibration::total_work(const Instance& instance) const {
+  double total = 0.0;
+  for (const auto& [id, fraction] : fractions) {
+    total += fraction * static_cast<double>(instance.job_by_id(id).proc);
+  }
+  return total;
+}
+
+FractionalWitness run_fractional_witness(const Instance& instance,
+                                         const TiseFractional& fractional,
+                                         double eps) {
+  assert(fractional.status == LpStatus::kOptimal);
+  FractionalWitness witness;
+  const std::size_t n = instance.size();
+  const std::size_t num_points = fractional.points.size();
+
+  // Dense mutable copy of X (job-major) — Algorithm 3 consumes it in place.
+  std::vector<std::vector<double>> x(n, std::vector<double>(num_points, 0.0));
+  for (std::size_t j = 0; j < n; ++j) {
+    for (const auto& [point, value] : fractional.assignment[j]) {
+      x[j][static_cast<std::size_t>(point)] = value;
+    }
+  }
+
+  std::vector<double> y(n, 0.0);            // carried job fractions
+  std::vector<double> scheduled(n, 0.0);    // cumulative scheduled fraction
+  double carryover = 0.0;                   // carried calibration fraction
+  double worst_y_excess = -std::numeric_limits<double>::infinity();
+
+  for (std::size_t p = 0; p < num_points; ++p) {
+    const Time t = fractional.points[p];
+    double c_t = fractional.calibration_mass[p];
+    while (carryover + c_t >= 0.5 - eps) {
+      WitnessCalibration calibration;
+      calibration.start = t;
+      // Take exactly the part of C_t that completes the half unit.
+      const double frac =
+          c_t > eps ? std::clamp((0.5 - carryover) / c_t, 0.0, 1.0) : 0.0;
+      carryover += frac * c_t;
+      for (std::size_t j = 0; j < n; ++j) {
+        y[j] += frac * x[j][p];
+        x[j][p] -= frac * x[j][p];
+        const Job& job = instance.jobs[j];
+        if (job.release <= t && t <= job.deadline - instance.T) {
+          // Lemma-5 checkpoint: at a scheduling event y_j <= carryover.
+          worst_y_excess = std::max(worst_y_excess, y[j] - carryover);
+          if (y[j] > eps) {
+            const double fraction = std::min(1.0, 2.0 * y[j]);
+            calibration.fractions.emplace_back(job.id, fraction);
+            scheduled[j] += fraction;
+          }
+          y[j] = 0.0;
+        }
+      }
+      carryover = 0.0;
+      c_t -= frac * c_t;
+      witness.calibrations.push_back(std::move(calibration));
+    }
+    carryover += c_t;
+    for (std::size_t j = 0; j < n; ++j) y[j] += x[j][p];
+  }
+
+  // --- telemetry ------------------------------------------------------------
+  // Jobs with leftover carried fraction were delayed past their trimmed
+  // window and the remainder discarded (Figure 3's "job 2"); Corollary 6
+  // shows the doubling already over-covered them.
+  for (std::size_t j = 0; j < n; ++j) {
+    if (y[j] > eps) ++witness.telemetry.discarded_resets;
+  }
+  witness.telemetry.max_y_minus_carryover =
+      witness.calibrations.empty() ? 0.0 : worst_y_excess;
+  double min_coverage = n == 0 ? 1.0 : std::numeric_limits<double>::infinity();
+  for (std::size_t j = 0; j < n; ++j) {
+    min_coverage = std::min(min_coverage, scheduled[j]);
+  }
+  witness.telemetry.min_job_coverage = min_coverage;
+  double max_work = 0.0;
+  for (const WitnessCalibration& calibration : witness.calibrations) {
+    max_work = std::max(max_work, calibration.total_work(instance));
+  }
+  witness.telemetry.max_calibration_work = max_work;
+  return witness;
+}
+
+}  // namespace calisched

@@ -1,0 +1,74 @@
+#include "longwin/grid_normalize.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <map>
+#include <vector>
+
+namespace calisched {
+
+Schedule normalize_to_grid(const Instance& instance, const Schedule& tise) {
+  assert(tise.time_denominator == 1 && tise.speed == 1);
+  const Time T = instance.T;
+
+  // Sorted release times for "largest release <= t" queries.
+  std::vector<Time> releases;
+  releases.reserve(instance.size());
+  for (const Job& job : instance.jobs) releases.push_back(job.release);
+  std::sort(releases.begin(), releases.end());
+  const auto release_at_or_before = [&](Time t) {
+    const auto it = std::upper_bound(releases.begin(), releases.end(), t);
+    assert(it != releases.begin() &&
+           "calibration starts before every release (empty calibration?)");
+    return *(it - 1);
+  };
+
+  // Group calibrations by machine, keep original order for job remapping.
+  std::map<int, std::vector<std::size_t>> by_machine;
+  for (std::size_t c = 0; c < tise.calibrations.size(); ++c) {
+    by_machine[tise.calibrations[c].machine].push_back(c);
+  }
+
+  Schedule normalized = tise;
+  std::vector<Time> shift(tise.calibrations.size(), 0);
+  for (auto& [machine, indices] : by_machine) {
+    std::sort(indices.begin(), indices.end(), [&](std::size_t a, std::size_t b) {
+      return tise.calibrations[a].start < tise.calibrations[b].start;
+    });
+    Time previous_end = std::numeric_limits<Time>::min();
+    for (const std::size_t c : indices) {
+      const Time start = tise.calibrations[c].start;
+      const Time anchor = release_at_or_before(start);
+      const Time new_start =
+          previous_end == std::numeric_limits<Time>::min()
+              ? anchor
+              : std::max(anchor, previous_end);
+      assert(new_start <= start);
+      shift[c] = start - new_start;
+      normalized.calibrations[c].start = new_start;
+      previous_end = new_start + T;
+    }
+  }
+
+  // Jobs move with their containing calibration.
+  for (ScheduledJob& sj : normalized.jobs) {
+    const Job& job = instance.job_by_id(sj.job);
+    // Locate the containing calibration in the *original* schedule.
+    std::size_t containing = tise.calibrations.size();
+    for (std::size_t c = 0; c < tise.calibrations.size(); ++c) {
+      const Calibration& cal = tise.calibrations[c];
+      if (cal.machine == sj.machine && cal.start <= sj.start &&
+          sj.start + job.proc <= cal.start + T) {
+        containing = c;
+        break;
+      }
+    }
+    assert(containing < tise.calibrations.size() && "job outside calibrations");
+    sj.start -= shift[containing];
+  }
+  normalized.normalize();
+  return normalized;
+}
+
+}  // namespace calisched

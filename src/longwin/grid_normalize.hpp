@@ -1,0 +1,23 @@
+// Lemma 3 as an executable transformation.
+//
+// The lemma's exchange argument: in a TISE schedule, each calibration can
+// be advanced (with its jobs) until its start hits a job release time or
+// the end of the previous calibration on its machine — so some optimal
+// solution lives on the grid {r_j + kT}. This function performs exactly
+// that normalization on a concrete schedule: feasibility, the calibration
+// count, and the machine count are all preserved, and every resulting
+// start lies on the canonical grid.
+//
+// Precondition: a verifier-clean TISE schedule (denominator 1, speed 1)
+// with no empty calibrations (prune_empty_calibrations first) — an empty
+// calibration before every release has no anchor to advance to.
+#pragma once
+
+#include "core/schedule.hpp"
+
+namespace calisched {
+
+[[nodiscard]] Schedule normalize_to_grid(const Instance& instance,
+                                         const Schedule& tise);
+
+}  // namespace calisched

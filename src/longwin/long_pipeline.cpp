@@ -1,0 +1,96 @@
+#include "longwin/long_pipeline.hpp"
+
+#include <cassert>
+
+#include "longwin/edf_assign.hpp"
+#include "longwin/rounding.hpp"
+#include "longwin/speed_transform.hpp"
+
+namespace calisched {
+
+LongWindowResult solve_long_window(const Instance& instance,
+                                   const LongWindowOptions& options) {
+  LongWindowResult result;
+  for (const Job& job : instance.jobs) {
+    assert(job.is_long(instance.T) && "long-window pipeline requires long jobs");
+    (void)job;
+  }
+  const int m_prime = options.trim_multiplier * instance.machines;
+  result.telemetry.m_prime = m_prime;
+  result.telemetry.machines_allotted = 6 * m_prime;
+  if (instance.empty()) {
+    result.feasible = true;
+    result.schedule = Schedule::empty_like(instance, 0);
+    return result;
+  }
+
+  // Step 1-2: LP relaxation on m' machines.
+  const TiseFractional fractional = solve_tise_lp(instance, m_prime, options.lp);
+  result.telemetry.lp_objective = fractional.objective;
+  result.telemetry.lp_pivots = fractional.pivots;
+  result.telemetry.lp_rows = fractional.lp_rows;
+  result.telemetry.lp_columns = fractional.lp_columns;
+  if (fractional.status == LpStatus::kInfeasible) {
+    result.error = "TISE LP infeasible on " + std::to_string(m_prime) +
+                   " machines";
+    return result;
+  }
+  if (fractional.status != LpStatus::kOptimal) {
+    result.error = "LP solver did not converge";
+    return result;
+  }
+
+  // Step 3: Algorithm 1 rounding onto 3m' machines, round robin (Lemma 4).
+  const std::vector<Time> starts =
+      round_calibrations(fractional.points, fractional.calibration_mass);
+  result.telemetry.rounded_calibrations = starts.size();
+  const Schedule calendar = assign_round_robin(instance, starts, 3 * m_prime);
+
+  // Step 4: mirror + EDF (Algorithm 2) onto 6m' machines. With the
+  // adaptive-mirror optimization, first try the bare 3m' calendar.
+  EdfAssignResult assigned;
+  bool used_mirror = true;
+  if (options.adaptive_mirror) {
+    assigned = edf_assign_jobs(instance, calendar, /*mirror=*/false);
+    used_mirror = !assigned.unassigned.empty();
+  }
+  if (used_mirror) {
+    assigned = edf_assign_jobs(instance, calendar, /*mirror=*/true);
+  }
+  if (!assigned.unassigned.empty()) {
+    result.error = "EDF assignment left " +
+                   std::to_string(assigned.unassigned.size()) +
+                   " job(s) unscheduled (pipeline guarantee violated)";
+    return result;
+  }
+  result.feasible = true;
+  result.schedule = std::move(assigned.schedule);
+  if (options.prune_empty_calibrations) {
+    result.schedule.prune_empty_calibrations(instance);
+  }
+  result.schedule.normalize();
+  result.telemetry.total_calibrations = result.schedule.num_calibrations();
+  return result;
+}
+
+LongWindowResult solve_long_window_speed(const Instance& instance,
+                                         const LongWindowOptions& options) {
+  LongWindowResult result = solve_long_window(instance, options);
+  if (!result.feasible) return result;
+  if (instance.empty()) return result;
+  // Group size c such that c * m covers the Theorem-12 machine allotment.
+  const int c = (result.schedule.machines + instance.machines - 1) /
+                instance.machines;
+  auto transformed = speed_transform(instance, result.schedule, c);
+  if (!transformed) {
+    result.feasible = false;
+    result.error = "speed transform failed (contradicts Lemma 13)";
+    return result;
+  }
+  result.schedule = std::move(*transformed);
+  result.schedule.normalize();
+  result.telemetry.total_calibrations = result.schedule.num_calibrations();
+  return result;
+}
+
+}  // namespace calisched

@@ -1,0 +1,36 @@
+#include "longwin/rounding.hpp"
+
+#include <cassert>
+
+namespace calisched {
+
+std::vector<Time> round_calibrations(const std::vector<Time>& points,
+                                     const std::vector<double>& calibration_mass,
+                                     double eps) {
+  assert(points.size() == calibration_mass.size());
+  std::vector<Time> starts;
+  double accumulated = 0.0;
+  double next_threshold = 0.5;
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    accumulated += calibration_mass[p];
+    while (accumulated >= next_threshold - eps) {
+      starts.push_back(points[p]);
+      next_threshold += 0.5;
+    }
+  }
+  return starts;
+}
+
+Schedule assign_round_robin(const Instance& instance,
+                            const std::vector<Time>& starts, int machines) {
+  assert(machines >= 1);
+  Schedule schedule = Schedule::empty_like(instance, machines);
+  schedule.calibrations.reserve(starts.size());
+  for (std::size_t i = 0; i < starts.size(); ++i) {
+    schedule.calibrations.push_back(
+        {static_cast<int>(i % static_cast<std::size_t>(machines)), starts[i]});
+  }
+  return schedule;
+}
+
+}  // namespace calisched

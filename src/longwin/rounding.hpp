@@ -1,0 +1,30 @@
+// Algorithm 1: greedy half-unit rounding of fractional calibrations, plus
+// the round-robin machine assignment of Lemma 4.
+#pragma once
+
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "longwin/tise_lp.hpp"
+
+namespace calisched {
+
+/// Scans the fractional calibration profile in time order, accumulating
+/// mass; every time the running total crosses the next multiple of 1/2,
+/// emits one integer calibration at the current point (Algorithm 1 /
+/// Figure 2). Returns start times, nondecreasing, possibly repeated.
+/// The result has exactly floor(2 * total_mass + eps) calibrations, i.e.
+/// at most twice the LP objective (Lemma 7).
+[[nodiscard]] std::vector<Time> round_calibrations(
+    const std::vector<Time>& points, const std::vector<double>& calibration_mass,
+    double eps = 1e-7);
+
+/// Lemma 4: distributes time-sorted calibration start times round-robin
+/// over `machines` machines. With machines >= 3m' and the LP capacity
+/// constraint, the resulting per-machine calibrations never overlap (the
+/// verifier re-checks this in tests).
+[[nodiscard]] Schedule assign_round_robin(const Instance& instance,
+                                          const std::vector<Time>& starts,
+                                          int machines);
+
+}  // namespace calisched

@@ -1,0 +1,132 @@
+#include "longwin/speed_transform.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace calisched {
+namespace {
+
+struct SourceCalibration {
+  Calibration cal;
+  int lane = 0;            ///< machine index within its group, in [0, c)
+  bool mapped = false;
+  Time slot_start_ticks = 0;  ///< start of the assigned slot, in target ticks
+};
+
+}  // namespace
+
+std::optional<Schedule> speed_transform(const Instance& instance,
+                                        const Schedule& tise, int group_size) {
+  assert(tise.time_denominator == 1 && tise.speed == 1);
+  assert(group_size >= 1);
+  const Time T = instance.T;
+  const int c = group_size;
+  const std::int64_t D = 2 * static_cast<std::int64_t>(c);
+  const int num_groups = (tise.machines + c - 1) / c;
+
+  Schedule target;
+  target.machines = std::max(1, num_groups);
+  target.T = T;
+  target.time_denominator = D;
+  target.speed = D;
+
+  // Bucket source calibrations by group.
+  std::vector<std::vector<SourceCalibration>> groups(
+      static_cast<std::size_t>(num_groups));
+  for (const Calibration& cal : tise.calibrations) {
+    SourceCalibration source;
+    source.cal = cal;
+    source.lane = cal.machine % c;
+    groups[static_cast<std::size_t>(cal.machine / c)].push_back(source);
+  }
+  // Bucket jobs by (machine); looked up per calibration below.
+  std::vector<ScheduledJob> jobs_sorted = tise.jobs;
+  std::sort(jobs_sorted.begin(), jobs_sorted.end(),
+            [](const ScheduledJob& a, const ScheduledJob& b) {
+              return a.machine != b.machine ? a.machine < b.machine
+                                            : a.start < b.start;
+            });
+
+  for (int g = 0; g < num_groups; ++g) {
+    auto& sources = groups[static_cast<std::size_t>(g)];
+    if (sources.empty()) continue;
+    std::sort(sources.begin(), sources.end(),
+              [](const SourceCalibration& a, const SourceCalibration& b) {
+                return a.cal.start < b.cal.start;
+              });
+
+    // --- target calibration times for this group (real units) -------------
+    std::vector<Time> targets;
+    Time t = sources.front().cal.start;
+    for (;;) {
+      const bool covered = std::any_of(
+          sources.begin(), sources.end(), [&](const SourceCalibration& s) {
+            return s.cal.start <= t && t < s.cal.start + T;
+          });
+      if (covered) {
+        targets.push_back(t);
+        t += T;
+        continue;
+      }
+      Time next = 0;
+      bool found = false;
+      for (const SourceCalibration& s : sources) {
+        if (s.cal.start > t && (!found || s.cal.start < next)) {
+          next = s.cal.start;
+          found = true;
+        }
+      }
+      if (!found) break;
+      t = next;
+    }
+    for (const Time start : targets) {
+      target.calibrations.push_back({g, start * D});
+    }
+
+    // --- slot each source calibration --------------------------------------
+    // In ticks: target calibration [tau*D, tau*D + T*D); halves have length
+    // c*T ticks; lane slots have length T ticks.
+    for (const Time tau : targets) {
+      const Time tau_ticks = tau * D;
+      const Time half_ticks = static_cast<Time>(c) * T;
+      for (SourceCalibration& s : sources) {
+        if (s.mapped) continue;
+        const Time s_begin = s.cal.start * D;
+        const Time s_end = (s.cal.start + T) * D;
+        if (s_begin <= tau_ticks && tau_ticks + half_ticks <= s_end) {
+          s.mapped = true;
+          s.slot_start_ticks = tau_ticks + static_cast<Time>(s.lane) * T;
+        } else if (s_begin <= tau_ticks + half_ticks &&
+                   tau_ticks + 2 * half_ticks <= s_end) {
+          s.mapped = true;
+          s.slot_start_ticks =
+              tau_ticks + half_ticks + static_cast<Time>(s.lane) * T;
+        }
+      }
+    }
+    if (std::any_of(sources.begin(), sources.end(),
+                    [](const SourceCalibration& s) { return !s.mapped; })) {
+      return std::nullopt;  // contradicts Lemma 13 for feasible TISE inputs
+    }
+
+    // --- pack each source calibration's jobs into its slot ------------------
+    for (const SourceCalibration& s : sources) {
+      Time cursor = s.slot_start_ticks;
+      for (const ScheduledJob& sj : jobs_sorted) {
+        if (sj.machine != s.cal.machine) continue;
+        const Job& job = instance.job_by_id(sj.job);
+        if (sj.start < s.cal.start || sj.start + job.proc > s.cal.start + T) {
+          continue;  // belongs to a different calibration on this machine
+        }
+        target.jobs.push_back({job.id, g, cursor});
+        cursor += job.proc;  // duration in ticks is exactly p_j
+      }
+    }
+  }
+
+  if (target.jobs.size() != tise.jobs.size()) return std::nullopt;
+  return target;
+}
+
+}  // namespace calisched

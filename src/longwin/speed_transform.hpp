@@ -1,0 +1,31 @@
+// Lemma 13 / Theorem 14: trading machine augmentation for speed.
+//
+// Given a TISE schedule on c*m speed-1 machines with C calibrations, build
+// an ISE schedule on m speed-2c machines with at most C calibrations:
+// group the source machines into groups of c; give each group one target
+// machine whose calibrations cover every calibrated source timestep; map
+// each source calibration into a dedicated T/(2c)-length slot of a target
+// calibration (first- or second-half slot i for source machine i), scaling
+// job processing times by 1/(2c).
+//
+// All arithmetic is exact: the result uses time_denominator = speed = 2c,
+// so one tick is 1/(2c) time units and a job of processing time p occupies
+// exactly p ticks, while slots have length T ticks.
+#pragma once
+
+#include <optional>
+
+#include "core/schedule.hpp"
+
+namespace calisched {
+
+/// Transforms `tise` (a feasible speed-1, denominator-1 TISE schedule) into
+/// a speed-2c schedule on ceil(tise.machines / c) machines. Returns nullopt
+/// only if some source calibration cannot be slotted or some job lies in no
+/// calibration — both impossible for verifier-clean TISE inputs (Lemma 13);
+/// tests assert this.
+[[nodiscard]] std::optional<Schedule> speed_transform(const Instance& instance,
+                                                      const Schedule& tise,
+                                                      int group_size);
+
+}  // namespace calisched

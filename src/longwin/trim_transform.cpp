@@ -1,0 +1,53 @@
+#include "longwin/trim_transform.hpp"
+
+#include <cassert>
+
+namespace calisched {
+
+std::optional<Schedule> trim_transform(const Instance& instance,
+                                       const Schedule& ise) {
+  assert(ise.time_denominator == 1 && ise.speed == 1);
+  const Time T = instance.T;
+  Schedule tise = Schedule::empty_like(instance, ise.machines * 3);
+
+  // Machine i maps to i' = 3i, i+ = 3i+1, i- = 3i+2.
+  const auto kept = [](int i) { return 3 * i; };
+  const auto delayed = [](int i) { return 3 * i + 1; };
+  const auto advanced = [](int i) { return 3 * i + 2; };
+
+  tise.calibrations.reserve(ise.calibrations.size() * 3);
+  for (const Calibration& cal : ise.calibrations) {
+    tise.calibrations.push_back({kept(cal.machine), cal.start});
+    tise.calibrations.push_back({delayed(cal.machine), cal.start + T});
+    tise.calibrations.push_back({advanced(cal.machine), cal.start - T});
+  }
+
+  tise.jobs.reserve(ise.jobs.size());
+  for (const ScheduledJob& sj : ise.jobs) {
+    const Job& job = instance.job_by_id(sj.job);
+    // Locate the calibration containing the job in the ISE schedule.
+    const Calibration* cover = nullptr;
+    for (const Calibration& cal : ise.calibrations) {
+      if (cal.machine == sj.machine && cal.start <= sj.start &&
+          sj.start + job.proc <= cal.start + T) {
+        cover = &cal;
+        break;
+      }
+    }
+    if (cover == nullptr) return std::nullopt;  // input was not feasible
+    const Time t_j = cover->start;
+    if (job.release <= t_j && t_j <= job.deadline - T) {
+      tise.jobs.push_back({job.id, kept(sj.machine), sj.start});
+    } else if (job.release > t_j) {
+      tise.jobs.push_back({job.id, delayed(sj.machine), sj.start + T});
+    } else {
+      // d_j < t_j + T: advance. (A long job cannot need both fixes: that
+      // would force its window inside (t_j, t_j + T), which is shorter
+      // than 2T.)
+      tise.jobs.push_back({job.id, advanced(sj.machine), sj.start - T});
+    }
+  }
+  return tise;
+}
+
+}  // namespace calisched

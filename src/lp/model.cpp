@@ -1,0 +1,62 @@
+#include "lp/model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace calisched {
+
+int LpModel::add_variable(std::string name, double cost) {
+  costs_.push_back(cost);
+  variable_names_.push_back(std::move(name));
+  return static_cast<int>(costs_.size()) - 1;
+}
+
+int LpModel::add_row(std::string name, RowSense sense, double rhs) {
+  senses_.push_back(sense);
+  rhs_.push_back(rhs);
+  row_names_.push_back(std::move(name));
+  rows_.emplace_back();
+  return static_cast<int>(senses_.size()) - 1;
+}
+
+void LpModel::add_coefficient(int row, int column, double value) {
+  assert(row >= 0 && row < num_rows());
+  assert(column >= 0 && column < num_variables());
+  rows_[static_cast<std::size_t>(row)].push_back({column, value});
+}
+
+std::size_t LpModel::num_nonzeros() const noexcept {
+  std::size_t total = 0;
+  for (const auto& row : rows_) total += row.size();
+  return total;
+}
+
+double LpModel::max_violation(const std::vector<double>& x) const {
+  assert(static_cast<int>(x.size()) == num_variables());
+  double worst = 0.0;
+  for (double value : x) worst = std::max(worst, -value);  // x >= 0
+  for (int r = 0; r < num_rows(); ++r) {
+    double lhs = 0.0;
+    for (const LpEntry& entry : rows_[static_cast<std::size_t>(r)]) {
+      lhs += entry.value * x[static_cast<std::size_t>(entry.column)];
+    }
+    const double b = rhs_[static_cast<std::size_t>(r)];
+    switch (senses_[static_cast<std::size_t>(r)]) {
+      case RowSense::kLe: worst = std::max(worst, lhs - b); break;
+      case RowSense::kGe: worst = std::max(worst, b - lhs); break;
+      case RowSense::kEq: worst = std::max(worst, std::fabs(lhs - b)); break;
+    }
+  }
+  return worst;
+}
+
+double LpModel::objective_value(const std::vector<double>& x) const {
+  double total = 0.0;
+  for (int c = 0; c < num_variables(); ++c) {
+    total += costs_[static_cast<std::size_t>(c)] * x[static_cast<std::size_t>(c)];
+  }
+  return total;
+}
+
+}  // namespace calisched

@@ -1,0 +1,75 @@
+// Sparse LP model container.
+//
+// The library solves exactly one LP family (the TISE relaxation of
+// Section 3), but the model type is a general minimize-c'x over
+// {Ax {<=,=,>=} b, x >= 0} so the simplex core can be tested on textbook
+// programs independent of the scheduling code.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace calisched {
+
+enum class RowSense { kLe, kEq, kGe };
+
+/// Column-index / value pair of one nonzero coefficient.
+struct LpEntry {
+  int column;
+  double value;
+};
+
+class LpModel {
+ public:
+  /// Adds a variable with objective coefficient `cost`; returns its column
+  /// index. All variables are implicitly >= 0 (the only bound the TISE LP
+  /// needs; upper bounds are expressed as rows).
+  int add_variable(std::string name, double cost);
+
+  /// Adds an empty constraint row; returns its row index.
+  int add_row(std::string name, RowSense sense, double rhs);
+
+  /// Appends a nonzero coefficient to a row. Coefficients for the same
+  /// (row, column) pair must not be added twice.
+  void add_coefficient(int row, int column, double value);
+
+  [[nodiscard]] int num_variables() const noexcept {
+    return static_cast<int>(costs_.size());
+  }
+  [[nodiscard]] int num_rows() const noexcept {
+    return static_cast<int>(senses_.size());
+  }
+  [[nodiscard]] std::size_t num_nonzeros() const noexcept;
+
+  [[nodiscard]] double cost(int column) const { return costs_[column]; }
+  [[nodiscard]] RowSense sense(int row) const { return senses_[row]; }
+  [[nodiscard]] double rhs(int row) const { return rhs_[row]; }
+  [[nodiscard]] const std::vector<LpEntry>& row_entries(int row) const {
+    return rows_[row];
+  }
+  [[nodiscard]] const std::string& variable_name(int column) const {
+    return variable_names_[column];
+  }
+  [[nodiscard]] const std::string& row_name(int row) const {
+    return row_names_[row];
+  }
+
+  /// Evaluates a candidate point against all rows; returns the worst
+  /// constraint violation (0 when feasible). Used by tests to cross-check
+  /// simplex output independently of the solver internals.
+  [[nodiscard]] double max_violation(const std::vector<double>& x) const;
+
+  /// Objective value c'x.
+  [[nodiscard]] double objective_value(const std::vector<double>& x) const;
+
+ private:
+  std::vector<double> costs_;
+  std::vector<std::string> variable_names_;
+  std::vector<std::vector<LpEntry>> rows_;
+  std::vector<RowSense> senses_;
+  std::vector<double> rhs_;
+  std::vector<std::string> row_names_;
+};
+
+}  // namespace calisched

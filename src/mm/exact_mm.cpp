@@ -1,0 +1,166 @@
+// Exact machine minimization by depth-first search.
+//
+// Completeness argument: any feasible schedule can be left-shifted so that
+// every job starts either at its release time or at the completion of the
+// previous job on its machine. Such a schedule is determined by an ordered
+// partition of jobs onto machines, with start times computed greedily, so
+// searching over "which unscheduled job goes next on which machine-frontier"
+// covers all left-shifted schedules. Identical machines make frontiers with
+// equal free times interchangeable, so we branch on *distinct* free times.
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "mm/lower_bounds.hpp"
+#include "mm/mm.hpp"
+
+namespace calisched {
+namespace {
+
+class FeasibilitySearch {
+ public:
+  FeasibilitySearch(const Instance& instance, int machines,
+                    std::int64_t node_budget)
+      : instance_(instance), machines_(machines), node_budget_(node_budget) {
+    free_at_.assign(static_cast<std::size_t>(machines_),
+                    std::numeric_limits<Time>::min());
+    done_.assign(instance_.size(), false);
+    // Deadline order makes the DFS try urgent jobs first.
+    order_.resize(instance_.size());
+    for (std::size_t i = 0; i < order_.size(); ++i) order_[i] = i;
+    std::sort(order_.begin(), order_.end(), [&](std::size_t a, std::size_t b) {
+      return instance_.jobs[a].deadline < instance_.jobs[b].deadline;
+    });
+  }
+
+  [[nodiscard]] bool run() { return dfs(instance_.size()); }
+  [[nodiscard]] std::int64_t nodes() const noexcept { return nodes_; }
+  [[nodiscard]] bool exhausted_budget() const noexcept { return budget_hit_; }
+  [[nodiscard]] MMSchedule schedule() const {
+    MMSchedule result;
+    result.machines = machines_;
+    result.jobs = placed_;
+    return result;
+  }
+
+ private:
+  bool dfs(std::size_t remaining) {
+    if (remaining == 0) return true;
+    if (++nodes_ > node_budget_) {
+      budget_hit_ = true;
+      return false;
+    }
+    // Candidate start frontiers: one machine per distinct free time.
+    std::vector<int> frontiers;
+    frontiers.reserve(static_cast<std::size_t>(machines_));
+    {
+      std::vector<Time> seen;
+      for (int machine = 0; machine < machines_; ++machine) {
+        const Time f = free_at_[static_cast<std::size_t>(machine)];
+        if (std::find(seen.begin(), seen.end(), f) == seen.end()) {
+          seen.push_back(f);
+          frontiers.push_back(machine);
+        }
+      }
+    }
+    for (const std::size_t job_index : order_) {
+      if (done_[job_index]) continue;
+      const Job& job = instance_.jobs[job_index];
+      // Deduplicate resulting start times across frontiers: frontiers with
+      // free <= r_j all give start = r_j; keep only the one with the largest
+      // free time (leaves the most room elsewhere).
+      int best_at_release = -1;
+      Time best_free = std::numeric_limits<Time>::min();
+      std::vector<std::pair<Time, int>> starts;  // (start, machine)
+      for (const int machine : frontiers) {
+        const Time f = free_at_[static_cast<std::size_t>(machine)];
+        if (f <= job.release) {
+          if (best_at_release < 0 || f > best_free) {
+            best_at_release = machine;
+            best_free = f;
+          }
+        } else if (f + job.proc <= job.deadline) {
+          starts.emplace_back(f, machine);
+        }
+      }
+      if (best_at_release >= 0) {
+        starts.emplace_back(job.release, best_at_release);
+      }
+      std::sort(starts.begin(), starts.end());
+      for (const auto& [start, machine] : starts) {
+        if (start + job.proc > job.deadline) continue;
+        const Time saved = free_at_[static_cast<std::size_t>(machine)];
+        free_at_[static_cast<std::size_t>(machine)] = start + job.proc;
+        done_[job_index] = true;
+        placed_.push_back({job.id, machine, start});
+        if (dfs(remaining - 1)) return true;
+        placed_.pop_back();
+        done_[job_index] = false;
+        free_at_[static_cast<std::size_t>(machine)] = saved;
+        if (budget_hit_) return false;
+      }
+    }
+    return false;
+  }
+
+  const Instance& instance_;
+  int machines_;
+  std::int64_t node_budget_;
+  std::vector<Time> free_at_;
+  std::vector<bool> done_;
+  std::vector<std::size_t> order_;
+  std::vector<ScheduledJob> placed_;
+  std::int64_t nodes_ = 0;
+  bool budget_hit_ = false;
+};
+
+}  // namespace
+
+std::optional<MMSchedule> exact_mm_feasible(const Instance& instance, int machines,
+                                            std::int64_t node_budget,
+                                            std::int64_t* nodes) {
+  if (instance.empty()) {
+    MMSchedule empty;
+    empty.machines = machines;
+    if (nodes) *nodes = 0;
+    return empty;
+  }
+  FeasibilitySearch search(instance, machines, node_budget);
+  const bool feasible = search.run();
+  if (nodes) *nodes = search.nodes();
+  if (!feasible) return std::nullopt;
+  return search.schedule();
+}
+
+MMResult ExactMM::minimize(const Instance& instance) const {
+  MMResult result;
+  result.algorithm = name();
+  if (instance.empty()) {
+    result.feasible = true;
+    result.schedule.machines = 0;
+    return result;
+  }
+  const int n = static_cast<int>(instance.size());
+  for (int m = mm_lower_bound(instance); m <= n; ++m) {
+    std::int64_t nodes = 0;
+    FeasibilitySearch search(instance, m, node_budget_);
+    const bool feasible = search.run();
+    nodes = search.nodes();
+    result.search_nodes += nodes;
+    if (feasible) {
+      result.feasible = true;
+      result.schedule = search.schedule();
+      return result;
+    }
+    if (search.exhausted_budget()) {
+      // Give up on exactness; report the greedy schedule instead.
+      MMResult fallback = GreedyEdfMM().minimize(instance);
+      fallback.algorithm = "exact-bnb(budget-exceeded)->greedy-edf";
+      fallback.search_nodes = result.search_nodes;
+      return fallback;
+    }
+  }
+  return result;  // unreachable: m = n is always feasible
+}
+
+}  // namespace calisched

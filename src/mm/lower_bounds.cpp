@@ -1,0 +1,66 @@
+#include "mm/lower_bounds.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/arith.hpp"
+
+namespace calisched {
+
+int mm_interval_load_bound(const Instance& instance) {
+  if (instance.empty()) return 0;
+  std::vector<Time> releases, deadlines;
+  releases.reserve(instance.size());
+  deadlines.reserve(instance.size());
+  for (const Job& job : instance.jobs) {
+    releases.push_back(job.release);
+    deadlines.push_back(job.deadline);
+  }
+  std::sort(releases.begin(), releases.end());
+  releases.erase(std::unique(releases.begin(), releases.end()), releases.end());
+  std::sort(deadlines.begin(), deadlines.end());
+  deadlines.erase(std::unique(deadlines.begin(), deadlines.end()), deadlines.end());
+
+  int best = 1;
+  for (const Time a : releases) {
+    for (const Time b : deadlines) {
+      if (b <= a) continue;
+      Time nested_work = 0;
+      for (const Job& job : instance.jobs) {
+        if (a <= job.release && job.deadline <= b) nested_work += job.proc;
+      }
+      if (nested_work > 0) {
+        best = std::max(best, static_cast<int>(ceil_div(nested_work, b - a)));
+      }
+    }
+  }
+  return best;
+}
+
+int mm_tight_overlap_bound(const Instance& instance) {
+  if (instance.empty()) return 0;
+  // Sweep over (time, +-1) events of zero-slack job intervals.
+  std::vector<std::pair<Time, int>> events;
+  for (const Job& job : instance.jobs) {
+    if (job.slack() == 0) {
+      events.emplace_back(job.release, +1);
+      events.emplace_back(job.deadline, -1);
+    }
+  }
+  std::sort(events.begin(), events.end());
+  int current = 0;
+  int best = 1;
+  for (const auto& [time, delta] : events) {
+    current += delta;
+    best = std::max(best, current);
+  }
+  return best;
+}
+
+int mm_lower_bound(const Instance& instance) {
+  if (instance.empty()) return 0;
+  return std::max(mm_interval_load_bound(instance),
+                  mm_tight_overlap_bound(instance));
+}
+
+}  // namespace calisched

@@ -1,0 +1,25 @@
+// Combinatorial lower bounds on the number of machines for the MM problem.
+//
+// Used to seed the search in the MM boxes and, via Lemmas 17-18, as
+// calibration lower bounds for the short-window experiments.
+#pragma once
+
+#include "core/instance.hpp"
+
+namespace calisched {
+
+/// The interval-load bound: for every pair (a, b) with a a release time and
+/// b a deadline, all jobs whose windows nest inside [a, b) must fit, so
+///     m >= ceil( sum_{[r_j,d_j) subseteq [a,b)} p_j / (b - a) ).
+/// Returns the max over all pairs (>= 1 when the instance is non-empty).
+[[nodiscard]] int mm_interval_load_bound(const Instance& instance);
+
+/// The tight-window overlap bound: jobs with zero slack occupy exactly
+/// [r_j, d_j); the maximum number of such intervals overlapping any point
+/// is a machine lower bound.
+[[nodiscard]] int mm_tight_overlap_bound(const Instance& instance);
+
+/// max(interval-load, tight-overlap), and 0 for empty instances.
+[[nodiscard]] int mm_lower_bound(const Instance& instance);
+
+}  // namespace calisched

@@ -1,0 +1,61 @@
+#include "mm/lp_bound.hpp"
+
+#include <cmath>
+
+#include "lp/simplex.hpp"
+#include "mm/lower_bounds.hpp"
+
+namespace calisched {
+
+std::optional<double> mm_lp_bound(const Instance& instance) {
+  if (instance.empty()) return 0.0;
+  const Time origin = instance.min_release();
+  const Time horizon = instance.max_deadline();
+
+  LpModel model;
+  const int machines_var = model.add_variable("M", 1.0);
+  // Per-slot capacity rows, created lazily for slots some job can use.
+  std::vector<int> slot_row(static_cast<std::size_t>(horizon - origin), -1);
+  auto capacity_row = [&](Time t) {
+    auto& row = slot_row[static_cast<std::size_t>(t - origin)];
+    if (row < 0) {
+      row = model.add_row("slot@" + std::to_string(t), RowSense::kLe, 0.0);
+      model.add_coefficient(row, machines_var, -1.0);
+    }
+    return row;
+  };
+
+  for (const Job& job : instance.jobs) {
+    const int coverage = model.add_row("job@" + std::to_string(job.id),
+                                       RowSense::kEq,
+                                       static_cast<double>(job.proc));
+    for (Time t = job.release; t < job.deadline; ++t) {
+      const int column = model.add_variable(
+          "x@j" + std::to_string(job.id) + "t" + std::to_string(t), 0.0);
+      model.add_coefficient(coverage, column, 1.0);
+      model.add_coefficient(capacity_row(t), column, 1.0);
+      const int unit = model.add_row(
+          "unit@j" + std::to_string(job.id) + "t" + std::to_string(t),
+          RowSense::kLe, 1.0);
+      model.add_coefficient(unit, column, 1.0);
+    }
+  }
+
+  const LpSolution solution = solve_lp(model);
+  if (solution.status != LpStatus::kOptimal) return std::nullopt;
+  return solution.objective;
+}
+
+int mm_certified_bound(const Instance& instance, Time max_slots) {
+  const int combinatorial = mm_lower_bound(instance);
+  if (instance.empty()) return combinatorial;
+  if (instance.max_deadline() - instance.min_release() > max_slots) {
+    return combinatorial;
+  }
+  const auto lp = mm_lp_bound(instance);
+  if (!lp) return combinatorial;
+  const int lp_bound = static_cast<int>(std::ceil(*lp - 1e-6));
+  return std::max(combinatorial, lp_bound);
+}
+
+}  // namespace calisched

@@ -1,0 +1,99 @@
+// Machine-minimization (MM) black boxes.
+//
+// The short-window algorithm (Section 4) and the reduction of Theorem 1
+// treat "an algorithm for the MM problem" as a black box: given jobs with
+// release times, deadlines, and processing times, produce a nonpreemptive
+// schedule on as few machines as possible.
+//
+// The paper's concrete instantiations (Chuzhoy et al., Raghavan-Thompson,
+// Im et al.) are approximation *analyses*; as practical boxes we provide:
+//   * GreedyEdfMM  — polynomial first-fit EDF list scheduling over
+//                    increasing machine counts (always succeeds by m = n);
+//   * ExactMM      — branch-and-bound over left-shifted schedules, exact
+//                    for small instances (used to measure realized alpha);
+//   * UnitEdfMM    — exact and polynomial for unit processing times.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "verify/verify.hpp"
+
+namespace calisched {
+
+struct MMResult {
+  bool feasible = false;       ///< false only if the box gave up (node cap)
+  MMSchedule schedule;         ///< valid when feasible
+  std::string algorithm;       ///< which box produced it
+  std::int64_t search_nodes = 0;  ///< branch-and-bound telemetry (0 for greedy)
+};
+
+/// Abstract MM black box; implementations must return verifier-clean
+/// schedules whenever they report feasible.
+class MachineMinimizer {
+ public:
+  virtual ~MachineMinimizer() = default;
+  [[nodiscard]] virtual MMResult minimize(const Instance& instance) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// First-fit EDF list scheduling, trying m = lower_bound(I), ..., n.
+/// Polynomial; the measured machine count is the "alpha * w" the
+/// short-window analysis charges against.
+class GreedyEdfMM final : public MachineMinimizer {
+ public:
+  [[nodiscard]] MMResult minimize(const Instance& instance) const override;
+  [[nodiscard]] std::string name() const override { return "greedy-edf"; }
+};
+
+/// Exact MM via depth-first search over left-shifted schedules with a node
+/// budget. Exceeding the budget falls back to the greedy result (and the
+/// MMResult notes it via `algorithm`).
+class ExactMM final : public MachineMinimizer {
+ public:
+  explicit ExactMM(std::int64_t node_budget = 4'000'000)
+      : node_budget_(node_budget) {}
+  [[nodiscard]] MMResult minimize(const Instance& instance) const override;
+  [[nodiscard]] std::string name() const override { return "exact-bnb"; }
+
+ private:
+  std::int64_t node_budget_;
+};
+
+/// Exact MM for unit processing times (p_j = 1 for all j): timestep-by-
+/// timestep EDF is an optimal feasibility test, searched over m.
+/// Requires a unit-job instance (asserts otherwise).
+class UnitEdfMM final : public MachineMinimizer {
+ public:
+  [[nodiscard]] MMResult minimize(const Instance& instance) const override;
+  [[nodiscard]] std::string name() const override { return "unit-edf"; }
+};
+
+/// s-speed resource augmentation as a wrapper (the "s-speed
+/// alpha-approximation algorithm" of Theorem 1): gives the inner box
+/// machines `speed` times faster by scaling the instance timeline
+/// (r, d, T multiplied by speed; processing times unchanged), then
+/// reports the inner schedule in 1/speed-unit ticks via MMSchedule::speed.
+/// Speed augmentation can only reduce the machine count.
+class SpeedupMM final : public MachineMinimizer {
+ public:
+  SpeedupMM(std::shared_ptr<const MachineMinimizer> inner, std::int64_t speed)
+      : inner_(std::move(inner)), speed_(speed) {}
+  [[nodiscard]] MMResult minimize(const Instance& instance) const override;
+  [[nodiscard]] std::string name() const override {
+    return "speed" + std::to_string(speed_) + "x(" + inner_->name() + ")";
+  }
+
+ private:
+  std::shared_ptr<const MachineMinimizer> inner_;
+  std::int64_t speed_;
+};
+
+/// Nonpreemptive feasibility of `instance` on exactly `machines` machines,
+/// via the same search ExactMM uses. Returns the schedule when feasible.
+/// `nodes` (optional) receives the number of search nodes explored.
+[[nodiscard]] std::optional<MMSchedule> exact_mm_feasible(
+    const Instance& instance, int machines, std::int64_t node_budget,
+    std::int64_t* nodes = nullptr);
+
+}  // namespace calisched

@@ -1,0 +1,113 @@
+#include "report/ascii_gantt.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/arith.hpp"
+
+namespace calisched {
+namespace {
+
+/// Maps a time to a column index under scale (columns of `scale` ticks).
+int column(Time t, Time origin, Time scale) {
+  return static_cast<int>((t - origin) / scale);
+}
+
+char job_glyph(JobId id) {
+  return static_cast<char>('0' + (id % 10));
+}
+
+}  // namespace
+
+std::string render_windows(const Instance& instance, const RenderOptions& options) {
+  if (instance.empty()) return "(no jobs)\n";
+  const Time origin = instance.min_release();
+  const Time end = instance.max_deadline();
+  const Time span = std::max<Time>(1, end - origin);
+  const Time scale = std::max<Time>(1, ceil_div(span, options.max_width));
+
+  std::ostringstream out;
+  out << "time " << origin << " .. " << end;
+  if (scale > 1) out << "  (1 column = " << scale << " time units)";
+  out << '\n';
+  for (const Job& job : instance.jobs) {
+    std::string line(static_cast<std::size_t>(span / scale) + 2, ' ');
+    const int a = column(job.release, origin, scale);
+    const int b = std::max(a + 1, column(job.deadline, origin, scale));
+    for (int c = a; c <= b && c < static_cast<int>(line.size()); ++c) {
+      line[static_cast<std::size_t>(c)] = '-';
+    }
+    line[static_cast<std::size_t>(a)] = '|';
+    if (b < static_cast<int>(line.size())) {
+      line[static_cast<std::size_t>(b)] = '|';
+    }
+    out << "job " << job.id << " (p=" << job.proc << "): " << line << '\n';
+  }
+  return out.str();
+}
+
+std::string render_schedule(const Instance& instance, const Schedule& schedule,
+                            const RenderOptions& options) {
+  std::ostringstream out;
+  if (schedule.calibrations.empty() && schedule.jobs.empty()) {
+    return "(empty schedule)\n";
+  }
+  // Determine span in ticks.
+  Time lo = std::numeric_limits<Time>::max();
+  Time hi = std::numeric_limits<Time>::min();
+  const Time cal_len = schedule.calibration_ticks();
+  for (const Calibration& cal : schedule.calibrations) {
+    lo = std::min(lo, cal.start);
+    hi = std::max(hi, cal.start + cal_len);
+  }
+  for (const ScheduledJob& sj : schedule.jobs) {
+    lo = std::min(lo, sj.start);
+    hi = std::max(hi, sj.start +
+                          schedule.job_duration_ticks(
+                              instance.job_by_id(sj.job).proc));
+  }
+  const Time span = std::max<Time>(1, hi - lo);
+  const Time scale = std::max<Time>(1, ceil_div(span, options.max_width));
+  out << "ticks " << lo << " .. " << hi;
+  if (schedule.time_denominator != 1) {
+    out << "  (" << schedule.time_denominator << " ticks per time unit, speed "
+        << schedule.speed << ")";
+  }
+  if (scale > 1) out << "  (1 column = " << scale << " ticks)";
+  out << '\n';
+
+  const auto width = static_cast<std::size_t>(span / scale) + 1;
+  for (int machine = 0; machine < schedule.machines; ++machine) {
+    std::string cal_row(width, ' ');
+    std::string job_row(width, ' ');
+    bool machine_used = false;
+    for (const Calibration& cal : schedule.calibrations) {
+      if (cal.machine != machine) continue;
+      machine_used = true;
+      const int a = column(cal.start, lo, scale);
+      const int b = column(cal.start + cal_len, lo, scale);
+      for (int c = a; c < b && c < static_cast<int>(width); ++c) {
+        cal_row[static_cast<std::size_t>(c)] = '=';
+      }
+      cal_row[static_cast<std::size_t>(a)] = '[';
+    }
+    for (const ScheduledJob& sj : schedule.jobs) {
+      if (sj.machine != machine) continue;
+      machine_used = true;
+      const Time duration =
+          schedule.job_duration_ticks(instance.job_by_id(sj.job).proc);
+      const int a = column(sj.start, lo, scale);
+      const int b = std::max(a + 1, column(sj.start + duration, lo, scale));
+      for (int c = a; c < b && c < static_cast<int>(width); ++c) {
+        job_row[static_cast<std::size_t>(c)] = job_glyph(sj.job);
+      }
+    }
+    if (!machine_used) continue;  // keep the rendering compact
+    out << "m" << machine << " cal : " << cal_row << '\n';
+    out << "m" << machine << " jobs: " << job_row << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace calisched

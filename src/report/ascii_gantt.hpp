@@ -1,0 +1,29 @@
+// ASCII rendering of instances and schedules, used to regenerate the
+// paper's illustrative figures (Figures 1-3) from live algorithm output.
+#pragma once
+
+#include <string>
+
+#include "core/schedule.hpp"
+
+namespace calisched {
+
+struct RenderOptions {
+  int max_width = 100;  ///< maximum number of time columns
+};
+
+/// Job windows, one line per job (Figure 1(A) style):
+///   job  3:        |-----------------|
+[[nodiscard]] std::string render_windows(const Instance& instance,
+                                         const RenderOptions& options = {});
+
+/// Per-machine calibration and job rows (Figure 1(B)/(C) style):
+///   m0 cal : [==========)[==========)
+///   m0 jobs: 111.2222.33 444.555.66.77
+/// Job cells show the job id's last digit; '.' is calibrated idle time.
+/// Tick-denominated schedules are rendered in ticks with a scale note.
+[[nodiscard]] std::string render_schedule(const Instance& instance,
+                                          const Schedule& schedule,
+                                          const RenderOptions& options = {});
+
+}  // namespace calisched

@@ -1,0 +1,41 @@
+#include "report/stats.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+namespace calisched {
+
+ScheduleStats compute_stats(const Instance& instance, const Schedule& schedule) {
+  ScheduleStats stats;
+  stats.calibrations = schedule.num_calibrations();
+  stats.machines_used = schedule.machines_used();
+  const Time cal_len = schedule.calibration_ticks();
+  stats.calibrated_ticks = static_cast<Time>(schedule.calibrations.size()) * cal_len;
+  for (const ScheduledJob& sj : schedule.jobs) {
+    stats.busy_ticks +=
+        schedule.job_duration_ticks(instance.job_by_id(sj.job).proc);
+  }
+  if (stats.calibrated_ticks > 0) {
+    stats.utilization = static_cast<double>(stats.busy_ticks) /
+                        static_cast<double>(stats.calibrated_ticks);
+  }
+  if (!schedule.calibrations.empty()) {
+    Time lo = std::numeric_limits<Time>::max();
+    Time hi = std::numeric_limits<Time>::min();
+    std::map<int, std::size_t> per_machine;
+    for (const Calibration& cal : schedule.calibrations) {
+      lo = std::min(lo, cal.start);
+      hi = std::max(hi, cal.start + cal_len);
+      ++per_machine[cal.machine];
+    }
+    stats.span_ticks = hi - lo;
+    for (const auto& [machine, count] : per_machine) {
+      stats.max_calibrations_per_machine =
+          std::max(stats.max_calibrations_per_machine, count);
+    }
+  }
+  return stats;
+}
+
+}  // namespace calisched

@@ -1,0 +1,21 @@
+// Summary statistics of a schedule, used by examples, benches, and the CLI.
+#pragma once
+
+#include "core/schedule.hpp"
+
+namespace calisched {
+
+struct ScheduleStats {
+  std::size_t calibrations = 0;
+  int machines_used = 0;
+  Time calibrated_ticks = 0;   ///< sum over calibrations of T*D (overlap not merged)
+  Time busy_ticks = 0;         ///< sum over jobs of p*D/s
+  double utilization = 0.0;    ///< busy / calibrated (0 when no calibrations)
+  Time span_ticks = 0;         ///< last calibration end - first calibration start
+  std::size_t max_calibrations_per_machine = 0;
+};
+
+[[nodiscard]] ScheduleStats compute_stats(const Instance& instance,
+                                          const Schedule& schedule);
+
+}  // namespace calisched

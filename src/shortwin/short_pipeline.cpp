@@ -1,0 +1,148 @@
+#include "shortwin/short_pipeline.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+#include "util/arith.hpp"
+
+namespace calisched {
+namespace {
+
+/// Groups `pending` jobs nested in the intervals of one partitioning pass
+/// (intervals [offset + i*2gT, offset + (i+1)*2gT)), removing grouped jobs
+/// from `pending`. Returns interval-start -> sub-instance.
+std::map<Time, Instance> partition_pass(std::vector<Job>& pending,
+                                        const Instance& parent, Time offset,
+                                        Time gamma) {
+  const Time width = 2 * gamma * parent.T;
+  std::map<Time, Instance> intervals;
+  std::vector<Job> leftover;
+  leftover.reserve(pending.size());
+  for (const Job& job : pending) {
+    const Time index = floor_div(job.release - offset, width);
+    const Time start = offset + index * width;
+    if (job.deadline <= start + width) {
+      auto [it, inserted] = intervals.try_emplace(start);
+      if (inserted) {
+        it->second.machines = parent.machines;
+        it->second.T = parent.T;
+      }
+      it->second.jobs.push_back(job);
+    } else {
+      leftover.push_back(job);
+    }
+  }
+  pending = std::move(leftover);
+  return intervals;
+}
+
+}  // namespace
+
+ShortWindowResult solve_short_window(const Instance& instance,
+                                     const MachineMinimizer& mm,
+                                     const IntervalOptions& options) {
+  const Time gamma = options.gamma;
+  ShortWindowResult result;
+  for (const Job& job : instance.jobs) {
+    assert(job.window() <= gamma * instance.T &&
+           "short-window pipeline requires windows <= gamma*T");
+    (void)job;
+  }
+  result.schedule = Schedule::empty_like(instance, 0);
+  if (instance.empty()) {
+    result.feasible = true;
+    return result;
+  }
+
+  std::vector<Job> pending = instance.jobs;
+  struct Pass {
+    std::map<Time, Instance> intervals;
+    std::vector<IntervalScheduleResult> schedules;
+    int max_w = 0;
+  };
+  Pass passes[2];
+  passes[0].intervals = partition_pass(pending, instance, /*offset=*/0, gamma);
+  passes[1].intervals =
+      partition_pass(pending, instance, /*offset=*/gamma * instance.T, gamma);
+  if (!pending.empty()) {
+    // Contradicts Lemma 16 for short jobs; defensive (asserted above).
+    result.error = "job " + std::to_string(pending.front().id) +
+                   " fits neither partitioning pass";
+    return result;
+  }
+
+  std::vector<std::string> algorithms;
+  for (Pass& pass : passes) {
+    for (const auto& [start, interval_jobs] : pass.intervals) {
+      IntervalScheduleResult interval =
+          schedule_interval(interval_jobs, start, mm, options);
+      if (!interval.feasible) {
+        result.error = std::move(interval.error);
+        return result;
+      }
+      result.telemetry.sum_mm_machines += interval.mm_machines;
+      result.telemetry.max_mm_machines =
+          std::max(result.telemetry.max_mm_machines, interval.mm_machines);
+      pass.max_w = std::max(pass.max_w, interval.mm_machines);
+      algorithms.push_back(interval.mm_algorithm);
+      pass.schedules.push_back(std::move(interval));
+    }
+  }
+  result.telemetry.intervals_pass1 = static_cast<int>(passes[0].schedules.size());
+  result.telemetry.intervals_pass2 = static_cast<int>(passes[1].schedules.size());
+
+  // Union the interval schedules. Within a pass, intervals share a pool of
+  // 3*max_w machines: interval machine groups [0,w), [w,2w), [2w,3w) map to
+  // pool groups [0,maxw), [maxw,2maxw), [2maxw,3maxw) so that calendar
+  // machines never collide with crossing-job machines of another interval.
+  // Passes use disjoint pools.
+  // All intervals use the same MM box, hence the same tick resolution;
+  // the union inherits it (1 when every interval was empty).
+  for (const Pass& pass : passes) {
+    for (const IntervalScheduleResult& interval : pass.schedules) {
+      if (interval.schedule.time_denominator != 1) {
+        assert(result.schedule.time_denominator == 1 ||
+               result.schedule.time_denominator ==
+                   interval.schedule.time_denominator);
+        result.schedule.time_denominator = interval.schedule.time_denominator;
+        result.schedule.speed = interval.schedule.speed;
+      }
+    }
+  }
+
+  int pool_base = 0;
+  const int groups_per_interval = options.relaxed_calibrations ? 1 : 3;
+  for (const Pass& pass : passes) {
+    const int pool_w = pass.max_w;
+    for (const IntervalScheduleResult& interval : pass.schedules) {
+      const int w = interval.mm_machines;
+      auto pool_machine = [&](int machine) {
+        const int group = machine / std::max(1, w);
+        const int lane = machine % std::max(1, w);
+        return pool_base + group * pool_w + lane;
+      };
+      for (const Calibration& cal : interval.schedule.calibrations) {
+        result.schedule.calibrations.push_back(
+            {pool_machine(cal.machine), cal.start});
+      }
+      for (const ScheduledJob& sj : interval.schedule.jobs) {
+        result.schedule.jobs.push_back({sj.job, pool_machine(sj.machine), sj.start});
+      }
+    }
+    pool_base += groups_per_interval * pool_w;
+  }
+  result.schedule.machines = std::max(1, pool_base);
+  result.telemetry.machines_allotted = pool_base;
+  result.telemetry.total_calibrations = result.schedule.num_calibrations();
+
+  std::sort(algorithms.begin(), algorithms.end());
+  algorithms.erase(std::unique(algorithms.begin(), algorithms.end()),
+                   algorithms.end());
+  result.telemetry.mm_algorithms = std::move(algorithms);
+  result.schedule.normalize();
+  result.feasible = true;
+  return result;
+}
+
+}  // namespace calisched

@@ -1,0 +1,43 @@
+// Algorithm 4 + Algorithm 5: the complete short-window ISE algorithm of
+// Section 4 (Theorem 20).
+//
+// Time is partitioned twice into length-2*gamma*T intervals — once aligned
+// at multiples of 2*gamma*T (machine pool M1) and once offset by gamma*T
+// (machine pool M2). Every short job (window <= gamma*T) nests in an
+// interval of one of the passes (Lemma 16); each non-empty interval is
+// scheduled independently by Algorithm 5, and the union over intervals and
+// passes is the final schedule.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "shortwin/interval_schedule.hpp"
+
+namespace calisched {
+
+struct ShortWindowTelemetry {
+  int intervals_pass1 = 0;       ///< non-empty intervals in the aligned pass
+  int intervals_pass2 = 0;       ///< non-empty intervals in the offset pass
+  int sum_mm_machines = 0;       ///< sum_i w_i (Lemma 18's lower-bound mass)
+  int max_mm_machines = 0;       ///< max_i w_i
+  int machines_allotted = 0;     ///< 3*max(w)_pass1 + 3*max(w)_pass2
+  std::size_t total_calibrations = 0;
+  std::vector<std::string> mm_algorithms;  ///< distinct black-box labels seen
+};
+
+struct ShortWindowResult {
+  bool feasible = false;
+  Schedule schedule;
+  ShortWindowTelemetry telemetry;
+  std::string error;
+};
+
+/// `instance.machines` is only carried through for reporting; the
+/// short-window algorithm sizes its pools from the MM black box. Every job
+/// must be short: d_j - r_j <= gamma * T (asserted).
+[[nodiscard]] ShortWindowResult solve_short_window(
+    const Instance& instance, const MachineMinimizer& mm,
+    const IntervalOptions& options = {});
+
+}  // namespace calisched

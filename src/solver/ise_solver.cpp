@@ -1,0 +1,56 @@
+#include "solver/ise_solver.hpp"
+
+namespace calisched {
+
+IseSolveResult solve_ise(const Instance& instance, const IseSolverOptions& options) {
+  IseSolveResult result;
+  const WindowSplit split = split_by_window(instance);
+  result.long_job_count = split.long_jobs.size();
+  result.short_job_count = split.short_jobs.size();
+
+  // --- long-window pool ------------------------------------------------------
+  LongWindowResult long_result =
+      solve_long_window(split.long_jobs, options.long_window);
+  result.long_telemetry = long_result.telemetry;
+  if (!long_result.feasible) {
+    result.error = "long-window pipeline: " + long_result.error;
+    return result;
+  }
+
+  // --- short-window pool -----------------------------------------------------
+  const GreedyEdfMM default_mm;
+  const MachineMinimizer& mm =
+      options.mm ? static_cast<const MachineMinimizer&>(*options.mm)
+                 : static_cast<const MachineMinimizer&>(default_mm);
+  ShortWindowResult short_result =
+      solve_short_window(split.short_jobs, mm, options.short_window);
+  result.short_telemetry = short_result.telemetry;
+  if (!short_result.feasible) {
+    result.error = "short-window pipeline: " + short_result.error;
+    return result;
+  }
+
+  // --- union on disjoint machines -------------------------------------------
+  // An s-speed MM box leaves the short schedule in 1/s ticks at speed s;
+  // lift the (1-speed) long schedule onto the same s-speed machine park —
+  // jobs only get shorter, so feasibility is preserved.
+  const std::int64_t s = short_result.schedule.speed;
+  if (s != 1) {
+    long_result.schedule.scale_denominator(s);
+    long_result.schedule.scale_speed(s);
+  }
+  Schedule combined = Schedule::empty_like(instance, 0);
+  combined.time_denominator = long_result.schedule.time_denominator;
+  combined.speed = long_result.schedule.speed;
+  combined.append_disjoint(long_result.schedule, 0);
+  combined.append_disjoint(short_result.schedule, long_result.schedule.machines);
+  combined.normalize();
+  result.machines_allotted =
+      long_result.schedule.machines + short_result.schedule.machines;
+  result.total_calibrations = combined.num_calibrations();
+  result.schedule = std::move(combined);
+  result.feasible = true;
+  return result;
+}
+
+}  // namespace calisched

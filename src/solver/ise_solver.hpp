@@ -1,0 +1,42 @@
+// The top-level ISE algorithm (Theorem 1).
+//
+// Split the jobs by Definition 1 into long- and short-window subsets;
+// run the Section-3 LP pipeline on the long jobs and the Section-4
+// MM-black-box pipeline on the short jobs, on disjoint machine pools;
+// the union is the final schedule. With an s-speed alpha-approximate MM
+// box this is an O(alpha)-machine s-speed O(alpha)-approximation.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "longwin/long_pipeline.hpp"
+#include "shortwin/short_pipeline.hpp"
+
+namespace calisched {
+
+struct IseSolverOptions {
+  LongWindowOptions long_window;
+  IntervalOptions short_window;
+  /// MM black box for the short-window pipeline; GreedyEdfMM when null.
+  std::shared_ptr<const MachineMinimizer> mm;
+};
+
+struct IseSolveResult {
+  bool feasible = false;
+  Schedule schedule;
+  std::string error;
+
+  std::size_t long_job_count = 0;
+  std::size_t short_job_count = 0;
+  LongWindowTelemetry long_telemetry;
+  ShortWindowTelemetry short_telemetry;
+
+  std::size_t total_calibrations = 0;
+  int machines_allotted = 0;  ///< long pool + short pool
+};
+
+[[nodiscard]] IseSolveResult solve_ise(const Instance& instance,
+                                       const IseSolverOptions& options = {});
+
+}  // namespace calisched

@@ -1,0 +1,64 @@
+#include "solver/mm_via_ise.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "solver/ise_solver.hpp"
+
+namespace calisched {
+
+MmViaIseResult mm_via_ise(const Instance& mm_instance) {
+  MmViaIseResult result;
+  if (mm_instance.empty()) {
+    result.feasible = true;
+    return result;
+  }
+  Instance ise = mm_instance;
+  // T = span makes every window fit inside one calibration length; clamp
+  // to the model's minimum T >= 2 and to max p_j (p_j <= T must hold —
+  // automatic, since every window contains its job's processing time).
+  ise.T = std::max<Time>(2, ise.max_deadline() - ise.min_release());
+  ise.machines = static_cast<int>(ise.size());  // never binding
+
+  IseSolverOptions options;
+  // Empty calendars are free machines we should not pay for.
+  options.long_window.prune_empty_calibrations = true;
+  options.short_window.trim_unused_calibrations = true;
+  const IseSolveResult solved = solve_ise(ise, options);
+  if (!solved.feasible) {
+    result.error = solved.error;
+    return result;
+  }
+  result.calibrations = solved.total_calibrations;
+
+  // One MM machine per calibration; jobs keep their start times. The ISE
+  // solve used speed-1 boxes, so ticks are time units.
+  std::map<std::pair<int, Time>, int> machine_of_calibration;
+  for (const Calibration& cal : solved.schedule.calibrations) {
+    const int id = static_cast<int>(machine_of_calibration.size());
+    machine_of_calibration[{cal.machine, cal.start}] = id;
+  }
+  result.schedule.machines = static_cast<int>(machine_of_calibration.size());
+  const Time cal_len = solved.schedule.calibration_ticks();
+  for (const ScheduledJob& sj : solved.schedule.jobs) {
+    const Job& job = mm_instance.job_by_id(sj.job);
+    // Locate the covering calibration (exists: the schedule verified).
+    int machine = -1;
+    for (const Calibration& cal : solved.schedule.calibrations) {
+      if (cal.machine == sj.machine && cal.start <= sj.start &&
+          sj.start + job.proc <= cal.start + cal_len) {
+        machine = machine_of_calibration[{cal.machine, cal.start}];
+        break;
+      }
+    }
+    if (machine < 0) {
+      result.error = "job outside every calibration (solver bug)";
+      return result;
+    }
+    result.schedule.jobs.push_back({job.id, machine, sj.start});
+  }
+  result.feasible = true;
+  return result;
+}
+
+}  // namespace calisched

@@ -1,0 +1,31 @@
+// The Section-1 reduction: machine minimization is a special case of ISE.
+//
+// "Given an instance to MM, construct an ISE instance by setting
+//  T = max_j d_j - min_j r_j."  With that T every job's window fits inside
+// one calibration length, so each calibration can stand in for one
+// machine: an ISE solution with C calibrations yields an MM solution with
+// C machines (jobs inside one calibration never overlap). The paper uses
+// this direction for lower bounds (ISE inherits MM's hardness); here it is
+// executable, both as a demonstration and as a cross-check that the ISE
+// solver specializes correctly.
+#pragma once
+
+#include <cstddef>
+
+#include "verify/verify.hpp"
+
+namespace calisched {
+
+struct MmViaIseResult {
+  bool feasible = false;
+  MMSchedule schedule;          ///< one machine per ISE calibration
+  std::size_t calibrations = 0; ///< of the underlying ISE solve (= machines)
+  std::string error;
+};
+
+/// `mm_instance.T` is ignored (the reduction chooses its own); machine
+/// count is taken as "enough" (n) since the objective being minimized is
+/// calibrations = machines.
+[[nodiscard]] MmViaIseResult mm_via_ise(const Instance& mm_instance);
+
+}  // namespace calisched

@@ -1,0 +1,26 @@
+#include "util/rng.hpp"
+
+namespace calisched {
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) {
+    // Full 64-bit range requested; any draw is uniform.
+    return static_cast<std::int64_t>((*this)());
+  }
+  // Lemire's multiply-shift rejection method.
+  std::uint64_t x = (*this)();
+  __uint128_t product = static_cast<__uint128_t>(x) * range;
+  auto low = static_cast<std::uint64_t>(product);
+  if (low < range) {
+    const std::uint64_t threshold = (0 - range) % range;
+    while (low < threshold) {
+      x = (*this)();
+      product = static_cast<__uint128_t>(x) * range;
+      low = static_cast<std::uint64_t>(product);
+    }
+  }
+  return lo + static_cast<std::int64_t>(product >> 64);
+}
+
+}  // namespace calisched

@@ -1,0 +1,104 @@
+// Deterministic pseudo-random number generation for instance generators,
+// property tests, and benchmarks.
+//
+// We deliberately avoid std::mt19937 + std::uniform_int_distribution because
+// their outputs are not specified identically across standard libraries;
+// reproducibility of generated instances across toolchains is a requirement
+// for the experiment harness (EXPERIMENTS.md records per-seed results).
+//
+// The generator is xoshiro256** seeded via splitmix64, the standard
+// recommendation of Blackman & Vigna.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace calisched {
+
+/// splitmix64 step; used for seeding and as a cheap standalone mixer.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG with explicit, portable semantics.
+///
+/// Satisfies UniformRandomBitGenerator so it can also feed <random> if a
+/// caller accepts non-portable distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds all 256 bits of state from a single 64-bit seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x5eedULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    for (auto& word : state_) word = splitmix64(seed);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi], inclusive. Requires lo <= hi.
+  /// Uses Lemire-style rejection to avoid modulo bias.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform_real(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Bernoulli trial with success probability p.
+  [[nodiscard]] bool chance(double p) noexcept { return uniform01() < p; }
+
+  /// Picks a uniformly random element index of a non-empty container size.
+  [[nodiscard]] std::size_t index(std::size_t size) noexcept {
+    return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(size) - 1));
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      using std::swap;
+      swap(items[i - 1], items[index(i)]);
+    }
+  }
+
+  /// Derives an independent child generator (for per-thread streams).
+  [[nodiscard]] Rng split() noexcept { return Rng((*this)() ^ 0x9e3779b97f4a7c15ULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace calisched

@@ -1,0 +1,95 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <ostream>
+
+namespace calisched {
+
+std::string format_double(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", precision, value);
+  return buffer;
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(std::string value) {
+  cells_.push_back(std::move(value));
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(std::int64_t value) {
+  return cell(std::to_string(value));
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(std::size_t value) {
+  return cell(std::to_string(value));
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(double value, int precision) {
+  return cell(format_double(value, precision));
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(bool pass) {
+  return cell(std::string(pass ? "PASS" : "FAIL"));
+}
+
+Table::RowBuilder::~RowBuilder() { table_->add_row(std::move(cells_)); }
+
+void Table::print(std::ostream& out, std::string_view title) const {
+  if (!title.empty()) out << "== " << title << " ==\n";
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << "  " << row[c];
+      if (c + 1 < row.size()) {
+        out << std::string(widths[c] - row[c].size(), ' ');
+      }
+    }
+    out << '\n';
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+}
+
+void Table::print_csv(std::ostream& out) const {
+  auto emit_cell = [&](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") != std::string::npos) {
+      out << '"';
+      for (char ch : cell) {
+        if (ch == '"') out << '"';
+        out << ch;
+      }
+      out << '"';
+    } else {
+      out << cell;
+    }
+  };
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ',';
+      emit_cell(row[c]);
+    }
+    out << '\n';
+  };
+  emit_row(header_);
+  for (const auto& row : rows_) emit_row(row);
+}
+
+}  // namespace calisched

@@ -1,0 +1,67 @@
+// Aligned text tables and CSV emission for the experiment harness.
+//
+// Every bench binary prints one or more tables whose rows correspond to the
+// entries recorded in EXPERIMENTS.md, so formatting lives in one place.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace calisched {
+
+/// A simple column-aligned table builder.
+///
+/// Usage:
+///   Table t({"n", "calibrations", "bound", "ok"});
+///   t.add_row({"16", "12", "48", "PASS"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds one row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience for building a row from heterogeneous values.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(Table& table) : table_(&table) {}
+    RowBuilder& cell(std::string value);
+    RowBuilder& cell(std::string_view value) { return cell(std::string(value)); }
+    RowBuilder& cell(const char* value) { return cell(std::string(value)); }
+    RowBuilder& cell(std::int64_t value);
+    RowBuilder& cell(std::size_t value);
+    RowBuilder& cell(int value) { return cell(static_cast<std::int64_t>(value)); }
+    RowBuilder& cell(double value, int precision = 3);
+    RowBuilder& cell(bool pass);  // renders PASS / FAIL
+    ~RowBuilder();
+
+    RowBuilder(const RowBuilder&) = delete;
+    RowBuilder& operator=(const RowBuilder&) = delete;
+
+   private:
+    Table* table_;
+    std::vector<std::string> cells_;
+  };
+
+  [[nodiscard]] RowBuilder row() { return RowBuilder(*this); }
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Writes the table with aligned columns and a rule under the header.
+  void print(std::ostream& out, std::string_view title = "") const;
+
+  /// Writes RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  void print_csv(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (no locale surprises).
+[[nodiscard]] std::string format_double(double value, int precision = 3);
+
+}  // namespace calisched

@@ -1,0 +1,56 @@
+// A small fixed-size thread pool with a parallel_for convenience wrapper.
+//
+// The experiment harness solves many independent scheduling instances per
+// table row; parallelising at instance granularity keeps all state private
+// to one task and needs no synchronisation beyond the queue itself.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace calisched {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task; the returned future observes completion/exceptions.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Runs body(i) for i in [0, count) across the pool, blocking until done.
+/// Exceptions from tasks are rethrown (first one wins) on the caller thread.
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& body);
+
+/// Process-wide default pool (lazily constructed, hardware concurrency).
+ThreadPool& default_pool();
+
+}  // namespace calisched

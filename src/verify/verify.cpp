@@ -1,0 +1,221 @@
+#include "verify/verify.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace calisched {
+namespace {
+
+void add(VerifyResult& result, Violation::Kind kind, const std::string& message) {
+  result.violations.push_back({kind, message});
+}
+
+std::string job_tag(JobId id) { return "job " + std::to_string(id); }
+
+/// Checks that no two half-open intervals in `spans` (sorted by start)
+/// overlap; reports via `what`.
+void check_disjoint(VerifyResult& result, Violation::Kind kind,
+                    std::vector<std::pair<Time, Time>>& spans, int machine,
+                    const char* what) {
+  std::sort(spans.begin(), spans.end());
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    if (spans[i].first < spans[i - 1].second) {
+      std::ostringstream msg;
+      msg << what << " overlap on machine " << machine << ": ["
+          << spans[i - 1].first << ", " << spans[i - 1].second << ") and ["
+          << spans[i].first << ", " << spans[i].second << ") ticks";
+      add(result, kind, msg.str());
+    }
+  }
+}
+
+}  // namespace
+
+std::string VerifyResult::to_string() const {
+  if (ok()) return "ok";
+  std::ostringstream out;
+  out << violations.size() << " violation(s):\n";
+  for (const Violation& violation : violations) {
+    out << "  - " << violation.message << '\n';
+  }
+  return out.str();
+}
+
+VerifyResult verify_ise(const Instance& instance, const Schedule& schedule,
+                        bool require_tise, CalibrationPolicy policy) {
+  VerifyResult result;
+  const std::int64_t D = schedule.time_denominator;
+  const std::int64_t s = schedule.speed;
+  if (D < 1 || s < 1) {
+    add(result, Violation::Kind::kArithmetic,
+        "time_denominator and speed must be >= 1");
+    return result;
+  }
+  const Time cal_len = schedule.T * D;
+  if (schedule.T != instance.T) {
+    add(result, Violation::Kind::kStructural,
+        "schedule T does not match instance T");
+  }
+
+  // --- structural checks on machines and job multiplicity -----------------
+  std::map<JobId, const Job*> by_id;
+  for (const Job& job : instance.jobs) by_id[job.id] = &job;
+  std::map<JobId, int> times_scheduled;
+  for (const ScheduledJob& sj : schedule.jobs) {
+    if (sj.machine < 0 || sj.machine >= schedule.machines) {
+      add(result, Violation::Kind::kStructural,
+          job_tag(sj.job) + ": machine index " + std::to_string(sj.machine) +
+              " out of range [0, " + std::to_string(schedule.machines) + ")");
+    }
+    if (!by_id.count(sj.job)) {
+      add(result, Violation::Kind::kStructural,
+          job_tag(sj.job) + " is not in the instance");
+      continue;
+    }
+    ++times_scheduled[sj.job];
+  }
+  for (const Job& job : instance.jobs) {
+    const int count = times_scheduled.count(job.id) ? times_scheduled[job.id] : 0;
+    if (count != 1) {
+      add(result, Violation::Kind::kStructural,
+          job_tag(job.id) + " scheduled " + std::to_string(count) +
+              " times (expected exactly 1)");
+    }
+  }
+  for (const Calibration& cal : schedule.calibrations) {
+    if (cal.machine < 0 || cal.machine >= schedule.machines) {
+      add(result, Violation::Kind::kStructural,
+          "calibration at tick " + std::to_string(cal.start) +
+              ": machine index out of range");
+    }
+  }
+
+  // --- per-job checks: arithmetic, window, calibration containment --------
+  for (const ScheduledJob& sj : schedule.jobs) {
+    const auto it = by_id.find(sj.job);
+    if (it == by_id.end()) continue;
+    const Job& job = *it->second;
+    if ((job.proc * D) % s != 0) {
+      add(result, Violation::Kind::kArithmetic,
+          job_tag(job.id) + ": p*D=" + std::to_string(job.proc * D) +
+              " not divisible by speed " + std::to_string(s));
+      continue;
+    }
+    const Time duration = (job.proc * D) / s;
+    const Time start = sj.start;
+    const Time finish = start + duration;
+    if (start < job.release * D || finish > job.deadline * D) {
+      std::ostringstream msg;
+      msg << job_tag(job.id) << " runs [" << start << ", " << finish
+          << ") ticks outside window [" << job.release * D << ", "
+          << job.deadline * D << ")";
+      add(result, Violation::Kind::kWindow, msg.str());
+    }
+    // Find a covering calibration on the same machine.
+    const Calibration* cover = nullptr;
+    for (const Calibration& cal : schedule.calibrations) {
+      if (cal.machine == sj.machine && cal.start <= start &&
+          finish <= cal.start + cal_len) {
+        cover = &cal;
+        break;
+      }
+    }
+    if (cover == nullptr) {
+      add(result, Violation::Kind::kCalibrationCover,
+          job_tag(job.id) + " at tick " + std::to_string(start) +
+              " on machine " + std::to_string(sj.machine) +
+              " is not contained in any calibration");
+    } else if (require_tise) {
+      // TISE restriction: r_j <= t and t + T <= d_j, in ticks.
+      if (cover->start < job.release * D ||
+          cover->start + cal_len > job.deadline * D) {
+        std::ostringstream msg;
+        msg << job_tag(job.id) << ": containing calibration [" << cover->start
+            << ", " << cover->start + cal_len
+            << ") ticks is not inside the job window [" << job.release * D
+            << ", " << job.deadline * D << ")";
+        add(result, Violation::Kind::kTise, msg.str());
+      }
+    }
+  }
+
+  // --- per-machine exclusivity ---------------------------------------------
+  std::map<int, std::vector<std::pair<Time, Time>>> job_spans;
+  for (const ScheduledJob& sj : schedule.jobs) {
+    const auto it = by_id.find(sj.job);
+    if (it == by_id.end()) continue;
+    const Job& job = *it->second;
+    if ((job.proc * D) % s != 0) continue;  // already reported
+    job_spans[sj.machine].emplace_back(sj.start, sj.start + (job.proc * D) / s);
+  }
+  for (auto& [machine, spans] : job_spans) {
+    check_disjoint(result, Violation::Kind::kJobOverlap, spans, machine, "jobs");
+  }
+  if (policy == CalibrationPolicy::kStrict) {
+    std::map<int, std::vector<std::pair<Time, Time>>> cal_spans;
+    for (const Calibration& cal : schedule.calibrations) {
+      cal_spans[cal.machine].emplace_back(cal.start, cal.start + cal_len);
+    }
+    for (auto& [machine, spans] : cal_spans) {
+      check_disjoint(result, Violation::Kind::kCalibrationOverlap, spans,
+                     machine, "calibrations");
+    }
+  }
+  return result;
+}
+
+VerifyResult verify_tise(const Instance& instance, const Schedule& schedule) {
+  return verify_ise(instance, schedule, /*require_tise=*/true);
+}
+
+VerifyResult verify_mm(const Instance& instance, const MMSchedule& schedule) {
+  VerifyResult result;
+  const std::int64_t s = schedule.speed;
+  if (s < 1) {
+    add(result, Violation::Kind::kArithmetic, "MM speed must be >= 1");
+    return result;
+  }
+  std::map<JobId, const Job*> by_id;
+  for (const Job& job : instance.jobs) by_id[job.id] = &job;
+  std::map<JobId, int> times_scheduled;
+  std::map<int, std::vector<std::pair<Time, Time>>> spans;
+  for (const ScheduledJob& sj : schedule.jobs) {
+    if (sj.machine < 0 || sj.machine >= schedule.machines) {
+      add(result, Violation::Kind::kStructural,
+          job_tag(sj.job) + ": machine index out of range");
+    }
+    const auto it = by_id.find(sj.job);
+    if (it == by_id.end()) {
+      add(result, Violation::Kind::kStructural,
+          job_tag(sj.job) + " is not in the instance");
+      continue;
+    }
+    ++times_scheduled[sj.job];
+    const Job& job = *it->second;
+    // Starts are in 1/s time units; the job occupies proc ticks.
+    if (sj.start < job.release * s || sj.start + job.proc > job.deadline * s) {
+      std::ostringstream msg;
+      msg << job_tag(job.id) << " runs [" << sj.start << ", "
+          << sj.start + job.proc << ") ticks outside window ["
+          << job.release * s << ", " << job.deadline * s << ")";
+      add(result, Violation::Kind::kWindow, msg.str());
+    }
+    spans[sj.machine].emplace_back(sj.start, sj.start + job.proc);
+  }
+  for (const Job& job : instance.jobs) {
+    const int count = times_scheduled.count(job.id) ? times_scheduled[job.id] : 0;
+    if (count != 1) {
+      add(result, Violation::Kind::kStructural,
+          job_tag(job.id) + " scheduled " + std::to_string(count) +
+              " times (expected exactly 1)");
+    }
+  }
+  for (auto& [machine, machine_spans] : spans) {
+    check_disjoint(result, Violation::Kind::kJobOverlap, machine_spans, machine,
+                   "jobs");
+  }
+  return result;
+}
+
+}  // namespace calisched

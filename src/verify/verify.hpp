@@ -1,0 +1,80 @@
+// Independent feasibility checking for ISE, TISE, and MM schedules.
+//
+// Every algorithm result in tests, examples, and benchmarks goes through
+// these functions before any statistic is reported. The checks are written
+// directly against the problem statement of Fineman & Sheridan (SPAA'15),
+// not against any algorithm's internal representation:
+//
+//   (1) every job runs nonpreemptively within its window,
+//   (2) every job lies completely inside one calibrated interval on its
+//       machine,
+//   (3) jobs on a machine do not overlap,
+//   (4) calibrations on a machine do not overlap (footnote 3: calibrations
+//       on one machine must be at least T apart),
+//   (5) [TISE only] the containing calibration lies inside the job window.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/schedule.hpp"
+
+namespace calisched {
+
+/// A machine-minimization schedule: jobs only, no calibrations.
+///
+/// `speed` supports the paper's s-speed resource augmentation for MM black
+/// boxes: machines run `speed` times faster, job start times are stored in
+/// ticks of 1/speed time units, and a job occupies exactly `proc` ticks
+/// (p/speed real time). speed = 1 is the plain case (ticks = time units).
+struct MMSchedule {
+  int machines = 0;
+  std::int64_t speed = 1;
+  std::vector<ScheduledJob> jobs;
+};
+
+struct Violation {
+  enum class Kind {
+    kStructural,        ///< bad machine index, unknown/duplicate/missing job
+    kWindow,            ///< job outside [r_j, d_j)
+    kCalibrationCover,  ///< job not inside a calibration on its machine
+    kJobOverlap,        ///< two jobs overlap on a machine
+    kCalibrationOverlap,///< two calibrations overlap on a machine
+    kTise,              ///< TISE restriction violated
+    kArithmetic,        ///< inexact tick arithmetic (denominator/speed)
+  };
+  Kind kind;
+  std::string message;
+};
+
+struct VerifyResult {
+  std::vector<Violation> violations;
+
+  [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
+  /// Human-readable multi-line report ("ok" when clean).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Calibration-exclusivity policy. The paper's main model (footnote 3:
+/// "the more difficult version") forbids overlapping calibrations on one
+/// machine; the relaxed variant mentioned there allows a calibration to be
+/// performed before the previous one ends (each job must still fit inside
+/// a single calibration interval).
+enum class CalibrationPolicy { kStrict, kOverlapAllowed };
+
+/// Verifies a schedule against the full ISE feasibility definition.
+/// With `require_tise`, additionally enforces the trimmed restriction.
+[[nodiscard]] VerifyResult verify_ise(
+    const Instance& instance, const Schedule& schedule,
+    bool require_tise = false,
+    CalibrationPolicy policy = CalibrationPolicy::kStrict);
+
+/// Shorthand for verify_ise(instance, schedule, /*require_tise=*/true).
+[[nodiscard]] VerifyResult verify_tise(const Instance& instance,
+                                       const Schedule& schedule);
+
+/// Verifies an MM schedule: windows, nonpreemption, machine exclusivity.
+[[nodiscard]] VerifyResult verify_mm(const Instance& instance,
+                                     const MMSchedule& schedule);
+
+}  // namespace calisched

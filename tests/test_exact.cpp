@@ -1,0 +1,191 @@
+// Tests for the exact minimum-calibration reference solver, including the
+// Lemma 2 trim-gap relation (exact TISE vs exact ISE).
+#include <gtest/gtest.h>
+
+#include "baselines/baseline.hpp"
+#include "baselines/calibration_bounds.hpp"
+#include "baselines/exact_ise.hpp"
+#include "gen/generators.hpp"
+#include "verify/verify.hpp"
+
+namespace calisched {
+namespace {
+
+TEST(ExactIse, TwoShareableJobsNeedOneCalibration) {
+  Instance instance;
+  instance.machines = 1;
+  instance.T = 10;
+  instance.jobs = {{0, 0, 20, 4}, {1, 0, 20, 5}};
+  const ExactIseResult result = solve_exact_ise(instance);
+  ASSERT_TRUE(result.solved);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.optimal_calibrations, 1u);
+  EXPECT_TRUE(verify_ise(instance, result.schedule).ok());
+}
+
+TEST(ExactIse, FarApartJobsNeedTwoCalibrations) {
+  Instance instance;
+  instance.machines = 1;
+  instance.T = 10;
+  instance.jobs = {{0, 0, 12, 4}, {1, 100, 112, 4}};
+  const ExactIseResult result = solve_exact_ise(instance);
+  ASSERT_TRUE(result.solved);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.optimal_calibrations, 2u);
+}
+
+TEST(ExactIse, WorkForcesExtraCalibrations) {
+  // Work 18 in T=10 calibrations: at least 2, and 2 suffice back-to-back.
+  Instance instance;
+  instance.machines = 1;
+  instance.T = 10;
+  instance.jobs = {{0, 0, 30, 9}, {1, 0, 30, 9}};
+  const ExactIseResult result = solve_exact_ise(instance);
+  ASSERT_TRUE(result.solved);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.optimal_calibrations, 2u);
+  EXPECT_TRUE(verify_ise(instance, result.schedule).ok());
+}
+
+TEST(ExactIse, MachineLimitCanForceInfeasibility) {
+  // Three zero-slack same-time jobs on 2 machines: infeasible regardless
+  // of calibrations.
+  Instance instance;
+  instance.machines = 2;
+  instance.T = 10;
+  instance.jobs = {{0, 0, 5, 5}, {1, 0, 5, 5}, {2, 0, 5, 5}};
+  const ExactIseResult result = solve_exact_ise(instance);
+  ASSERT_TRUE(result.solved);
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST(ExactIse, DelayingCalibrationIsSometimesOptimal) {
+  // The paper's key structural point: it can be optimal to *delay*.
+  // Job 0 runnable in [0, 12); job 1 only in [11, 23). A calibration at
+  // time 0 cannot host job 1 ([0,10) ends before 11... and a second would
+  // be needed), but one calibration at 11 hosts neither... The right
+  // single-calibration choice is t = 8: covers [8, 18) - job 0 can run
+  // [8, 12)? p=4: [8, 12) ok; job 1 runs [12, 16) ⊆ [11, 23). One
+  // calibration total, but only if the solver delays past job 0's release.
+  Instance instance;
+  instance.machines = 1;
+  instance.T = 10;
+  instance.jobs = {{0, 0, 12, 4}, {1, 11, 23, 4}};
+  const ExactIseResult result = solve_exact_ise(instance);
+  ASSERT_TRUE(result.solved);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.optimal_calibrations, 1u);
+  ASSERT_EQ(result.schedule.calibrations.size(), 1u);
+  EXPECT_GT(result.schedule.calibrations[0].start, 0);
+}
+
+TEST(ExactIse, RespectsLowerBound) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    GenParams params;
+    params.seed = seed;
+    params.n = 5;
+    params.T = 6;
+    params.machines = 2;
+    params.horizon = 30;
+    params.max_proc = 5;
+    const Instance instance = generate_mixed(params, 0.5);
+    const ExactIseResult result = solve_exact_ise(instance);
+    if (!result.solved || !result.feasible) continue;
+    EXPECT_GE(static_cast<std::int64_t>(result.optimal_calibrations),
+              calibration_lower_bound(instance))
+        << "seed " << seed;
+    EXPECT_TRUE(verify_ise(instance, result.schedule).ok()) << "seed " << seed;
+  }
+}
+
+TEST(ExactIse, NeverBeatenByPerJobBaseline) {
+  for (std::uint64_t seed = 20; seed <= 26; ++seed) {
+    GenParams params;
+    params.seed = seed;
+    params.n = 4;
+    params.T = 6;
+    params.machines = 4;  // enough machines that per-job is feasible
+    params.horizon = 25;
+    params.max_proc = 4;
+    const Instance instance = generate_mixed(params, 0.5);
+    const ExactIseResult exact = solve_exact_ise(instance);
+    ASSERT_TRUE(exact.solved) << "seed " << seed;
+    if (!exact.feasible) continue;  // per-job may need more machines
+    EXPECT_LE(exact.optimal_calibrations, instance.size()) << "seed " << seed;
+  }
+}
+
+TEST(ExactIse, TiseOptimumAtLeastIseOptimum) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    GenParams params;
+    params.seed = seed;
+    params.n = 4;
+    params.T = 5;
+    params.machines = 2;
+    params.horizon = 30;
+    params.max_proc = 4;
+    const Instance instance = generate_long_window(params, 2, 4);
+    const ExactIseResult ise = solve_exact_ise(instance);
+    ExactIseOptions tise_options;
+    tise_options.require_tise = true;
+    const ExactIseResult tise = solve_exact_ise(instance, tise_options);
+    ASSERT_TRUE(ise.solved && tise.solved) << "seed " << seed;
+    ASSERT_TRUE(ise.feasible) << "seed " << seed;
+    if (!tise.feasible) continue;
+    EXPECT_GE(tise.optimal_calibrations, ise.optimal_calibrations)
+        << "seed " << seed;
+    EXPECT_TRUE(verify_tise(instance, tise.schedule).ok()) << "seed " << seed;
+  }
+}
+
+TEST(ExactIse, Lemma2TrimGapWithinThreeX) {
+  // Lemma 2: TISE on 3m machines needs <= 3x the ISE-optimal calibrations.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    GenParams params;
+    params.seed = seed;
+    params.n = 4;
+    params.T = 5;
+    params.machines = 1;
+    params.horizon = 25;
+    params.max_proc = 4;
+    const Instance instance = generate_long_window(params, 2, 4);
+    const ExactIseResult ise = solve_exact_ise(instance);
+    ASSERT_TRUE(ise.solved && ise.feasible) << "seed " << seed;
+
+    Instance tripled = instance;
+    tripled.machines = 3 * instance.machines;
+    ExactIseOptions tise_options;
+    tise_options.require_tise = true;
+    const ExactIseResult tise = solve_exact_ise(tripled, tise_options);
+    ASSERT_TRUE(tise.solved) << "seed " << seed;
+    ASSERT_TRUE(tise.feasible) << "seed " << seed;
+    EXPECT_LE(tise.optimal_calibrations, 3 * ise.optimal_calibrations)
+        << "seed " << seed;
+  }
+}
+
+TEST(ExactIse, BudgetExhaustionIsReported) {
+  Instance instance;
+  instance.machines = 2;
+  instance.T = 10;
+  for (JobId j = 0; j < 8; ++j) {
+    instance.jobs.push_back({j, j * 3, j * 3 + 25, 6});
+  }
+  ExactIseOptions options;
+  options.node_budget = 50;
+  const ExactIseResult result = solve_exact_ise(instance, options);
+  EXPECT_FALSE(result.solved);
+}
+
+TEST(ExactIse, EmptyInstance) {
+  Instance instance;
+  instance.machines = 1;
+  instance.T = 4;
+  const ExactIseResult result = solve_exact_ise(instance);
+  EXPECT_TRUE(result.solved);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_EQ(result.optimal_calibrations, 0u);
+}
+
+}  // namespace
+}  // namespace calisched

@@ -1,0 +1,140 @@
+// Property tests for the instance generators: every family produces
+// well-formed instances with its advertised shape, deterministically.
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+
+namespace calisched {
+namespace {
+
+GenParams sweep_params(std::uint64_t seed) {
+  GenParams params;
+  params.seed = seed;
+  params.n = 4 + static_cast<int>(seed % 20);
+  params.T = 3 + static_cast<Time>(seed % 12);
+  params.machines = 1 + static_cast<int>(seed % 4);
+  params.horizon = (4 + static_cast<Time>(seed % 12)) * params.T;
+  params.min_proc = 1;
+  params.max_proc = params.T + 5;  // generator must clamp to T
+  return params;
+}
+
+TEST(Generators, LongWindowShape) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const GenParams params = sweep_params(seed);
+    const Instance instance = generate_long_window(params);
+    EXPECT_FALSE(instance.validate().has_value()) << "seed " << seed;
+    EXPECT_EQ(instance.size(), static_cast<std::size_t>(params.n));
+    for (const Job& job : instance.jobs) {
+      EXPECT_TRUE(job.is_long(instance.T)) << "seed " << seed;
+      EXPECT_LE(job.window(), 6 * instance.T) << "seed " << seed;
+      EXPECT_GE(job.release, 0);
+      EXPECT_LE(job.proc, instance.T);
+    }
+  }
+}
+
+TEST(Generators, ShortWindowShape) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const GenParams params = sweep_params(seed);
+    const Instance instance = generate_short_window(params);
+    EXPECT_FALSE(instance.validate().has_value()) << "seed " << seed;
+    for (const Job& job : instance.jobs) {
+      EXPECT_FALSE(job.is_long(instance.T)) << "seed " << seed;
+      EXPECT_GE(job.window(), job.proc);
+    }
+  }
+}
+
+TEST(Generators, ShortWindowSlackFloor) {
+  GenParams params = sweep_params(5);
+  params.T = 10;
+  const Instance instance = generate_short_window(params, /*slack_min=*/3);
+  for (const Job& job : instance.jobs) {
+    // Window >= p + 3 unless clamped by the 2T - 1 ceiling.
+    EXPECT_TRUE(job.window() >= job.proc + 3 ||
+                job.window() == 2 * instance.T - 1)
+        << "job " << job.id;
+  }
+}
+
+TEST(Generators, MixedRespectsFractionExtremes) {
+  GenParams params = sweep_params(7);
+  const Instance all_long = generate_mixed(params, 1.0);
+  for (const Job& job : all_long.jobs) {
+    EXPECT_TRUE(job.is_long(all_long.T));
+  }
+  const Instance all_short = generate_mixed(params, 0.0);
+  for (const Job& job : all_short.jobs) {
+    EXPECT_FALSE(job.is_long(all_short.T));
+  }
+}
+
+TEST(Generators, UnitJobsAreUnit) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Instance instance = generate_unit(sweep_params(seed), 7);
+    EXPECT_FALSE(instance.validate().has_value());
+    for (const Job& job : instance.jobs) {
+      EXPECT_EQ(job.proc, 1);
+      EXPECT_LE(job.window(), 7);
+    }
+  }
+}
+
+TEST(Generators, PartitionAdversarialInvariants) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Instance instance = generate_partition_adversarial(seed, 4, 7);
+    EXPECT_FALSE(instance.validate().has_value());
+    EXPECT_EQ(instance.machines, 2);
+    EXPECT_EQ(instance.size(), 8u);
+    EXPECT_EQ(instance.total_work(), 2 * instance.T);
+    for (const Job& job : instance.jobs) {
+      EXPECT_EQ(job.release, 0);
+      EXPECT_EQ(job.deadline, instance.T);
+    }
+    // The mirrored construction means a perfect partition exists: the two
+    // halves of the job list have equal work.
+    Time first_half = 0;
+    for (std::size_t j = 0; j < instance.size() / 2; ++j) {
+      first_half += instance.jobs[j].proc;
+    }
+    EXPECT_EQ(first_half, instance.T);
+  }
+}
+
+TEST(Generators, ClusteredShape) {
+  for (const bool long_windows : {false, true}) {
+    const Instance instance =
+        generate_clustered(sweep_params(9), 3, 6, long_windows);
+    EXPECT_FALSE(instance.validate().has_value());
+    for (const Job& job : instance.jobs) {
+      EXPECT_EQ(job.is_long(instance.T), long_windows);
+      EXPECT_GE(job.release, 0);
+    }
+  }
+}
+
+TEST(Generators, DeterministicPerSeed) {
+  for (std::uint64_t seed : {1ULL, 17ULL, 999ULL}) {
+    const GenParams params = sweep_params(seed);
+    const Instance a = generate_mixed(params, 0.4);
+    const Instance b = generate_mixed(params, 0.4);
+    ASSERT_EQ(a.jobs.size(), b.jobs.size());
+    for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+      EXPECT_EQ(a.jobs[i], b.jobs[i]) << "seed " << seed;
+    }
+  }
+}
+
+TEST(Generators, ProcClampedToT) {
+  GenParams params = sweep_params(3);
+  params.min_proc = 50;
+  params.max_proc = 100;
+  params.T = 6;
+  const Instance instance = generate_long_window(params);
+  EXPECT_FALSE(instance.validate().has_value());
+  for (const Job& job : instance.jobs) EXPECT_LE(job.proc, 6);
+}
+
+}  // namespace
+}  // namespace calisched

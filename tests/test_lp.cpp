@@ -1,0 +1,206 @@
+// Tests for the two-phase simplex on textbook and randomized programs.
+#include <gtest/gtest.h>
+
+#include "lp/simplex.hpp"
+#include "util/rng.hpp"
+
+namespace calisched {
+namespace {
+
+TEST(Simplex, SolvesTextbookMaximization) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  =>  opt 36 at (2, 6).
+  // Expressed as minimization of -3x - 5y.
+  LpModel model;
+  const int x = model.add_variable("x", -3.0);
+  const int y = model.add_variable("y", -5.0);
+  int row = model.add_row("r1", RowSense::kLe, 4.0);
+  model.add_coefficient(row, x, 1.0);
+  row = model.add_row("r2", RowSense::kLe, 12.0);
+  model.add_coefficient(row, y, 2.0);
+  row = model.add_row("r3", RowSense::kLe, 18.0);
+  model.add_coefficient(row, x, 3.0);
+  model.add_coefficient(row, y, 2.0);
+
+  const LpSolution solution = solve_lp(model);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, -36.0, 1e-6);
+  EXPECT_NEAR(solution.values[x], 2.0, 1e-6);
+  EXPECT_NEAR(solution.values[y], 6.0, 1e-6);
+  EXPECT_LE(model.max_violation(solution.values), 1e-7);
+}
+
+TEST(Simplex, HandlesEqualityAndGe) {
+  // min x + y s.t. x + y >= 2, x - y = 0  =>  opt 2 at (1,1).
+  LpModel model;
+  const int x = model.add_variable("x", 1.0);
+  const int y = model.add_variable("y", 1.0);
+  int row = model.add_row("ge", RowSense::kGe, 2.0);
+  model.add_coefficient(row, x, 1.0);
+  model.add_coefficient(row, y, 1.0);
+  row = model.add_row("eq", RowSense::kEq, 0.0);
+  model.add_coefficient(row, x, 1.0);
+  model.add_coefficient(row, y, -1.0);
+
+  const LpSolution solution = solve_lp(model);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 2.0, 1e-6);
+  EXPECT_NEAR(solution.values[x], 1.0, 1e-6);
+  EXPECT_NEAR(solution.values[y], 1.0, 1e-6);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  // x <= 1, x >= 2.
+  LpModel model;
+  const int x = model.add_variable("x", 1.0);
+  int row = model.add_row("le", RowSense::kLe, 1.0);
+  model.add_coefficient(row, x, 1.0);
+  row = model.add_row("ge", RowSense::kGe, 2.0);
+  model.add_coefficient(row, x, 1.0);
+  EXPECT_EQ(solve_lp(model).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  // min -x s.t. x >= 1.
+  LpModel model;
+  const int x = model.add_variable("x", -1.0);
+  const int row = model.add_row("ge", RowSense::kGe, 1.0);
+  model.add_coefficient(row, x, 1.0);
+  EXPECT_EQ(solve_lp(model).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  // min x s.t. -x <= -3 (i.e. x >= 3) => opt 3.
+  LpModel model;
+  const int x = model.add_variable("x", 1.0);
+  const int row = model.add_row("neg", RowSense::kLe, -3.0);
+  model.add_coefficient(row, x, -1.0);
+  const LpSolution solution = solve_lp(model);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.values[x], 3.0, 1e-6);
+}
+
+TEST(Simplex, DegenerateProgramTerminates) {
+  // Classic degenerate corner: several redundant constraints through origin.
+  LpModel model;
+  const int x = model.add_variable("x", -1.0);
+  const int y = model.add_variable("y", -1.0);
+  for (int i = 0; i < 6; ++i) {
+    const int row = model.add_row("deg" + std::to_string(i), RowSense::kLe,
+                                  static_cast<double>(i < 3 ? 0 : 10));
+    model.add_coefficient(row, x, 1.0 + i * 0.1);
+    model.add_coefficient(row, y, -1.0);
+  }
+  const int cap = model.add_row("cap", RowSense::kLe, 5.0);
+  model.add_coefficient(cap, x, 1.0);
+  model.add_coefficient(cap, y, 1.0);
+  const LpSolution solution = solve_lp(model);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_LE(model.max_violation(solution.values), 1e-7);
+}
+
+TEST(Simplex, RedundantEqualityRows) {
+  // x + y = 2 duplicated; min x.
+  LpModel model;
+  const int x = model.add_variable("x", 1.0);
+  const int y = model.add_variable("y", 0.0);
+  for (int i = 0; i < 2; ++i) {
+    const int row = model.add_row("eq" + std::to_string(i), RowSense::kEq, 2.0);
+    model.add_coefficient(row, x, 1.0);
+    model.add_coefficient(row, y, 1.0);
+  }
+  const LpSolution solution = solve_lp(model);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 0.0, 1e-6);
+  EXPECT_NEAR(solution.values[y], 2.0, 1e-6);
+}
+
+TEST(Simplex, EmptyObjectiveFeasibilityProblem) {
+  LpModel model;
+  const int x = model.add_variable("x", 0.0);
+  const int row = model.add_row("eq", RowSense::kEq, 7.0);
+  model.add_coefficient(row, x, 1.0);
+  const LpSolution solution = solve_lp(model);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.values[x], 7.0, 1e-6);
+}
+
+TEST(Simplex, RandomProgramsAreFeasibleAtOptimum) {
+  // Random bounded-feasible programs: x_i <= cap_i rows keep them bounded;
+  // a >= row ensures phase 1 does real work.
+  Rng rng(2024);
+  for (int trial = 0; trial < 20; ++trial) {
+    LpModel model;
+    const int vars = 3 + static_cast<int>(rng.index(5));
+    for (int v = 0; v < vars; ++v) {
+      model.add_variable("v" + std::to_string(v),
+                         rng.uniform_real(-2.0, 2.0));
+    }
+    for (int v = 0; v < vars; ++v) {
+      const int row = model.add_row("cap" + std::to_string(v), RowSense::kLe,
+                                    rng.uniform_real(1.0, 10.0));
+      model.add_coefficient(row, v, 1.0);
+    }
+    const int ge = model.add_row("ge", RowSense::kGe, 0.5);
+    for (int v = 0; v < vars; ++v) {
+      model.add_coefficient(ge, v, rng.uniform_real(0.5, 2.0));
+    }
+    const LpSolution solution = solve_lp(model);
+    ASSERT_EQ(solution.status, LpStatus::kOptimal) << "trial " << trial;
+    EXPECT_LE(model.max_violation(solution.values), 1e-6) << "trial " << trial;
+    EXPECT_NEAR(model.objective_value(solution.values), solution.objective,
+                1e-6);
+  }
+}
+
+TEST(Simplex, ParallelEliminationMatchesSerial) {
+  // Force the parallel pivot path on a mid-size random program and check
+  // it produces the same optimum as the serial path.
+  Rng rng(31337);
+  LpModel model;
+  const int vars = 40;
+  for (int v = 0; v < vars; ++v) {
+    model.add_variable("v" + std::to_string(v), rng.uniform_real(-1.0, 1.0));
+  }
+  for (int v = 0; v < vars; ++v) {
+    const int row = model.add_row("cap" + std::to_string(v), RowSense::kLe,
+                                  rng.uniform_real(1.0, 5.0));
+    model.add_coefficient(row, v, 1.0);
+  }
+  for (int r = 0; r < 20; ++r) {
+    const int row = model.add_row("mix" + std::to_string(r), RowSense::kGe,
+                                  rng.uniform_real(0.1, 2.0));
+    for (int v = 0; v < vars; ++v) {
+      model.add_coefficient(row, v, rng.uniform_real(0.1, 1.0));
+    }
+  }
+  SimplexOptions serial;
+  serial.parallel = false;
+  SimplexOptions parallel;
+  parallel.parallel = true;
+  parallel.parallel_threshold = 0;  // force the parallel path
+  const LpSolution a = solve_lp(model, serial);
+  const LpSolution b = solve_lp(model, parallel);
+  ASSERT_EQ(a.status, LpStatus::kOptimal);
+  ASSERT_EQ(b.status, LpStatus::kOptimal);
+  EXPECT_NEAR(a.objective, b.objective, 1e-7);
+  EXPECT_LE(model.max_violation(b.values), 1e-6);
+}
+
+TEST(Simplex, IterationLimitReported) {
+  LpModel model;
+  const int x = model.add_variable("x", -1.0);
+  const int y = model.add_variable("y", -2.0);
+  for (int i = 0; i < 4; ++i) {
+    const int row =
+        model.add_row("r" + std::to_string(i), RowSense::kLe, 10.0 + i);
+    model.add_coefficient(row, x, 1.0 + 0.3 * i);
+    model.add_coefficient(row, y, 2.0 - 0.3 * i);
+  }
+  SimplexOptions options;
+  options.max_pivots = 1;
+  const LpSolution solution = solve_lp(model, options);
+  EXPECT_EQ(solution.status, LpStatus::kIterationLimit);
+}
+
+}  // namespace
+}  // namespace calisched

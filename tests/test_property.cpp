@@ -1,0 +1,219 @@
+// Property-based sweeps (parameterized over seeds and instance shapes).
+//
+// These tests restate the paper's invariants as executable properties and
+// sweep them across many random instances:
+//   P1  every pipeline schedule passes the independent verifier;
+//   P2  Lemma 4's sliding-window bound on rounded calibrations;
+//   P3  Lemma 5 / Corollary 6 witness invariants;
+//   P4  Theorem 12 machine budget and the internal 2x-LP rounding chain;
+//   P5  Theorem 20 calibration budget in MM-machine units;
+//   P6  the speed transform never increases calibrations and stays exact.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "baselines/calibration_bounds.hpp"
+#include "gen/generators.hpp"
+#include "longwin/fractional_witness.hpp"
+#include "longwin/long_pipeline.hpp"
+#include "longwin/rounding.hpp"
+#include "longwin/speed_transform.hpp"
+#include "mm/mm.hpp"
+#include "shortwin/short_pipeline.hpp"
+#include "solver/ise_solver.hpp"
+#include "verify/verify.hpp"
+
+namespace calisched {
+namespace {
+
+struct SweepCase {
+  std::uint64_t seed;
+  int n;
+  Time T;
+  int machines;
+};
+
+std::string case_name(const testing::TestParamInfo<SweepCase>& info) {
+  const SweepCase& c = info.param;
+  return "seed" + std::to_string(c.seed) + "_n" + std::to_string(c.n) + "_T" +
+         std::to_string(c.T) + "_m" + std::to_string(c.machines);
+}
+
+GenParams to_params(const SweepCase& c) {
+  GenParams params;
+  params.seed = c.seed;
+  params.n = c.n;
+  params.T = c.T;
+  params.machines = c.machines;
+  params.horizon = 12 * c.T;
+  params.max_proc = c.T;
+  return params;
+}
+
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> cases;
+  for (std::uint64_t seed : {11, 22, 33, 44, 55, 66}) {
+    for (const int n : {6, 12, 20}) {
+      for (const Time T : {Time{5}, Time{12}}) {
+        cases.push_back({seed, n, T, 1 + static_cast<int>(seed % 3)});
+      }
+    }
+  }
+  // Odd calibration length + minimum T corner, at each size.
+  for (const int n : {6, 14}) {
+    cases.push_back({77, n, 7, 2});
+    cases.push_back({88, n, 2, 1});
+  }
+  return cases;
+}
+
+class LongWindowSweep : public testing::TestWithParam<SweepCase> {};
+
+TEST_P(LongWindowSweep, PipelineInvariants) {
+  const Instance instance = generate_long_window(to_params(GetParam()));
+  const int m_prime = 3 * instance.machines;
+  const TiseFractional fractional = solve_tise_lp(instance, m_prime);
+  ASSERT_EQ(fractional.status, LpStatus::kOptimal);
+
+  // P2: Lemma 4 window bound on the rounded calendar.
+  const auto starts =
+      round_calibrations(fractional.points, fractional.calibration_mass);
+  for (std::size_t i = 0; i < starts.size(); ++i) {
+    std::size_t in_window = 0;
+    for (std::size_t j = i;
+         j < starts.size() && starts[j] < starts[i] + instance.T; ++j) {
+      ++in_window;
+    }
+    ASSERT_LE(in_window, static_cast<std::size_t>(3 * m_prime));
+  }
+
+  // P3: witness invariants.
+  const FractionalWitness witness = run_fractional_witness(instance, fractional);
+  EXPECT_LE(witness.telemetry.max_y_minus_carryover, 1e-6);
+  EXPECT_GE(witness.telemetry.min_job_coverage, 1.0 - 1e-6);
+  EXPECT_LE(witness.telemetry.max_calibration_work,
+            static_cast<double>(instance.T) + 1e-6);
+
+  // P4: full pipeline budgets + P1 verifier.
+  const LongWindowResult pipeline = solve_long_window(instance);
+  ASSERT_TRUE(pipeline.feasible) << pipeline.error;
+  EXPECT_LE(pipeline.schedule.machines, 18 * instance.machines);
+  EXPECT_LE(static_cast<double>(pipeline.telemetry.rounded_calibrations),
+            2.0 * pipeline.telemetry.lp_objective + 1e-6);
+  const VerifyResult check = verify_tise(instance, pipeline.schedule);
+  EXPECT_TRUE(check.ok()) << check.to_string();
+
+  // P6: speed transform.
+  const int c = (pipeline.schedule.machines + instance.machines - 1) /
+                instance.machines;
+  const auto fast = speed_transform(instance, pipeline.schedule, c);
+  ASSERT_TRUE(fast.has_value());
+  EXPECT_LE(fast->num_calibrations(), pipeline.schedule.num_calibrations());
+  const VerifyResult fast_check = verify_ise(instance, *fast);
+  EXPECT_TRUE(fast_check.ok()) << fast_check.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LongWindowSweep, testing::ValuesIn(sweep_cases()),
+                         case_name);
+
+class ShortWindowSweep : public testing::TestWithParam<SweepCase> {};
+
+TEST_P(ShortWindowSweep, PipelineInvariants) {
+  const Instance instance = generate_short_window(to_params(GetParam()));
+  const GreedyEdfMM mm;
+  const ShortWindowResult result = solve_short_window(instance, mm);
+  ASSERT_TRUE(result.feasible) << result.error;
+  // P1: verifier.
+  const VerifyResult check = verify_ise(instance, result.schedule);
+  EXPECT_TRUE(check.ok()) << check.to_string();
+  // P5: Lemma 19 budget, summed over intervals.
+  EXPECT_LE(result.telemetry.total_calibrations,
+            static_cast<std::size_t>(8 * result.telemetry.sum_mm_machines));
+  EXPECT_LE(result.telemetry.machines_allotted,
+            6 * result.telemetry.max_mm_machines);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ShortWindowSweep, testing::ValuesIn(sweep_cases()),
+                         case_name);
+
+class MixedSweep : public testing::TestWithParam<SweepCase> {};
+
+TEST_P(MixedSweep, EndToEndInvariants) {
+  const Instance instance = generate_mixed(to_params(GetParam()), 0.5);
+  const IseSolveResult result = solve_ise(instance);
+  ASSERT_TRUE(result.feasible) << result.error;
+  const VerifyResult check = verify_ise(instance, result.schedule);
+  EXPECT_TRUE(check.ok()) << check.to_string();
+  EXPECT_GE(static_cast<std::int64_t>(result.total_calibrations),
+            calibration_lower_bound(instance));
+  EXPECT_EQ(result.long_job_count + result.short_job_count, instance.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MixedSweep, testing::ValuesIn(sweep_cases()),
+                         case_name);
+
+class UnitSweep : public testing::TestWithParam<SweepCase> {};
+
+TEST_P(UnitSweep, UnitInstancesThroughBothPaths) {
+  GenParams params = to_params(GetParam());
+  const Instance instance = generate_unit(params, /*max_window=*/2 * params.T - 1);
+  // All unit jobs here are short-window; run the full solver and the unit
+  // MM box variant, both must verify.
+  const IseSolveResult general = solve_ise(instance);
+  ASSERT_TRUE(general.feasible) << general.error;
+  EXPECT_TRUE(verify_ise(instance, general.schedule).ok());
+
+  IseSolverOptions options;
+  options.mm = std::make_shared<UnitEdfMM>();
+  const IseSolveResult unit = solve_ise(instance, options);
+  ASSERT_TRUE(unit.feasible) << unit.error;
+  EXPECT_TRUE(verify_ise(instance, unit.schedule).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, UnitSweep, testing::ValuesIn(sweep_cases()),
+                         case_name);
+
+class OptimizedSweep : public testing::TestWithParam<SweepCase> {};
+
+TEST_P(OptimizedSweep, OptimizationsPreserveFeasibilityAndNeverCostMore) {
+  const Instance instance = generate_mixed(to_params(GetParam()), 0.5);
+  const IseSolveResult paper = solve_ise(instance);
+  ASSERT_TRUE(paper.feasible) << paper.error;
+
+  IseSolverOptions options;
+  options.long_window.adaptive_mirror = true;
+  options.long_window.prune_empty_calibrations = true;
+  options.short_window.trim_unused_calibrations = true;
+  const IseSolveResult optimized = solve_ise(instance, options);
+  ASSERT_TRUE(optimized.feasible) << optimized.error;
+  EXPECT_LE(optimized.total_calibrations, paper.total_calibrations);
+  const VerifyResult check = verify_ise(instance, optimized.schedule);
+  EXPECT_TRUE(check.ok()) << check.to_string();
+  EXPECT_GE(static_cast<std::int64_t>(optimized.total_calibrations),
+            calibration_lower_bound(instance));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, OptimizedSweep, testing::ValuesIn(sweep_cases()),
+                         case_name);
+
+class SpeedSweep : public testing::TestWithParam<SweepCase> {};
+
+TEST_P(SpeedSweep, SpeedAugmentedShortPipeline) {
+  const Instance instance = generate_short_window(to_params(GetParam()));
+  const GreedyEdfMM base;
+  const ShortWindowResult slow = solve_short_window(instance, base);
+  ASSERT_TRUE(slow.feasible) << slow.error;
+  const SpeedupMM fast_box(std::make_shared<GreedyEdfMM>(), 2);
+  const ShortWindowResult fast = solve_short_window(instance, fast_box);
+  ASSERT_TRUE(fast.feasible) << fast.error;
+  // Faster machines never require more of them.
+  EXPECT_LE(fast.telemetry.sum_mm_machines, slow.telemetry.sum_mm_machines);
+  const VerifyResult check = verify_ise(instance, fast.schedule);
+  EXPECT_TRUE(check.ok()) << check.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SpeedSweep, testing::ValuesIn(sweep_cases()),
+                         case_name);
+
+}  // namespace
+}  // namespace calisched

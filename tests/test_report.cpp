@@ -1,0 +1,155 @@
+// Tests for the ASCII renderers and the paper-figure fixtures.
+#include <gtest/gtest.h>
+
+#include "gen/paper_figures.hpp"
+#include "report/ascii_gantt.hpp"
+#include "report/stats.hpp"
+#include "verify/verify.hpp"
+
+namespace calisched {
+namespace {
+
+TEST(PaperFigures, Figure1FixtureIsFeasibleIse) {
+  const Instance instance = figure1_instance();
+  EXPECT_FALSE(instance.validate().has_value());
+  const Schedule schedule = figure1_ise_schedule();
+  const VerifyResult check = verify_ise(instance, schedule);
+  EXPECT_TRUE(check.ok()) << check.to_string();
+  // All jobs are long, as Section 3 requires.
+  for (const Job& job : instance.jobs) {
+    EXPECT_TRUE(job.is_long(instance.T)) << "job " << job.id;
+  }
+}
+
+TEST(PaperFigures, Figure1ViolatesTiseAsDrawn) {
+  // Jobs 1 and 5 (deadline inside the calibration) and job 7 (release
+  // after the calibration start) make the schedule TISE-infeasible.
+  const Instance instance = figure1_instance();
+  const Schedule schedule = figure1_ise_schedule();
+  const VerifyResult check = verify_tise(instance, schedule);
+  EXPECT_EQ(check.violations.size(), 3u) << check.to_string();
+}
+
+TEST(PaperFigures, Figure2ProfileShape) {
+  const FractionalProfile profile = figure2_profile();
+  ASSERT_EQ(profile.points.size(), profile.mass.size());
+  ASSERT_EQ(profile.points.size(), 4u);
+  double total = 0.0;
+  for (const double m : profile.mass) total += m;
+  EXPECT_NEAR(total, 1.6, 1e-12);
+}
+
+TEST(RenderWindows, ShowsEveryJob) {
+  const Instance instance = figure1_instance();
+  const std::string text = render_windows(instance);
+  for (const Job& job : instance.jobs) {
+    EXPECT_NE(text.find("job " + std::to_string(job.id)), std::string::npos);
+  }
+  EXPECT_NE(text.find('|'), std::string::npos);
+}
+
+TEST(RenderWindows, EmptyInstance) {
+  Instance instance;
+  instance.machines = 1;
+  instance.T = 4;
+  EXPECT_EQ(render_windows(instance), "(no jobs)\n");
+}
+
+TEST(RenderSchedule, ShowsCalibrationsAndJobs) {
+  const Instance instance = figure1_instance();
+  const Schedule schedule = figure1_ise_schedule();
+  const std::string text = render_schedule(instance, schedule);
+  EXPECT_NE(text.find("m0 cal"), std::string::npos);
+  EXPECT_NE(text.find("m0 jobs"), std::string::npos);
+  EXPECT_NE(text.find('['), std::string::npos);
+  EXPECT_NE(text.find('7'), std::string::npos);  // job glyph
+}
+
+TEST(RenderSchedule, EmptySchedule) {
+  Instance instance;
+  instance.machines = 1;
+  instance.T = 4;
+  Schedule schedule = Schedule::empty_like(instance, 1);
+  EXPECT_EQ(render_schedule(instance, schedule), "(empty schedule)\n");
+}
+
+TEST(RenderSchedule, TickDenominatedNote) {
+  Instance instance;
+  instance.machines = 1;
+  instance.T = 10;
+  instance.jobs = {{0, 0, 20, 5}};
+  Schedule schedule = Schedule::empty_like(instance, 1);
+  schedule.time_denominator = 4;
+  schedule.speed = 4;
+  schedule.calibrations = {{0, 0}};
+  schedule.jobs = {{0, 0, 0}};
+  const std::string text = render_schedule(instance, schedule);
+  EXPECT_NE(text.find("4 ticks per time unit"), std::string::npos);
+}
+
+TEST(RenderSchedule, WideSpanIsCompressed) {
+  Instance instance;
+  instance.machines = 1;
+  instance.T = 10;
+  instance.jobs = {{0, 0, 20, 5}, {1, 990, 1010, 5}};
+  Schedule schedule = Schedule::empty_like(instance, 1);
+  schedule.calibrations = {{0, 0}, {0, 990}};
+  schedule.jobs = {{0, 0, 0}, {1, 0, 990}};
+  RenderOptions options;
+  options.max_width = 80;
+  const std::string text = render_schedule(instance, schedule, options);
+  EXPECT_NE(text.find("1 column ="), std::string::npos);
+  // No line should be drastically wider than the requested width.
+  std::size_t longest = 0;
+  std::size_t line_start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == '\n') {
+      longest = std::max(longest, i - line_start);
+      line_start = i + 1;
+    }
+  }
+  EXPECT_LE(longest, 110u);
+}
+
+TEST(ScheduleStats, Figure1Numbers) {
+  const Instance instance = figure1_instance();
+  const Schedule schedule = figure1_ise_schedule();
+  const ScheduleStats stats = compute_stats(instance, schedule);
+  EXPECT_EQ(stats.calibrations, 2u);
+  EXPECT_EQ(stats.machines_used, 1);
+  EXPECT_EQ(stats.calibrated_ticks, 20);
+  EXPECT_EQ(stats.busy_ticks, 20);  // jobs fill both calibrations exactly
+  EXPECT_DOUBLE_EQ(stats.utilization, 1.0);
+  EXPECT_EQ(stats.span_ticks, 20);
+  EXPECT_EQ(stats.max_calibrations_per_machine, 2u);
+}
+
+TEST(ScheduleStats, EmptySchedule) {
+  Instance instance;
+  instance.machines = 1;
+  instance.T = 4;
+  const Schedule schedule = Schedule::empty_like(instance, 1);
+  const ScheduleStats stats = compute_stats(instance, schedule);
+  EXPECT_EQ(stats.calibrations, 0u);
+  EXPECT_EQ(stats.utilization, 0.0);
+  EXPECT_EQ(stats.span_ticks, 0);
+}
+
+TEST(ScheduleStats, SpeedAwareTicks) {
+  Instance instance;
+  instance.machines = 1;
+  instance.T = 10;
+  instance.jobs = {{0, 0, 20, 5}};
+  Schedule schedule = Schedule::empty_like(instance, 1);
+  schedule.time_denominator = 4;
+  schedule.speed = 4;
+  schedule.calibrations = {{0, 0}};
+  schedule.jobs = {{0, 0, 0}};
+  const ScheduleStats stats = compute_stats(instance, schedule);
+  EXPECT_EQ(stats.calibrated_ticks, 40);
+  EXPECT_EQ(stats.busy_ticks, 5);
+  EXPECT_DOUBLE_EQ(stats.utilization, 0.125);
+}
+
+}  // namespace
+}  // namespace calisched

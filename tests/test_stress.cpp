@@ -1,0 +1,297 @@
+// Randomized stress and differential tests.
+//
+//  * Fuzz: every solver output across families/parameters passes the
+//    independent verifier and respects certified lower bounds.
+//  * Differential: on tiny instances the pipelines never beat the exact
+//    optimum, and the exact optimum never beats the per-job count.
+//  * Simplex-vs-brute-force: for small LPs, enumerate all basic points
+//    (vertices) by solving every square subsystem and compare the optimum
+//    against the simplex result.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "baselines/baseline.hpp"
+#include "baselines/exact_ise.hpp"
+#include "baselines/ise_lp_bound.hpp"
+#include "gen/generators.hpp"
+#include "lp/simplex.hpp"
+#include "solver/ise_solver.hpp"
+#include "util/rng.hpp"
+#include "verify/verify.hpp"
+
+namespace calisched {
+namespace {
+
+TEST(Stress, SolverFuzzAcrossFamilies) {
+  int solved = 0;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    for (const int family : {0, 1, 2, 3, 4}) {
+      GenParams params;
+      params.seed = seed * 31 + family;
+      params.n = 6 + static_cast<int>((seed * 7 + family) % 14);
+      params.T = 4 + static_cast<Time>(seed % 9);
+      params.machines = 1 + static_cast<int>(seed % 3);
+      params.horizon = (6 + static_cast<Time>(seed % 10)) * params.T;
+      params.max_proc = params.T;
+      Instance instance;
+      switch (family) {
+        case 0: instance = generate_long_window(params); break;
+        case 1: instance = generate_short_window(params); break;
+        case 2: instance = generate_mixed(params, 0.3 + 0.05 * (seed % 8)); break;
+        case 3: instance = generate_unit(params, 2 * params.T - 1); break;
+        default:
+          instance = generate_clustered(params, 2 + static_cast<int>(seed % 3),
+                                        params.T, (seed % 2) == 0);
+      }
+      ASSERT_FALSE(instance.validate().has_value())
+          << "family " << family << " seed " << seed;
+      const IseSolveResult result = solve_ise(instance);
+      ASSERT_TRUE(result.feasible)
+          << "family " << family << " seed " << seed << ": " << result.error;
+      const VerifyResult check = verify_ise(instance, result.schedule);
+      ASSERT_TRUE(check.ok()) << "family " << family << " seed " << seed << "\n"
+                              << check.to_string();
+      ++solved;
+    }
+  }
+  EXPECT_EQ(solved, 60);
+}
+
+TEST(Stress, OptimizedSolverFuzz) {
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    GenParams params;
+    params.seed = seed;
+    params.n = 12;
+    params.T = 10;
+    params.machines = 2;
+    params.horizon = 12 * params.T;
+    params.max_proc = 9;
+    const Instance instance = generate_mixed(params, 0.5);
+    IseSolverOptions options;
+    options.long_window.adaptive_mirror = true;
+    options.long_window.prune_empty_calibrations = true;
+    options.short_window.trim_unused_calibrations = true;
+    options.short_window.relaxed_calibrations = true;
+    const IseSolveResult result = solve_ise(instance, options);
+    ASSERT_TRUE(result.feasible) << "seed " << seed << ": " << result.error;
+    const VerifyResult check =
+        verify_ise(instance, result.schedule, /*require_tise=*/false,
+                   CalibrationPolicy::kOverlapAllowed);
+    ASSERT_TRUE(check.ok()) << "seed " << seed << "\n" << check.to_string();
+  }
+}
+
+TEST(Stress, PipelineNeverBeatsExactOptimum) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    GenParams params;
+    params.seed = seed;
+    params.n = 5;
+    params.T = 6;
+    params.machines = 2;
+    params.horizon = 30;
+    params.max_proc = 5;
+    const Instance instance = generate_mixed(params, 0.5);
+    const ExactIseResult exact = solve_exact_ise(instance);
+    if (!exact.solved || !exact.feasible) continue;
+    const IseSolveResult pipeline = solve_ise(instance);
+    if (!pipeline.feasible) continue;
+    EXPECT_GE(pipeline.total_calibrations, exact.optimal_calibrations)
+        << "seed " << seed;
+    // Exact never beats the trivial per-job count.
+    EXPECT_LE(exact.optimal_calibrations, instance.size()) << "seed " << seed;
+    // And respects the certified LP bound.
+    EXPECT_GE(static_cast<std::int64_t>(exact.optimal_calibrations),
+              ise_certified_bound(instance))
+        << "seed " << seed;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Metamorphic invariances of the solver.
+// ---------------------------------------------------------------------------
+
+TEST(Metamorphic, TimeTranslationInvariance) {
+  // Shifting every release and deadline by a constant shifts the schedule
+  // and changes nothing else (the model has no absolute origin).
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    GenParams params;
+    params.seed = seed;
+    params.n = 12;
+    params.T = 10;
+    params.machines = 2;
+    params.horizon = 90;
+    params.max_proc = 9;
+    const Instance base = generate_mixed(params, 0.5);
+    Instance shifted = base;
+    const Time delta = 100000;
+    for (Job& job : shifted.jobs) {
+      job.release += delta;
+      job.deadline += delta;
+    }
+    const IseSolveResult a = solve_ise(base);
+    const IseSolveResult b = solve_ise(shifted);
+    ASSERT_TRUE(a.feasible && b.feasible) << "seed " << seed;
+    EXPECT_EQ(a.total_calibrations, b.total_calibrations) << "seed " << seed;
+    ASSERT_EQ(a.schedule.calibrations.size(), b.schedule.calibrations.size());
+    for (std::size_t c = 0; c < a.schedule.calibrations.size(); ++c) {
+      EXPECT_EQ(a.schedule.calibrations[c].start + delta,
+                b.schedule.calibrations[c].start)
+          << "seed " << seed;
+      EXPECT_EQ(a.schedule.calibrations[c].machine,
+                b.schedule.calibrations[c].machine);
+    }
+  }
+}
+
+TEST(Metamorphic, TimeScalingInvariance) {
+  // Multiplying r, d, p, and T by a constant scales the schedule: the
+  // calibration count is unchanged.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    GenParams params;
+    params.seed = seed;
+    params.n = 10;
+    params.T = 8;
+    params.machines = 2;
+    params.horizon = 64;
+    params.max_proc = 7;
+    const Instance base = generate_mixed(params, 0.5);
+    Instance scaled = base;
+    const Time k = 5;
+    scaled.T *= k;
+    for (Job& job : scaled.jobs) {
+      job.release *= k;
+      job.deadline *= k;
+      job.proc *= k;
+    }
+    const IseSolveResult a = solve_ise(base);
+    const IseSolveResult b = solve_ise(scaled);
+    ASSERT_TRUE(a.feasible && b.feasible) << "seed " << seed;
+    EXPECT_EQ(a.total_calibrations, b.total_calibrations) << "seed " << seed;
+    EXPECT_TRUE(verify_ise(scaled, b.schedule).ok()) << "seed " << seed;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Simplex vs brute-force vertex enumeration.
+// ---------------------------------------------------------------------------
+
+/// Solves a square linear system by Gaussian elimination with partial
+/// pivoting; returns nullopt when singular.
+std::optional<std::vector<double>> solve_square(std::vector<std::vector<double>> a,
+                                                std::vector<double> b) {
+  const std::size_t n = b.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    }
+    if (std::fabs(a[pivot][col]) < 1e-9) return std::nullopt;
+    std::swap(a[pivot], a[col]);
+    std::swap(b[pivot], b[col]);
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double factor = a[r][col] / a[col][col];
+      for (std::size_t c = col; c < n; ++c) a[r][c] -= factor * a[col][c];
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[i] / a[i][i];
+  return x;
+}
+
+/// Brute-force LP optimum: every vertex of {Ax <= / = / >= b, x >= 0} is
+/// the solution of n tight constraints chosen among rows and axes.
+std::optional<double> brute_force_lp(const LpModel& model) {
+  const int n = model.num_variables();
+  const int rows = model.num_rows();
+  // Build dense row data including axis constraints x_i >= 0.
+  struct DenseRow {
+    std::vector<double> coefficients;
+    double rhs;
+  };
+  std::vector<DenseRow> all;
+  for (int r = 0; r < rows; ++r) {
+    DenseRow row{std::vector<double>(static_cast<std::size_t>(n), 0.0),
+                 model.rhs(r)};
+    for (const LpEntry& entry : model.row_entries(r)) {
+      row.coefficients[static_cast<std::size_t>(entry.column)] += entry.value;
+    }
+    all.push_back(std::move(row));
+  }
+  for (int v = 0; v < n; ++v) {
+    DenseRow axis{std::vector<double>(static_cast<std::size_t>(n), 0.0), 0.0};
+    axis.coefficients[static_cast<std::size_t>(v)] = 1.0;
+    all.push_back(std::move(axis));
+  }
+  const auto total = static_cast<std::size_t>(all.size());
+  std::optional<double> best;
+  std::vector<std::size_t> choice;
+  // Enumerate all n-subsets of `all` as tight constraints.
+  const auto recurse = [&](auto&& self, std::size_t from) -> void {
+    if (choice.size() == static_cast<std::size_t>(n)) {
+      std::vector<std::vector<double>> a;
+      std::vector<double> b;
+      for (const std::size_t index : choice) {
+        a.push_back(all[index].coefficients);
+        b.push_back(all[index].rhs);
+      }
+      const auto x = solve_square(std::move(a), std::move(b));
+      if (!x) return;
+      if (model.max_violation(*x) > 1e-6) return;
+      const double objective = model.objective_value(*x);
+      if (!best || objective < *best - 1e-12) best = objective;
+      return;
+    }
+    for (std::size_t index = from; index < total; ++index) {
+      choice.push_back(index);
+      self(self, index + 1);
+      choice.pop_back();
+    }
+  };
+  recurse(recurse, 0);
+  return best;
+}
+
+TEST(Stress, SimplexMatchesBruteForceOnRandomLps) {
+  Rng rng(808);
+  int compared = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    LpModel model;
+    const int vars = 2 + static_cast<int>(rng.index(3));   // 2..4
+    const int rows = 2 + static_cast<int>(rng.index(4));   // 2..5
+    for (int v = 0; v < vars; ++v) {
+      model.add_variable("v" + std::to_string(v), rng.uniform_real(-1.0, 2.0));
+    }
+    // Cap every variable to keep the region bounded.
+    for (int v = 0; v < vars; ++v) {
+      const int row = model.add_row("cap" + std::to_string(v), RowSense::kLe,
+                                    rng.uniform_real(1.0, 6.0));
+      model.add_coefficient(row, v, 1.0);
+    }
+    for (int r = 0; r < rows; ++r) {
+      const RowSense sense = rng.chance(0.5) ? RowSense::kLe : RowSense::kGe;
+      const int row = model.add_row("r" + std::to_string(r), sense,
+                                    rng.uniform_real(0.2, 4.0));
+      for (int v = 0; v < vars; ++v) {
+        model.add_coefficient(row, v, rng.uniform_real(0.1, 2.0));
+      }
+    }
+    const LpSolution simplex = solve_lp(model);
+    const auto reference = brute_force_lp(model);
+    if (!reference) {
+      EXPECT_EQ(simplex.status, LpStatus::kInfeasible) << "trial " << trial;
+      continue;
+    }
+    ASSERT_EQ(simplex.status, LpStatus::kOptimal) << "trial " << trial;
+    EXPECT_NEAR(simplex.objective, *reference, 1e-5) << "trial " << trial;
+    ++compared;
+  }
+  EXPECT_GE(compared, 15);  // most random programs are feasible
+}
+
+}  // namespace
+}  // namespace calisched

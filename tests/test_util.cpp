@@ -1,0 +1,220 @@
+// Unit tests for src/util: RNG, arithmetic, thread pool, tables, CLI.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/arith.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace calisched {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformIntRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = rng.uniform_int(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntRoughlyUniform) {
+  Rng rng(17);
+  int counts[4] = {0, 0, 0, 0};
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.uniform_int(0, 3)];
+  for (const int count : counts) {
+    EXPECT_NEAR(count, trials / 4, trials / 20);
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.split();
+  EXPECT_NE(a(), child());
+}
+
+TEST(Arith, FloorDiv) {
+  EXPECT_EQ(floor_div(7, 2), 3);
+  EXPECT_EQ(floor_div(-7, 2), -4);
+  EXPECT_EQ(floor_div(-8, 2), -4);
+  EXPECT_EQ(floor_div(0, 5), 0);
+}
+
+TEST(Arith, CeilDiv) {
+  EXPECT_EQ(ceil_div(7, 2), 4);
+  EXPECT_EQ(ceil_div(8, 2), 4);
+  EXPECT_EQ(ceil_div(-7, 2), -3);
+  EXPECT_EQ(ceil_div(1, 10), 1);
+}
+
+TEST(Arith, IntervalsOverlap) {
+  EXPECT_TRUE(intervals_overlap(0, 5, 4, 9));
+  EXPECT_FALSE(intervals_overlap(0, 5, 5, 9));  // half-open touch
+  EXPECT_TRUE(intervals_overlap(2, 3, 0, 10));
+  EXPECT_FALSE(intervals_overlap(0, 1, 2, 3));
+}
+
+TEST(Arith, IntervalContains) {
+  EXPECT_TRUE(interval_contains(0, 10, 0, 10));
+  EXPECT_TRUE(interval_contains(0, 10, 3, 7));
+  EXPECT_FALSE(interval_contains(0, 10, 3, 11));
+}
+
+TEST(Arith, CheckedLcm) {
+  EXPECT_EQ(checked_lcm(4, 6), 12);
+  EXPECT_EQ(checked_lcm(7, 7), 7);
+  EXPECT_EQ(checked_lcm(1, 9), 9);
+}
+
+TEST(ThreadPool, ParallelForVisitsEachIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      parallel_for(pool, 16,
+                   [](std::size_t i) {
+                     if (i == 7) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ZeroCountIsNoop) {
+  ThreadPool pool(2);
+  parallel_for(pool, 0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, SubmitFutureCompletes) {
+  ThreadPool pool(1);
+  std::atomic<bool> ran{false};
+  pool.submit([&] { ran = true; }).get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(Table, AlignedOutputContainsCells) {
+  Table table({"alpha", "beta"});
+  table.row().cell("x").cell(std::int64_t{42});
+  table.row().cell(1.5, 2).cell(true);
+  std::ostringstream out;
+  table.print(out, "demo");
+  const std::string text = out.str();
+  EXPECT_NE(text.find("demo"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+  EXPECT_NE(text.find("1.50"), std::string::npos);
+  EXPECT_NE(text.find("PASS"), std::string::npos);
+}
+
+TEST(Table, CsvQuotesSpecialCharacters) {
+  Table table({"name"});
+  table.add_row({"a,b\"c"});
+  std::ostringstream out;
+  table.print_csv(out);
+  EXPECT_NE(out.str().find("\"a,b\"\"c\""), std::string::npos);
+}
+
+TEST(Table, FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+TEST(Cli, ParsesFlagStyles) {
+  // Note: a bare boolean flag greedily consumes a following positional, so
+  // boolean flags come last or use the --flag=true form.
+  const char* argv[] = {"prog", "--n=12", "--T", "7", "pos1", "--verbose"};
+  CliArgs args(6, argv);
+  EXPECT_EQ(args.get_int("n", 0), 12);
+  EXPECT_EQ(args.get_int("T", 0), 7);
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "pos1");
+}
+
+TEST(Cli, FallbacksWhenMissing) {
+  const char* argv[] = {"prog"};
+  CliArgs args(1, argv);
+  EXPECT_EQ(args.get("name", "dflt"), "dflt");
+  EXPECT_EQ(args.get_int("n", -1), -1);
+  EXPECT_DOUBLE_EQ(args.get_double("x", 2.5), 2.5);
+  EXPECT_FALSE(args.has("nope"));
+}
+
+TEST(Cli, RejectsBareDoubleDash) {
+  const char* argv[] = {"prog", "--"};
+  EXPECT_THROW(CliArgs(2, argv), std::invalid_argument);
+}
+
+TEST(Table, RowCount) {
+  Table table({"a"});
+  EXPECT_EQ(table.row_count(), 0u);
+  table.add_row({"x"});
+  table.row().cell("y");
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(Cli, TracksUnusedFlags) {
+  const char* argv[] = {"prog", "--used=1", "--typo=2"};
+  CliArgs args(3, argv);
+  (void)args.get_int("used", 0);
+  const auto unused = args.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+}  // namespace
+}  // namespace calisched

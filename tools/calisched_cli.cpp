@@ -1,0 +1,271 @@
+// calisched — command-line front end.
+//
+// Reads an instance (see src/core/instance.hpp for the text format), runs
+// the chosen algorithm, verifies the schedule independently, and prints a
+// summary, an optional ASCII Gantt chart, and optional CSV.
+//
+// Usage:
+//   calisched <instance-file> [--algo=NAME] [--gantt] [--csv] [--quiet]
+//             [--adaptive-mirror] [--prune-empty] [--relaxed] [--mm=NAME]
+//   calisched --generate=FAMILY --n=N --T=N --machines=N [--seed=N] --out=F
+//
+// MM boxes can be speed-augmented with --mm-speed=S (Theorem 1's s-speed
+// augmentation).
+// Algorithms (--algo):
+//   combined     Theorem 1 solver (default)
+//   long         Theorem 12 long-window pipeline (requires all-long input)
+//   long-speed   Theorem 14 (m machines, speed 36)
+//   short        Theorem 20 short-window pipeline (requires all-short input)
+//   greedy-lazy  non-unit lazy binning heuristic (no guarantee)
+//   per-job      one calibration per job
+//   saturate     always-calibrated grid baseline
+//   bender       lazy binning (unit jobs only)
+//   exact        exact minimum calibrations (tiny instances only)
+// MM boxes (--mm): greedy (default), exact, unit, lp-rounding.
+#include <fstream>
+#include <iostream>
+#include <memory>
+
+#include "baselines/baseline.hpp"
+#include "core/schedule_io.hpp"
+#include "baselines/calibration_bounds.hpp"
+#include "baselines/exact_ise.hpp"
+#include "gen/generators.hpp"
+#include "longwin/long_pipeline.hpp"
+#include "mm/lp_rounding_mm.hpp"
+#include "mm/mm.hpp"
+#include "report/ascii_gantt.hpp"
+#include "report/stats.hpp"
+#include "shortwin/short_pipeline.hpp"
+#include "solver/ise_solver.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "verify/verify.hpp"
+
+namespace {
+
+using namespace calisched;
+
+int generate_mode(const CliArgs& args) {
+  GenParams params;
+  params.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  params.n = static_cast<int>(args.get_int("n", 12));
+  params.T = args.get_int("T", 10);
+  params.machines = static_cast<int>(args.get_int("machines", 2));
+  params.horizon = args.get_int("horizon", 10 * params.T);
+  params.max_proc = args.get_int("max-proc", params.T);
+  const std::string family = args.get("generate", "mixed");
+  Instance instance;
+  if (family == "mixed") {
+    instance = generate_mixed(params, args.get_double("long-fraction", 0.5));
+  } else if (family == "long") {
+    instance = generate_long_window(params);
+  } else if (family == "short") {
+    instance = generate_short_window(params);
+  } else if (family == "unit") {
+    instance = generate_unit(params, args.get_int("max-window", 2 * params.T - 1));
+  } else if (family == "clustered") {
+    instance = generate_clustered(params,
+                                  static_cast<int>(args.get_int("bursts", 3)),
+                                  args.get_int("burst-span", params.T),
+                                  args.get_bool("long-windows", false));
+  } else {
+    std::cerr << "unknown family '" << family
+              << "' (mixed|long|short|unit|clustered)\n";
+    return 2;
+  }
+  const std::string out = args.get("out", "");
+  if (out.empty()) {
+    write_instance(std::cout, instance);
+  } else {
+    std::ofstream file(out);
+    if (!file) {
+      std::cerr << "cannot open " << out << " for writing\n";
+      return 2;
+    }
+    write_instance(file, instance);
+    std::cout << "wrote " << instance.size() << " jobs to " << out << '\n';
+  }
+  return 0;
+}
+
+std::shared_ptr<const MachineMinimizer> make_mm(const std::string& name,
+                                                std::int64_t speed) {
+  std::shared_ptr<const MachineMinimizer> box;
+  if (name == "greedy") box = std::make_shared<GreedyEdfMM>();
+  if (name == "exact") box = std::make_shared<ExactMM>();
+  if (name == "unit") box = std::make_shared<UnitEdfMM>();
+  if (name == "lp-rounding") box = std::make_shared<LpRoundingMM>();
+  if (box && speed > 1) box = std::make_shared<SpeedupMM>(box, speed);
+  return box;
+}
+
+struct RunOutcome {
+  bool feasible = false;
+  Schedule schedule;
+  std::string error;
+  CalibrationPolicy policy = CalibrationPolicy::kStrict;
+  bool tise = false;
+};
+
+RunOutcome run_algorithm(const Instance& instance, const CliArgs& args,
+                         const std::string& algo) {
+  RunOutcome outcome;
+  LongWindowOptions long_options;
+  long_options.adaptive_mirror = args.get_bool("adaptive-mirror", false);
+  long_options.prune_empty_calibrations = args.get_bool("prune-empty", false);
+  IntervalOptions short_options;
+  short_options.relaxed_calibrations = args.get_bool("relaxed", false);
+  short_options.trim_unused_calibrations = args.get_bool("prune-empty", false);
+  if (short_options.relaxed_calibrations) {
+    outcome.policy = CalibrationPolicy::kOverlapAllowed;
+  }
+  const auto mm =
+      make_mm(args.get("mm", "greedy"), args.get_int("mm-speed", 1));
+  if (!mm) {
+    outcome.error = "unknown MM box (greedy|exact|unit|lp-rounding)";
+    return outcome;
+  }
+
+  if (algo == "combined") {
+    IseSolverOptions options;
+    options.long_window = long_options;
+    options.short_window = short_options;
+    options.mm = mm;
+    IseSolveResult result = solve_ise(instance, options);
+    outcome.feasible = result.feasible;
+    outcome.schedule = std::move(result.schedule);
+    outcome.error = std::move(result.error);
+  } else if (algo == "long" || algo == "long-speed") {
+    LongWindowResult result = algo == "long"
+                                  ? solve_long_window(instance, long_options)
+                                  : solve_long_window_speed(instance, long_options);
+    outcome.feasible = result.feasible;
+    outcome.schedule = std::move(result.schedule);
+    outcome.error = std::move(result.error);
+    outcome.tise = algo == "long";
+  } else if (algo == "short") {
+    ShortWindowResult result = solve_short_window(instance, *mm, short_options);
+    outcome.feasible = result.feasible;
+    outcome.schedule = std::move(result.schedule);
+    outcome.error = std::move(result.error);
+  } else if (algo == "greedy-lazy") {
+    BaselineResult result = GreedyLazyIse().solve(instance);
+    outcome.feasible = result.feasible;
+    outcome.schedule = std::move(result.schedule);
+    outcome.error = std::move(result.error);
+  } else if (algo == "per-job") {
+    BaselineResult result = PerJobCalibration().solve(instance);
+    outcome.feasible = result.feasible;
+    outcome.schedule = std::move(result.schedule);
+    outcome.error = std::move(result.error);
+  } else if (algo == "saturate") {
+    BaselineResult result = SaturateCalibration().solve(instance);
+    outcome.feasible = result.feasible;
+    outcome.schedule = std::move(result.schedule);
+    outcome.error = std::move(result.error);
+  } else if (algo == "bender") {
+    BaselineResult result = BenderUnitLazyBinning().solve(instance);
+    outcome.feasible = result.feasible;
+    outcome.schedule = std::move(result.schedule);
+    outcome.error = std::move(result.error);
+  } else if (algo == "exact") {
+    const ExactIseResult result = solve_exact_ise(instance);
+    outcome.feasible = result.solved && result.feasible;
+    outcome.schedule = result.schedule;
+    if (!result.solved) outcome.error = "search budget exhausted";
+    else if (!result.feasible) outcome.error = "instance infeasible";
+  } else {
+    outcome.error = "unknown algorithm '" + algo + "'";
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  if (args.has("generate")) return generate_mode(args);
+
+  if (args.positional().empty()) {
+    std::cerr << "usage: calisched <instance-file> [--algo=NAME] [--gantt] "
+                 "[--csv]\n       calisched --generate=FAMILY --out=FILE\n";
+    return 2;
+  }
+  std::ifstream file(args.positional()[0]);
+  if (!file) {
+    std::cerr << "cannot read " << args.positional()[0] << '\n';
+    return 2;
+  }
+  Instance instance;
+  try {
+    instance = read_instance(file);
+  } catch (const std::exception& error) {
+    std::cerr << error.what() << '\n';
+    return 2;
+  }
+
+  const std::string algo = args.get("algo", "combined");
+  const RunOutcome outcome = run_algorithm(instance, args, algo);
+  if (!outcome.feasible) {
+    std::cerr << algo << ": " << outcome.error << '\n';
+    return 1;
+  }
+  const VerifyResult check =
+      verify_ise(instance, outcome.schedule, outcome.tise, outcome.policy);
+  if (!check.ok()) {
+    std::cerr << "INTERNAL ERROR: schedule failed verification\n"
+              << check.to_string();
+    return 1;
+  }
+
+  const ScheduleStats stats = compute_stats(instance, outcome.schedule);
+  if (!args.get_bool("quiet", false)) {
+    std::cout << "algorithm        : " << algo << '\n'
+              << "jobs             : " << instance.size() << '\n'
+              << "calibrations     : " << stats.calibrations
+              << "  (lower bound " << calibration_lower_bound(instance) << ")\n"
+              << "machines used    : " << stats.machines_used << '\n'
+              << "speed            : " << outcome.schedule.speed << '\n'
+              << "utilization      : " << format_double(stats.utilization, 3)
+              << '\n'
+              << "verified         : ok\n";
+  }
+  if (args.get_bool("gantt", false)) {
+    std::cout << '\n' << render_schedule(instance, outcome.schedule);
+  }
+  const std::string save_path = args.get("save-schedule", "");
+  if (!save_path.empty()) {
+    std::ofstream out(save_path);
+    if (!out) {
+      std::cerr << "cannot open " << save_path << " for writing\n";
+      return 2;
+    }
+    write_schedule(out, outcome.schedule);
+    std::cout << "schedule saved to " << save_path << '\n';
+  }
+  if (args.get_bool("csv", false)) {
+    Table csv({"kind", "machine", "start", "length"});
+    for (const Calibration& cal : outcome.schedule.calibrations) {
+      csv.row()
+          .cell("calibration")
+          .cell(std::int64_t{cal.machine})
+          .cell(cal.start)
+          .cell(outcome.schedule.calibration_ticks());
+    }
+    for (const ScheduledJob& sj : outcome.schedule.jobs) {
+      csv.row()
+          .cell("job" + std::to_string(sj.job))
+          .cell(std::int64_t{sj.machine})
+          .cell(sj.start)
+          .cell(outcome.schedule.job_duration_ticks(
+              instance.job_by_id(sj.job).proc));
+    }
+    std::cout << '\n';
+    csv.print_csv(std::cout);
+  }
+  for (const std::string& flag : args.unused()) {
+    std::cerr << "warning: unused flag --" << flag << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_trim.dir/bench_fig1_trim.cpp.o"
+  "CMakeFiles/bench_fig1_trim.dir/bench_fig1_trim.cpp.o.d"
+  "bench_fig1_trim"
+  "bench_fig1_trim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_trim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

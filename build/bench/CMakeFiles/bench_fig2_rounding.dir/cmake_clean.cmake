@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_rounding.dir/bench_fig2_rounding.cpp.o"
+  "CMakeFiles/bench_fig2_rounding.dir/bench_fig2_rounding.cpp.o.d"
+  "bench_fig2_rounding"
+  "bench_fig2_rounding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_rounding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

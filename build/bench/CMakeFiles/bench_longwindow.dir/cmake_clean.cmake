@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_longwindow.dir/bench_longwindow.cpp.o"
+  "CMakeFiles/bench_longwindow.dir/bench_longwindow.cpp.o.d"
+  "bench_longwindow"
+  "bench_longwindow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_longwindow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

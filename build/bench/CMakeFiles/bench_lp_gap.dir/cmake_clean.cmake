@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lp_gap.dir/bench_lp_gap.cpp.o"
+  "CMakeFiles/bench_lp_gap.dir/bench_lp_gap.cpp.o.d"
+  "bench_lp_gap"
+  "bench_lp_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lp_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shortwindow.dir/bench_shortwindow.cpp.o"
+  "CMakeFiles/bench_shortwindow.dir/bench_shortwindow.cpp.o.d"
+  "bench_shortwindow"
+  "bench_shortwindow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shortwindow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

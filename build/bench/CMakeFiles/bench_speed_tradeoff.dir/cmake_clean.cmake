@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_speed_tradeoff.dir/bench_speed_tradeoff.cpp.o"
+  "CMakeFiles/bench_speed_tradeoff.dir/bench_speed_tradeoff.cpp.o.d"
+  "bench_speed_tradeoff"
+  "bench_speed_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_speed_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trim_gap.dir/bench_trim_gap.cpp.o"
+  "CMakeFiles/bench_trim_gap.dir/bench_trim_gap.cpp.o.d"
+  "bench_trim_gap"
+  "bench_trim_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trim_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

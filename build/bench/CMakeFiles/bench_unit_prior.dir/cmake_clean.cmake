@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_unit_prior.dir/bench_unit_prior.cpp.o"
+  "CMakeFiles/bench_unit_prior.dir/bench_unit_prior.cpp.o.d"
+  "bench_unit_prior"
+  "bench_unit_prior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_unit_prior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

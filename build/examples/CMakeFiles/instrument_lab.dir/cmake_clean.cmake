@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instrument_lab.dir/instrument_lab.cpp.o"
+  "CMakeFiles/instrument_lab.dir/instrument_lab.cpp.o.d"
+  "instrument_lab"
+  "instrument_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instrument_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

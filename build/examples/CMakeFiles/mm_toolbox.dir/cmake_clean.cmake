@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_toolbox.dir/mm_toolbox.cpp.o"
+  "CMakeFiles/mm_toolbox.dir/mm_toolbox.cpp.o.d"
+  "mm_toolbox"
+  "mm_toolbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_toolbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

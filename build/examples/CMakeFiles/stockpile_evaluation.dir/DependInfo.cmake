@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/stockpile_evaluation.cpp" "examples/CMakeFiles/stockpile_evaluation.dir/stockpile_evaluation.cpp.o" "gcc" "examples/CMakeFiles/stockpile_evaluation.dir/stockpile_evaluation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/calib_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/calib_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/calib_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/calib_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/mm/CMakeFiles/calib_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/longwin/CMakeFiles/calib_longwin.dir/DependInfo.cmake"
+  "/root/repo/build/src/shortwin/CMakeFiles/calib_shortwin.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/calib_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/calib_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/calib_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/calib_report.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stockpile_evaluation.dir/stockpile_evaluation.cpp.o"
+  "CMakeFiles/stockpile_evaluation.dir/stockpile_evaluation.cpp.o.d"
+  "stockpile_evaluation"
+  "stockpile_evaluation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stockpile_evaluation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/baseline.cpp" "src/baselines/CMakeFiles/calib_baselines.dir/baseline.cpp.o" "gcc" "src/baselines/CMakeFiles/calib_baselines.dir/baseline.cpp.o.d"
+  "/root/repo/src/baselines/bender_unit.cpp" "src/baselines/CMakeFiles/calib_baselines.dir/bender_unit.cpp.o" "gcc" "src/baselines/CMakeFiles/calib_baselines.dir/bender_unit.cpp.o.d"
+  "/root/repo/src/baselines/calibration_bounds.cpp" "src/baselines/CMakeFiles/calib_baselines.dir/calibration_bounds.cpp.o" "gcc" "src/baselines/CMakeFiles/calib_baselines.dir/calibration_bounds.cpp.o.d"
+  "/root/repo/src/baselines/exact_ise.cpp" "src/baselines/CMakeFiles/calib_baselines.dir/exact_ise.cpp.o" "gcc" "src/baselines/CMakeFiles/calib_baselines.dir/exact_ise.cpp.o.d"
+  "/root/repo/src/baselines/gap_min.cpp" "src/baselines/CMakeFiles/calib_baselines.dir/gap_min.cpp.o" "gcc" "src/baselines/CMakeFiles/calib_baselines.dir/gap_min.cpp.o.d"
+  "/root/repo/src/baselines/greedy_ise.cpp" "src/baselines/CMakeFiles/calib_baselines.dir/greedy_ise.cpp.o" "gcc" "src/baselines/CMakeFiles/calib_baselines.dir/greedy_ise.cpp.o.d"
+  "/root/repo/src/baselines/ise_lp_bound.cpp" "src/baselines/CMakeFiles/calib_baselines.dir/ise_lp_bound.cpp.o" "gcc" "src/baselines/CMakeFiles/calib_baselines.dir/ise_lp_bound.cpp.o.d"
+  "/root/repo/src/baselines/per_job.cpp" "src/baselines/CMakeFiles/calib_baselines.dir/per_job.cpp.o" "gcc" "src/baselines/CMakeFiles/calib_baselines.dir/per_job.cpp.o.d"
+  "/root/repo/src/baselines/saturate.cpp" "src/baselines/CMakeFiles/calib_baselines.dir/saturate.cpp.o" "gcc" "src/baselines/CMakeFiles/calib_baselines.dir/saturate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/calib_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mm/CMakeFiles/calib_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/calib_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/calib_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/calib_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calib_baselines.dir/baseline.cpp.o"
+  "CMakeFiles/calib_baselines.dir/baseline.cpp.o.d"
+  "CMakeFiles/calib_baselines.dir/bender_unit.cpp.o"
+  "CMakeFiles/calib_baselines.dir/bender_unit.cpp.o.d"
+  "CMakeFiles/calib_baselines.dir/calibration_bounds.cpp.o"
+  "CMakeFiles/calib_baselines.dir/calibration_bounds.cpp.o.d"
+  "CMakeFiles/calib_baselines.dir/exact_ise.cpp.o"
+  "CMakeFiles/calib_baselines.dir/exact_ise.cpp.o.d"
+  "CMakeFiles/calib_baselines.dir/gap_min.cpp.o"
+  "CMakeFiles/calib_baselines.dir/gap_min.cpp.o.d"
+  "CMakeFiles/calib_baselines.dir/greedy_ise.cpp.o"
+  "CMakeFiles/calib_baselines.dir/greedy_ise.cpp.o.d"
+  "CMakeFiles/calib_baselines.dir/ise_lp_bound.cpp.o"
+  "CMakeFiles/calib_baselines.dir/ise_lp_bound.cpp.o.d"
+  "CMakeFiles/calib_baselines.dir/per_job.cpp.o"
+  "CMakeFiles/calib_baselines.dir/per_job.cpp.o.d"
+  "CMakeFiles/calib_baselines.dir/saturate.cpp.o"
+  "CMakeFiles/calib_baselines.dir/saturate.cpp.o.d"
+  "libcalib_baselines.a"
+  "libcalib_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calib_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calib_core.dir/calibration_points.cpp.o"
+  "CMakeFiles/calib_core.dir/calibration_points.cpp.o.d"
+  "CMakeFiles/calib_core.dir/instance.cpp.o"
+  "CMakeFiles/calib_core.dir/instance.cpp.o.d"
+  "CMakeFiles/calib_core.dir/schedule.cpp.o"
+  "CMakeFiles/calib_core.dir/schedule.cpp.o.d"
+  "CMakeFiles/calib_core.dir/schedule_io.cpp.o"
+  "CMakeFiles/calib_core.dir/schedule_io.cpp.o.d"
+  "libcalib_core.a"
+  "libcalib_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calib_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calib_gen.dir/generators.cpp.o"
+  "CMakeFiles/calib_gen.dir/generators.cpp.o.d"
+  "CMakeFiles/calib_gen.dir/paper_figures.cpp.o"
+  "CMakeFiles/calib_gen.dir/paper_figures.cpp.o.d"
+  "libcalib_gen.a"
+  "libcalib_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calib_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

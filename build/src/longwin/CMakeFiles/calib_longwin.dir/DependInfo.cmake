@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/longwin/edf_assign.cpp" "src/longwin/CMakeFiles/calib_longwin.dir/edf_assign.cpp.o" "gcc" "src/longwin/CMakeFiles/calib_longwin.dir/edf_assign.cpp.o.d"
+  "/root/repo/src/longwin/fractional_edf.cpp" "src/longwin/CMakeFiles/calib_longwin.dir/fractional_edf.cpp.o" "gcc" "src/longwin/CMakeFiles/calib_longwin.dir/fractional_edf.cpp.o.d"
+  "/root/repo/src/longwin/fractional_witness.cpp" "src/longwin/CMakeFiles/calib_longwin.dir/fractional_witness.cpp.o" "gcc" "src/longwin/CMakeFiles/calib_longwin.dir/fractional_witness.cpp.o.d"
+  "/root/repo/src/longwin/grid_normalize.cpp" "src/longwin/CMakeFiles/calib_longwin.dir/grid_normalize.cpp.o" "gcc" "src/longwin/CMakeFiles/calib_longwin.dir/grid_normalize.cpp.o.d"
+  "/root/repo/src/longwin/long_pipeline.cpp" "src/longwin/CMakeFiles/calib_longwin.dir/long_pipeline.cpp.o" "gcc" "src/longwin/CMakeFiles/calib_longwin.dir/long_pipeline.cpp.o.d"
+  "/root/repo/src/longwin/rounding.cpp" "src/longwin/CMakeFiles/calib_longwin.dir/rounding.cpp.o" "gcc" "src/longwin/CMakeFiles/calib_longwin.dir/rounding.cpp.o.d"
+  "/root/repo/src/longwin/speed_transform.cpp" "src/longwin/CMakeFiles/calib_longwin.dir/speed_transform.cpp.o" "gcc" "src/longwin/CMakeFiles/calib_longwin.dir/speed_transform.cpp.o.d"
+  "/root/repo/src/longwin/tise_lp.cpp" "src/longwin/CMakeFiles/calib_longwin.dir/tise_lp.cpp.o" "gcc" "src/longwin/CMakeFiles/calib_longwin.dir/tise_lp.cpp.o.d"
+  "/root/repo/src/longwin/trim_transform.cpp" "src/longwin/CMakeFiles/calib_longwin.dir/trim_transform.cpp.o" "gcc" "src/longwin/CMakeFiles/calib_longwin.dir/trim_transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/calib_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/calib_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/calib_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/calib_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

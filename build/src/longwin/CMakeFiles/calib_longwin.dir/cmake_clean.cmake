@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calib_longwin.dir/edf_assign.cpp.o"
+  "CMakeFiles/calib_longwin.dir/edf_assign.cpp.o.d"
+  "CMakeFiles/calib_longwin.dir/fractional_edf.cpp.o"
+  "CMakeFiles/calib_longwin.dir/fractional_edf.cpp.o.d"
+  "CMakeFiles/calib_longwin.dir/fractional_witness.cpp.o"
+  "CMakeFiles/calib_longwin.dir/fractional_witness.cpp.o.d"
+  "CMakeFiles/calib_longwin.dir/grid_normalize.cpp.o"
+  "CMakeFiles/calib_longwin.dir/grid_normalize.cpp.o.d"
+  "CMakeFiles/calib_longwin.dir/long_pipeline.cpp.o"
+  "CMakeFiles/calib_longwin.dir/long_pipeline.cpp.o.d"
+  "CMakeFiles/calib_longwin.dir/rounding.cpp.o"
+  "CMakeFiles/calib_longwin.dir/rounding.cpp.o.d"
+  "CMakeFiles/calib_longwin.dir/speed_transform.cpp.o"
+  "CMakeFiles/calib_longwin.dir/speed_transform.cpp.o.d"
+  "CMakeFiles/calib_longwin.dir/tise_lp.cpp.o"
+  "CMakeFiles/calib_longwin.dir/tise_lp.cpp.o.d"
+  "CMakeFiles/calib_longwin.dir/trim_transform.cpp.o"
+  "CMakeFiles/calib_longwin.dir/trim_transform.cpp.o.d"
+  "libcalib_longwin.a"
+  "libcalib_longwin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calib_longwin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

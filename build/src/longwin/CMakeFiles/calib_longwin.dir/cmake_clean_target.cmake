@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcalib_longwin.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calib_lp.dir/model.cpp.o"
+  "CMakeFiles/calib_lp.dir/model.cpp.o.d"
+  "CMakeFiles/calib_lp.dir/simplex.cpp.o"
+  "CMakeFiles/calib_lp.dir/simplex.cpp.o.d"
+  "libcalib_lp.a"
+  "libcalib_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calib_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mm/exact_mm.cpp" "src/mm/CMakeFiles/calib_mm.dir/exact_mm.cpp.o" "gcc" "src/mm/CMakeFiles/calib_mm.dir/exact_mm.cpp.o.d"
+  "/root/repo/src/mm/greedy_mm.cpp" "src/mm/CMakeFiles/calib_mm.dir/greedy_mm.cpp.o" "gcc" "src/mm/CMakeFiles/calib_mm.dir/greedy_mm.cpp.o.d"
+  "/root/repo/src/mm/lower_bounds.cpp" "src/mm/CMakeFiles/calib_mm.dir/lower_bounds.cpp.o" "gcc" "src/mm/CMakeFiles/calib_mm.dir/lower_bounds.cpp.o.d"
+  "/root/repo/src/mm/lp_bound.cpp" "src/mm/CMakeFiles/calib_mm.dir/lp_bound.cpp.o" "gcc" "src/mm/CMakeFiles/calib_mm.dir/lp_bound.cpp.o.d"
+  "/root/repo/src/mm/lp_rounding_mm.cpp" "src/mm/CMakeFiles/calib_mm.dir/lp_rounding_mm.cpp.o" "gcc" "src/mm/CMakeFiles/calib_mm.dir/lp_rounding_mm.cpp.o.d"
+  "/root/repo/src/mm/speedup_mm.cpp" "src/mm/CMakeFiles/calib_mm.dir/speedup_mm.cpp.o" "gcc" "src/mm/CMakeFiles/calib_mm.dir/speedup_mm.cpp.o.d"
+  "/root/repo/src/mm/unit_mm.cpp" "src/mm/CMakeFiles/calib_mm.dir/unit_mm.cpp.o" "gcc" "src/mm/CMakeFiles/calib_mm.dir/unit_mm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/calib_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/calib_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/calib_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/calib_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

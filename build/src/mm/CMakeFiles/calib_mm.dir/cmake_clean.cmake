@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calib_mm.dir/exact_mm.cpp.o"
+  "CMakeFiles/calib_mm.dir/exact_mm.cpp.o.d"
+  "CMakeFiles/calib_mm.dir/greedy_mm.cpp.o"
+  "CMakeFiles/calib_mm.dir/greedy_mm.cpp.o.d"
+  "CMakeFiles/calib_mm.dir/lower_bounds.cpp.o"
+  "CMakeFiles/calib_mm.dir/lower_bounds.cpp.o.d"
+  "CMakeFiles/calib_mm.dir/lp_bound.cpp.o"
+  "CMakeFiles/calib_mm.dir/lp_bound.cpp.o.d"
+  "CMakeFiles/calib_mm.dir/lp_rounding_mm.cpp.o"
+  "CMakeFiles/calib_mm.dir/lp_rounding_mm.cpp.o.d"
+  "CMakeFiles/calib_mm.dir/speedup_mm.cpp.o"
+  "CMakeFiles/calib_mm.dir/speedup_mm.cpp.o.d"
+  "CMakeFiles/calib_mm.dir/unit_mm.cpp.o"
+  "CMakeFiles/calib_mm.dir/unit_mm.cpp.o.d"
+  "libcalib_mm.a"
+  "libcalib_mm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calib_mm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

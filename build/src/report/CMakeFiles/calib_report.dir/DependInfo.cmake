@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/report/ascii_gantt.cpp" "src/report/CMakeFiles/calib_report.dir/ascii_gantt.cpp.o" "gcc" "src/report/CMakeFiles/calib_report.dir/ascii_gantt.cpp.o.d"
+  "/root/repo/src/report/stats.cpp" "src/report/CMakeFiles/calib_report.dir/stats.cpp.o" "gcc" "src/report/CMakeFiles/calib_report.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/calib_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/calib_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

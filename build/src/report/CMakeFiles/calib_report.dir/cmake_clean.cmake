@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calib_report.dir/ascii_gantt.cpp.o"
+  "CMakeFiles/calib_report.dir/ascii_gantt.cpp.o.d"
+  "CMakeFiles/calib_report.dir/stats.cpp.o"
+  "CMakeFiles/calib_report.dir/stats.cpp.o.d"
+  "libcalib_report.a"
+  "libcalib_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calib_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shortwin/interval_schedule.cpp" "src/shortwin/CMakeFiles/calib_shortwin.dir/interval_schedule.cpp.o" "gcc" "src/shortwin/CMakeFiles/calib_shortwin.dir/interval_schedule.cpp.o.d"
+  "/root/repo/src/shortwin/short_pipeline.cpp" "src/shortwin/CMakeFiles/calib_shortwin.dir/short_pipeline.cpp.o" "gcc" "src/shortwin/CMakeFiles/calib_shortwin.dir/short_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/calib_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mm/CMakeFiles/calib_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/calib_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/calib_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/calib_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calib_shortwin.dir/interval_schedule.cpp.o"
+  "CMakeFiles/calib_shortwin.dir/interval_schedule.cpp.o.d"
+  "CMakeFiles/calib_shortwin.dir/short_pipeline.cpp.o"
+  "CMakeFiles/calib_shortwin.dir/short_pipeline.cpp.o.d"
+  "libcalib_shortwin.a"
+  "libcalib_shortwin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calib_shortwin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

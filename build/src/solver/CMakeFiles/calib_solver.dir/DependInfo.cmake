@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/ise_solver.cpp" "src/solver/CMakeFiles/calib_solver.dir/ise_solver.cpp.o" "gcc" "src/solver/CMakeFiles/calib_solver.dir/ise_solver.cpp.o.d"
+  "/root/repo/src/solver/mm_via_ise.cpp" "src/solver/CMakeFiles/calib_solver.dir/mm_via_ise.cpp.o" "gcc" "src/solver/CMakeFiles/calib_solver.dir/mm_via_ise.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/longwin/CMakeFiles/calib_longwin.dir/DependInfo.cmake"
+  "/root/repo/build/src/shortwin/CMakeFiles/calib_shortwin.dir/DependInfo.cmake"
+  "/root/repo/build/src/mm/CMakeFiles/calib_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/calib_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/calib_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/calib_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/calib_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

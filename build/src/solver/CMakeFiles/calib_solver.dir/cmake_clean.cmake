@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calib_solver.dir/ise_solver.cpp.o"
+  "CMakeFiles/calib_solver.dir/ise_solver.cpp.o.d"
+  "CMakeFiles/calib_solver.dir/mm_via_ise.cpp.o"
+  "CMakeFiles/calib_solver.dir/mm_via_ise.cpp.o.d"
+  "libcalib_solver.a"
+  "libcalib_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calib_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

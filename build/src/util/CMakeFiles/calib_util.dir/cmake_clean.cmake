@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calib_util.dir/cli.cpp.o"
+  "CMakeFiles/calib_util.dir/cli.cpp.o.d"
+  "CMakeFiles/calib_util.dir/rng.cpp.o"
+  "CMakeFiles/calib_util.dir/rng.cpp.o.d"
+  "CMakeFiles/calib_util.dir/table.cpp.o"
+  "CMakeFiles/calib_util.dir/table.cpp.o.d"
+  "CMakeFiles/calib_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/calib_util.dir/thread_pool.cpp.o.d"
+  "libcalib_util.a"
+  "libcalib_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calib_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

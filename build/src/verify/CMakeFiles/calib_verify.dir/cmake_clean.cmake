@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calib_verify.dir/verify.cpp.o"
+  "CMakeFiles/calib_verify.dir/verify.cpp.o.d"
+  "libcalib_verify.a"
+  "libcalib_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calib_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_longwin.dir/test_longwin.cpp.o"
+  "CMakeFiles/test_longwin.dir/test_longwin.cpp.o.d"
+  "test_longwin"
+  "test_longwin.pdb"
+  "test_longwin[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_longwin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shortwin.dir/test_shortwin.cpp.o"
+  "CMakeFiles/test_shortwin.dir/test_shortwin.cpp.o.d"
+  "test_shortwin"
+  "test_shortwin.pdb"
+  "test_shortwin[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shortwin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

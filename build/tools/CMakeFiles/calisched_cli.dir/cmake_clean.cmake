@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calisched_cli.dir/calisched_cli.cpp.o"
+  "CMakeFiles/calisched_cli.dir/calisched_cli.cpp.o.d"
+  "calisched"
+  "calisched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calisched_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -12,24 +12,23 @@
 //     (overlapping calibrations allowed) removes the crossing machines;
 //     trimming unused calendar slots removes Lemma 19's 2*gamma charge
 //     for empty slots.
-#include <iostream>
-
 #include "gen/generators.hpp"
+#include "harness.hpp"
 #include "longwin/edf_assign.hpp"
 #include "longwin/fractional_edf.hpp"
 #include "longwin/long_pipeline.hpp"
 #include "longwin/rounding.hpp"
 #include "shortwin/short_pipeline.hpp"
-#include "util/table.hpp"
 #include "verify/verify.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace calisched;
-  std::cout << "A1: ablations of design choices\n\n";
+  BenchHarness bench("A1", "ablations of design choices", argc, argv);
 
   // ---- (a) trim multiplier ---------------------------------------------------
-  Table trim({"seed", "m'-multiplier", "LP-status", "LP-obj", "total-cals",
-              "verified"});
+  Table& trim = bench.table(
+      "trim", {"seed", "m'-multiplier", "LP-status", "LP-obj", "total-cals",
+               "verified"});
   for (std::uint64_t seed = 1; seed <= 4; ++seed) {
     GenParams params;
     params.seed = seed;
@@ -55,11 +54,13 @@ int main() {
                 verify_tise(instance, result.schedule).ok());
     }
   }
-  trim.print(std::cout, "(a) TISE machine multiplier m' = k*m (Lemma 2 uses k=3)");
+  bench.print_table(
+      "trim", "(a) TISE machine multiplier m' = k*m (Lemma 2 uses k=3)");
 
   // ---- (b) long-pipeline constants -------------------------------------------
-  Table longopt({"seed", "n", "paper", "+adaptive-mirror", "+prune-empty",
-                 "+both", "all-verified"});
+  Table& longopt = bench.table(
+      "longopt", {"seed", "n", "paper", "+adaptive-mirror", "+prune-empty",
+                  "+both", "all-verified"});
   for (std::uint64_t seed = 1; seed <= 6; ++seed) {
     GenParams params;
     params.seed = seed;
@@ -87,6 +88,7 @@ int main() {
         ++variant;
       }
     }
+    bench.check("longopt-seed-" + std::to_string(seed), verified);
     longopt.row()
         .cell(static_cast<std::int64_t>(seed))
         .cell(instance.size())
@@ -96,13 +98,14 @@ int main() {
         .cell(cals[3])   // both
         .cell(verified);
   }
-  longopt.print(std::cout,
-                "(b) long-pipeline calibrations under constant-saving "
-                "optimizations");
+  bench.print_table("longopt",
+                    "(b) long-pipeline calibrations under constant-saving "
+                    "optimizations");
 
   // ---- (c) short-window policy -------------------------------------------------
-  Table shortopt({"seed", "n", "paper-cals", "paper-machines", "trimmed-cals",
-                  "relaxed-cals", "relaxed-machines", "all-verified"});
+  Table& shortopt = bench.table(
+      "shortopt", {"seed", "n", "paper-cals", "paper-machines", "trimmed-cals",
+                   "relaxed-cals", "relaxed-machines", "all-verified"});
   const GreedyEdfMM mm;
   for (std::uint64_t seed = 1; seed <= 6; ++seed) {
     GenParams params;
@@ -134,6 +137,7 @@ int main() {
         verify_ise(instance, relax_result.schedule, /*require_tise=*/false,
                    CalibrationPolicy::kOverlapAllowed)
             .ok();
+    bench.check("shortopt-seed-" + std::to_string(seed), verified);
     shortopt.row()
         .cell(static_cast<std::int64_t>(seed))
         .cell(instance.size())
@@ -144,16 +148,18 @@ int main() {
         .cell(std::int64_t{relax_result.schedule.machines_used()})
         .cell(verified);
   }
-  shortopt.print(std::cout,
-                 "(c) short-window: paper vs trimmed calendars vs footnote-3 "
-                 "relaxed calibrations");
+  bench.print_table("shortopt",
+                    "(c) short-window: paper vs trimmed calendars vs "
+                    "footnote-3 relaxed calibrations");
+
   // ---- (d) job-assignment backend: Algorithm 2 vs Lemma 9 --------------------
   // The paper: "we could instead use the algorithm of Lemma 9 in place of
   // Algorithm 2. But we think Algorithm 2 is more natural." Both run on the
   // same rounded calendar; we compare job-hosting calibrations and jobs
   // pushed to mirror machines.
-  Table backend({"seed", "n", "alg2 hosting-cals", "lemma9 hosting-cals",
-                 "lemma9 mirrored-jobs", "both-verified"});
+  Table& backend = bench.table(
+      "backend", {"seed", "n", "alg2 hosting-cals", "lemma9 hosting-cals",
+                  "lemma9 mirrored-jobs", "both-verified"});
   for (std::uint64_t seed = 1; seed <= 6; ++seed) {
     GenParams params;
     params.seed = seed;
@@ -176,6 +182,7 @@ int main() {
     if (!alg2.unassigned.empty() || !lemma9.unassigned.empty()) continue;
     const bool verified = verify_tise(instance, alg2.schedule).ok() &&
                           verify_tise(instance, lemma9.schedule).ok();
+    bench.check("backend-seed-" + std::to_string(seed), verified);
     alg2.schedule.prune_empty_calibrations(instance);
     lemma9.schedule.prune_empty_calibrations(instance);
     backend.row()
@@ -186,13 +193,13 @@ int main() {
         .cell(lemma9.mirrored_jobs)
         .cell(verified);
   }
-  backend.print(std::cout,
-                "(d) assignment backend on the same calendar: Algorithm 2 vs "
-                "the Lemma 9 integerization");
+  bench.print_table("backend",
+                    "(d) assignment backend on the same calendar: Algorithm 2 "
+                    "vs the Lemma 9 integerization");
 
-  std::cout << "\nGuarantees are unchanged in every variant: adaptive "
-               "mirroring falls back to the mirrored run, pruning only "
-               "removes unused calibrations, and the relaxed policy is the "
-               "easier model of footnote 3.\n";
-  return 0;
+  bench.note(
+      "Guarantees are unchanged in every variant: adaptive mirroring falls "
+      "back to the mirrored run, pruning only removes unused calibrations, "
+      "and the relaxed policy is the easier model of footnote 3.");
+  return bench.finish();
 }

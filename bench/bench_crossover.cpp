@@ -10,14 +10,12 @@
 // combined solver (paper-faithful and optimized) against the baselines,
 // exposing the crossover points. Series are deterministic (fixed seeds,
 // averaged over 3 instances per point).
-#include <iostream>
-
 #include "baselines/baseline.hpp"
 #include "baselines/calibration_bounds.hpp"
 #include "gen/generators.hpp"
+#include "harness.hpp"
 #include "solver/ise_solver.hpp"
 #include "util/rng.hpp"
-#include "util/table.hpp"
 #include "verify/verify.hpp"
 
 namespace {
@@ -80,12 +78,13 @@ PolicyCounts run_policies(const Instance& instance) {
 
 }  // namespace
 
-int main() {
-  std::cout << "E10: crossover curves (who wins where)\n\n";
+int main(int argc, char** argv) {
+  BenchHarness bench("E10", "crossover curves (who wins where)", argc, argv);
 
   // ---- knob 1: window slack ---------------------------------------------------
-  Table slack_table({"slack/T", "LB", "paper", "optimized", "greedy-lazy",
-                     "per-job", "saturate", "optimized-winner"});
+  Table& slack_table = bench.table(
+      "slack", {"slack/T", "LB", "paper", "optimized", "greedy-lazy",
+                "per-job", "saturate", "optimized-winner"});
   const Time T = 10;
   for (const Time slack : {Time{2}, Time{5}, Time{10}, Time{20}, Time{40}}) {
     std::size_t paper = 0, optimized = 0, per_job = 0, saturate = 0, lazy = 0;
@@ -133,13 +132,14 @@ int main() {
                            : std::string("(infeasible)"))
         .cell(winner);
   }
-  slack_table.print(std::cout,
+  bench.print_table("slack",
                     "window-slack sweep (n=30, T=10, m=3, horizon=12T; avg "
                     "of 3 seeds)");
 
   // ---- knob 2: horizon (work density) ----------------------------------------
-  Table density_table({"horizon/T", "LB", "optimized", "per-job", "saturate",
-                       "optimized-winner"});
+  Table& density_table = bench.table(
+      "density", {"horizon/T", "LB", "optimized", "per-job", "saturate",
+                  "optimized-winner"});
   for (const Time horizon_factor :
        {Time{4}, Time{8}, Time{16}, Time{32}, Time{64}}) {
     std::size_t optimized = 0, per_job = 0, saturate = 0;
@@ -179,12 +179,13 @@ int main() {
                            : std::string("(infeasible)"))
         .cell(winner);
   }
-  density_table.print(std::cout,
-                      "work-density sweep (n=30, T=10, m=3, slack=1.5T; avg "
-                      "of 3 seeds)");
-  std::cout << "\nShape to expect: saturate wins only the densest horizons; "
-               "per-job wins very tight windows; the solver's advantage "
-               "grows with slack (more herding freedom) and with horizon "
-               "length (idle stretches saturate must still pay for).\n";
-  return 0;
+  bench.print_table("density",
+                    "work-density sweep (n=30, T=10, m=3, slack=1.5T; avg "
+                    "of 3 seeds)");
+  bench.note(
+      "Shape to expect: saturate wins only the densest horizons; per-job "
+      "wins very tight windows; the solver's advantage grows with slack "
+      "(more herding freedom) and with horizon length (idle stretches "
+      "saturate must still pay for).");
+  return bench.finish();
 }

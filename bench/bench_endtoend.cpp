@@ -10,22 +10,20 @@
 //   bursty  - work clustered into waves across a long horizon; sharing
 //             calibrations inside each wave is the regime the ISE
 //             objective is designed for.
-#include <iostream>
-#include <mutex>
 #include <string_view>
 
 #include "baselines/baseline.hpp"
 #include "baselines/calibration_bounds.hpp"
 #include "baselines/ise_lp_bound.hpp"
 #include "gen/generators.hpp"
+#include "harness.hpp"
 #include "solver/ise_solver.hpp"
-#include "util/table.hpp"
-#include "util/thread_pool.hpp"
 #include "verify/verify.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace calisched;
-  std::cout << "E4: end-to-end solver (Theorem 1) vs baselines\n\n";
+  BenchHarness bench("E4", "end-to-end solver (Theorem 1) vs baselines", argc,
+                     argv);
 
   struct Case {
     const char* regime;
@@ -54,7 +52,7 @@ int main() {
     bool verified = false;
   };
   std::vector<Row> rows(cases.size());
-  parallel_for(default_pool(), cases.size(), [&](std::size_t i) {
+  bench.sweep(cases.size(), [&](std::size_t i) {
     GenParams params;
     params.seed = cases[i].seed;
     params.n = cases[i].n;
@@ -88,10 +86,14 @@ int main() {
     if (row.lazy_ok) row.lazy = lazy.schedule.num_calibrations();
   });
 
-  Table table({"regime", "n", "seed", "LB", "ours", "ours/LB", "greedy-lazy",
-               "per-job", "saturate", "winner", "verified"});
+  Table& table = bench.table(
+      "regimes", {"regime", "n", "seed", "LB", "ours", "ours/LB",
+                  "greedy-lazy", "per-job", "saturate", "winner", "verified"});
   for (const Row& row : rows) {
     if (!row.ours_ok) continue;
+    bench.check(std::string(row.c.regime) + "-n" + std::to_string(row.c.n) +
+                    "-seed" + std::to_string(row.c.seed) + "-verified",
+                row.verified);
     const char* winner = row.ours <= row.per_job &&
                                  (!row.saturate_ok || row.ours <= row.saturate)
                              ? "ours"
@@ -111,15 +113,14 @@ int main() {
         .cell(winner)
         .cell(row.verified);
   }
-  table.print(std::cout, "mixed instances, T=10, m=3, p in [1,4]");
-  std::cout << "\nExpected shape: per-job wins sparse instances (n "
-               "calibrations is near-optimal there); saturate wins short "
-               "dense horizons (its cost is span-driven); the solver wins "
-               "bursty long horizons, where sharing calibrations inside "
-               "each wave beats both paying per job and paying per time "
-               "slice. The unguaranteed greedy-lazy heuristic is "
-               "near-optimal when it succeeds ('-' marks honest "
-               "failures) — the provable pipeline's value is that it "
-               "never wedges.\n";
-  return 0;
+  bench.print_table("regimes", "mixed instances, T=10, m=3, p in [1,4]");
+  bench.note(
+      "Expected shape: per-job wins sparse instances (n calibrations is "
+      "near-optimal there); saturate wins short dense horizons (its cost is "
+      "span-driven); the solver wins bursty long horizons, where sharing "
+      "calibrations inside each wave beats both paying per job and paying "
+      "per time slice. The unguaranteed greedy-lazy heuristic is "
+      "near-optimal when it succeeds ('-' marks honest failures) — the "
+      "provable pipeline's value is that it never wedges.");
+  return bench.finish();
 }

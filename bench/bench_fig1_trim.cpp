@@ -9,14 +9,14 @@
 #include "baselines/exact_ise.hpp"
 #include "gen/generators.hpp"
 #include "gen/paper_figures.hpp"
+#include "harness.hpp"
 #include "longwin/trim_transform.hpp"
 #include "report/ascii_gantt.hpp"
-#include "util/table.hpp"
 #include "verify/verify.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace calisched;
-  std::cout << "F1: Lemma 2 transformation (Figure 1)\n\n";
+  BenchHarness bench("F1", "Lemma 2 transformation (Figure 1)", argc, argv);
 
   // --- the paper's illustration -------------------------------------------
   const Instance f1 = figure1_instance();
@@ -25,16 +25,15 @@ int main() {
             << "ISE schedule (1 machine, 2 calibrations):\n"
             << render_schedule(f1, ise) << '\n';
   const auto tise = trim_transform(f1, ise);
-  if (!tise) {
-    std::cerr << "transformation failed\n";
-    return 1;
-  }
+  bench.check("figure1-transform", tise.has_value());
+  if (!tise) return bench.finish();
   std::cout << "TISE schedule (3 machines, 6 calibrations):\n"
             << render_schedule(f1, *tise) << '\n';
 
   // --- randomized accounting check ----------------------------------------
-  Table table({"seed", "n", "ise-cals", "tise-cals", "tise-machines",
-               "tise-valid", "bound-3x"});
+  Table& table = bench.table(
+      "accounting", {"seed", "n", "ise-cals", "tise-cals", "tise-machines",
+                     "tise-valid", "bound-3x"});
   for (std::uint64_t seed = 1; seed <= 10; ++seed) {
     GenParams params;
     params.seed = seed;
@@ -49,6 +48,7 @@ int main() {
     const auto transformed = trim_transform(instance, exact.schedule);
     const bool ok = transformed.has_value() &&
                     verify_tise(instance, *transformed).ok();
+    bench.check("tise-valid-seed-" + std::to_string(seed), ok);
     table.row()
         .cell(static_cast<std::int64_t>(seed))
         .cell(instance.size())
@@ -60,6 +60,6 @@ int main() {
               transformed->num_calibrations() == 3 * exact.optimal_calibrations &&
               transformed->machines == 3 * exact.schedule.machines);
   }
-  table.print(std::cout, "Lemma 2 accounting on exact ISE schedules");
-  return 0;
+  bench.print_table("accounting", "Lemma 2 accounting on exact ISE schedules");
+  return bench.finish();
 }

@@ -5,22 +5,22 @@
 //   (a) #rounded = floor(2 * total mass)   (Lemma 7's 2x factor), and
 //   (b) any window [t, t+T) holds at most 2*(1/2 + window mass) rounded
 //       calibrations (the counting step inside Lemma 4).
-#include <iostream>
 #include <numeric>
 
 #include "gen/paper_figures.hpp"
+#include "harness.hpp"
 #include "longwin/rounding.hpp"
 #include "util/rng.hpp"
-#include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace calisched;
-  std::cout << "F2: Algorithm 1 rounding (Figure 2)\n\n";
+  BenchHarness bench("F2", "Algorithm 1 rounding (Figure 2)", argc, argv);
 
   // --- the paper's example ---------------------------------------------------
   const FractionalProfile profile = figure2_profile();
   double running = 0.0;
-  Table trace({"t", "C_t", "running total", "calibrations emitted"});
+  Table& trace = bench.table(
+      "example", {"t", "C_t", "running total", "calibrations emitted"});
   std::size_t emitted_before = 0;
   for (std::size_t i = 0; i < profile.points.size(); ++i) {
     running += profile.mass[i];
@@ -37,13 +37,14 @@ int main() {
         .cell(emitted - emitted_before);
     emitted_before = emitted;
   }
-  trace.print(std::cout, "paper example: masses {0.2, 0.35, 0.25, 0.8}");
+  bench.print_table("example", "paper example: masses {0.2, 0.35, 0.25, 0.8}");
 
   // --- randomized checks ------------------------------------------------------
   Rng rng(5150);
   const Time T = 10;
-  Table table({"trial", "points", "total-mass", "rounded", "floor(2*mass)",
-               "max-window", "window-bound", "all-ok"});
+  Table& table = bench.table(
+      "invariants", {"trial", "points", "total-mass", "rounded",
+                     "floor(2*mass)", "max-window", "window-bound", "all-ok"});
   for (int trial = 0; trial < 12; ++trial) {
     std::vector<Time> points;
     std::vector<double> mass;
@@ -77,6 +78,8 @@ int main() {
       }
     }
     const auto expected = static_cast<std::size_t>(2.0 * total + 1e-9);
+    bench.check("trial-" + std::to_string(trial),
+                starts.size() == expected && window_ok);
     table.row()
         .cell(std::int64_t{trial})
         .cell(points.size())
@@ -87,6 +90,6 @@ int main() {
         .cell("2*(1/2+mass)")
         .cell(starts.size() == expected && window_ok);
   }
-  table.print(std::cout, "randomized rounding invariants");
-  return 0;
+  bench.print_table("invariants", "randomized rounding invariants");
+  return bench.finish();
 }

@@ -9,22 +9,25 @@
 
 #include "gen/generators.hpp"
 #include "gen/paper_figures.hpp"
+#include "harness.hpp"
 #include "longwin/fractional_witness.hpp"
-#include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace calisched;
-  std::cout << "F3: Algorithm 3 fractional witness (Figure 3)\n\n";
+  BenchHarness bench("F3", "Algorithm 3 fractional witness (Figure 3)", argc,
+                     argv);
 
   // --- trace on the Figure-1 instance ---------------------------------------
   const Instance f1 = figure1_instance();
   const TiseFractional f1_lp = solve_tise_lp(f1, 3 * f1.machines);
+  bench.check("figure1-lp-optimal", f1_lp.status == LpStatus::kOptimal);
   if (f1_lp.status != LpStatus::kOptimal) {
     std::cerr << "LP failed on the Figure-1 instance\n";
-    return 1;
+    return bench.finish();
   }
   const FractionalWitness f1_witness = run_fractional_witness(f1, f1_lp);
-  Table trace({"calibration@", "job fractions (2*y_j at reset)"});
+  Table& trace = bench.table(
+      "example", {"calibration@", "job fractions (2*y_j at reset)"});
   for (const WitnessCalibration& cal : f1_witness.calibrations) {
     std::string fractions;
     for (const auto& [job, fraction] : cal.fractions) {
@@ -33,11 +36,12 @@ int main() {
     }
     trace.row().cell(cal.start).cell(fractions.empty() ? "(none)" : fractions);
   }
-  trace.print(std::cout, "witness trace on the Figure-1 instance");
+  bench.print_table("example", "witness trace on the Figure-1 instance");
 
   // --- invariant sweep --------------------------------------------------------
-  Table table({"seed", "n", "calibrations", "min-coverage", "max-work/T",
-               "max(y-carry)", "discarded", "lemma5+cor6"});
+  Table& table = bench.table(
+      "invariants", {"seed", "n", "calibrations", "min-coverage", "max-work/T",
+                     "max(y-carry)", "discarded", "lemma5+cor6"});
   for (std::uint64_t seed = 1; seed <= 15; ++seed) {
     GenParams params;
     params.seed = seed;
@@ -56,6 +60,7 @@ int main() {
         witness.telemetry.min_job_coverage >= 1.0 - 1e-6 &&
         witness.telemetry.max_calibration_work <=
             static_cast<double>(instance.T) + 1e-6;
+    bench.check("seed-" + std::to_string(seed), ok);
     table.row()
         .cell(static_cast<std::int64_t>(seed))
         .cell(instance.size())
@@ -68,6 +73,6 @@ int main() {
         .cell(std::int64_t{witness.telemetry.discarded_resets})
         .cell(ok);
   }
-  table.print(std::cout, "Lemma 5 / Corollary 6 invariants across seeds");
-  return 0;
+  bench.print_table("invariants", "Lemma 5 / Corollary 6 invariants across seeds");
+  return bench.finish();
 }

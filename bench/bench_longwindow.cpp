@@ -11,20 +11,16 @@
 //
 // Instances are solved in parallel on the shared thread pool; each task
 // owns its row.
-#include <iostream>
-#include <mutex>
-
 #include "baselines/calibration_bounds.hpp"
 #include "baselines/exact_ise.hpp"
 #include "gen/generators.hpp"
+#include "harness.hpp"
 #include "longwin/long_pipeline.hpp"
-#include "util/table.hpp"
-#include "util/thread_pool.hpp"
 #include "verify/verify.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace calisched;
-  std::cout << "E1: long-window pipeline (Theorem 12)\n\n";
+  BenchHarness bench("E1", "long-window pipeline (Theorem 12)", argc, argv);
 
   struct Case {
     int n;
@@ -45,7 +41,7 @@ int main() {
     bool verified = false, chain_ok = false, machines_ok = false;
   };
   std::vector<Row> rows(cases.size());
-  parallel_for(default_pool(), cases.size(), [&](std::size_t i) {
+  bench.sweep(cases.size(), [&](std::size_t i) {
     GenParams params;
     params.seed = cases[i].seed;
     params.n = cases[i].n;
@@ -71,10 +67,14 @@ int main() {
     row.machines_ok = result.schedule.machines <= 18 * instance.machines;
   });
 
-  Table table({"n", "seed", "LP-obj", "rounded", "total-cals", "cals/LB",
-               "machines", "<=18m", "chain<=4xLP", "verified"});
+  Table& table = bench.table(
+      "sweep", {"n", "seed", "LP-obj", "rounded", "total-cals", "cals/LB",
+                "machines", "<=18m", "chain<=4xLP", "verified"});
   for (const Row& row : rows) {
     if (!row.ok) continue;
+    bench.check("row-n" + std::to_string(row.c.n) + "-seed" +
+                    std::to_string(row.c.seed),
+                row.verified && row.chain_ok && row.machines_ok);
     table.row()
         .cell(std::int64_t{row.c.n})
         .cell(static_cast<std::int64_t>(row.c.seed))
@@ -87,11 +87,11 @@ int main() {
         .cell(row.chain_ok)
         .cell(row.verified);
   }
-  table.print(std::cout, "long-window sweep (T=10, m=2, windows 2T..6T)");
+  bench.print_table("sweep", "long-window sweep (T=10, m=2, windows 2T..6T)");
 
   // --- tiny instances vs the exact optimum ----------------------------------
-  Table tiny({"seed", "n", "exact-OPT", "pipeline", "ratio", "<=12xOPT",
-              "verified"});
+  Table& tiny = bench.table("tiny", {"seed", "n", "exact-OPT", "pipeline",
+                                     "ratio", "<=12xOPT", "verified"});
   for (std::uint64_t seed = 1; seed <= 10; ++seed) {
     GenParams params;
     params.seed = seed;
@@ -108,6 +108,7 @@ int main() {
     const double ratio =
         static_cast<double>(pipeline.telemetry.total_calibrations) /
         static_cast<double>(exact.optimal_calibrations);
+    bench.check("tiny-seed" + std::to_string(seed), ratio <= 12.0 + 1e-9);
     tiny.row()
         .cell(static_cast<std::int64_t>(seed))
         .cell(instance.size())
@@ -117,8 +118,9 @@ int main() {
         .cell(ratio <= 12.0 + 1e-9)
         .cell(verify_tise(instance, pipeline.schedule).ok());
   }
-  tiny.print(std::cout, "tiny instances: pipeline vs exact ISE optimum");
-  std::cout << "\nTheorem 12 ceiling: 12 x OPT calibrations on 18m machines; "
-               "measured ratios are expected well below it.\n";
-  return 0;
+  bench.print_table("tiny", "tiny instances: pipeline vs exact ISE optimum");
+  bench.note(
+      "Theorem 12 ceiling: 12 x OPT calibrations on 18m machines; "
+      "measured ratios are expected well below it.");
+  return bench.finish();
 }

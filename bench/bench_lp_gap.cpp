@@ -7,19 +7,18 @@
 //   Algorithm-1 output  (rounded calibrations; Lemma 7: <= 2 x LP)
 // The integrality gap (TISE* / LP) and the rounding loss (rounded / LP)
 // are the two places Section 3 spends its constant factors.
-#include <iostream>
-
 #include "baselines/exact_ise.hpp"
 #include "gen/generators.hpp"
+#include "harness.hpp"
 #include "longwin/rounding.hpp"
 #include "longwin/tise_lp.hpp"
-#include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace calisched;
-  std::cout << "E7: LP relaxation quality (Lemma 7)\n\n";
+  BenchHarness bench("E7", "LP relaxation quality (Lemma 7)", argc, argv);
 
-  Table table({"seed", "n", "LP-obj", "TISE*(3m)", "ISE*(m)", "int-gap",
+  Table& table = bench.table(
+      "gaps", {"seed", "n", "LP-obj", "TISE*(3m)", "ISE*(m)", "int-gap",
                "rounded", "rounded<=2xLP", "LP<=TISE*"});
   double worst_int_gap = 0.0;
   for (std::uint64_t seed = 1; seed <= 16; ++seed) {
@@ -48,6 +47,11 @@ int main() {
     const double int_gap =
         static_cast<double>(tise.optimal_calibrations) / lp.objective;
     worst_int_gap = std::max(worst_int_gap, int_gap);
+    bench.check("lemma7-seed-" + std::to_string(seed),
+                static_cast<double>(rounded.size()) <=
+                        2.0 * lp.objective + 1e-6 &&
+                    lp.objective <=
+                        static_cast<double>(tise.optimal_calibrations) + 1e-6);
     table.row()
         .cell(static_cast<std::int64_t>(seed))
         .cell(instance.size())
@@ -60,10 +64,11 @@ int main() {
         .cell(lp.objective <= static_cast<double>(tise.optimal_calibrations) +
                                   1e-6);
   }
-  table.print(std::cout, "tiny long-window instances (T=5, m=1)");
-  std::cout << "\nworst integrality gap measured: "
-            << format_double(worst_int_gap, 2)
-            << "  (the LP lower-bounds the integral TISE optimum; Algorithm 1 "
-               "pays at most 2x the LP)\n";
-  return 0;
+  bench.print_table("gaps", "tiny long-window instances (T=5, m=1)");
+  bench.metric("worst_integrality_gap", worst_int_gap);
+  bench.note(
+      "worst integrality gap measured: " + format_double(worst_int_gap, 2) +
+      "  (the LP lower-bounds the integral TISE optimum; Algorithm 1 pays "
+      "at most 2x the LP)");
+  return bench.finish();
 }

@@ -11,17 +11,16 @@
 // For each instance: minimal busy blocks B (gap minimizer) and minimal
 // calibrations C(T) for several T; the columns show C tracking ceil(W/T)
 // clustering while B stays put.
-#include <iostream>
-
 #include "baselines/exact_ise.hpp"
 #include "baselines/gap_min.hpp"
 #include "gen/generators.hpp"
-#include "util/table.hpp"
+#include "harness.hpp"
 #include "verify/verify.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace calisched;
-  std::cout << "E11: calibrations vs gaps (Section 5 related work)\n\n";
+  BenchHarness bench("E11", "calibrations vs gaps (Section 5 related work)",
+                     argc, argv);
 
   // --- the canonical divergence, by hand -------------------------------------
   // Six unit jobs due in one tight burst: one busy block, but with T = 2
@@ -33,7 +32,8 @@ int main() {
     burst.T = 2;
     for (JobId j = 0; j < 6; ++j) burst.jobs.push_back({j, 0, 8, 1});
     const GapMinResult gaps = solve_min_gaps_unit(burst);
-    Table table({"T", "min-calibrations", "min-busy-blocks"});
+    Table& table = bench.table(
+        "burst", {"T", "min-calibrations", "min-busy-blocks"});
     for (const Time T : {Time{2}, Time{3}, Time{6}, Time{8}}) {
       Instance instance = burst;
       instance.T = T;
@@ -44,13 +44,14 @@ int main() {
           .cell(exact.optimal_calibrations)
           .cell(gaps.feasible ? gaps.busy_blocks : 0);
     }
-    table.print(std::cout, "one 6-unit burst: blocks are T-independent, "
-                           "calibrations are not");
+    bench.print_table("burst", "one 6-unit burst: blocks are T-independent, "
+                               "calibrations are not");
   }
 
   // --- randomized comparison ---------------------------------------------------
-  Table table({"seed", "n", "blocks", "cals(T=2)", "cals(T=4)", "cals(T=8)",
-               "cals>=blocks@T>=span", "verified"});
+  Table& table = bench.table(
+      "random", {"seed", "n", "blocks", "cals(T=2)", "cals(T=4)", "cals(T=8)",
+                 "cals>=blocks@T>=span", "verified"});
   for (std::uint64_t seed = 1; seed <= 10; ++seed) {
     GenParams params;
     params.seed = seed;
@@ -81,6 +82,7 @@ int main() {
     // separate blocks may still share one (a calibration may idle), so
     // cals <= blocks there; with tiny T, cals >= blocks. Both compared:
     const bool relation = cals[0] >= gaps.busy_blocks;  // T=2 (tiny)
+    bench.check("relation-seed-" + std::to_string(seed), relation);
     table.row()
         .cell(static_cast<std::int64_t>(seed))
         .cell(base.size())
@@ -91,11 +93,11 @@ int main() {
         .cell(relation)
         .cell(true);
   }
-  table.print(std::cout, "unit jobs, 1 machine: exact optima side by side");
-  std::cout << "\nReading: with T small, calibrations upper-bound busy "
-               "blocks (each block of length L costs >= ceil(L/T) "
-               "calibrations); with T large, one calibration can bridge "
-               "several blocks and the counts cross — exactly the 'subtly "
-               "different' relation Section 5 describes.\n";
-  return 0;
+  bench.print_table("random", "unit jobs, 1 machine: exact optima side by side");
+  bench.note(
+      "Reading: with T small, calibrations upper-bound busy blocks (each "
+      "block of length L costs >= ceil(L/T) calibrations); with T large, "
+      "one calibration can bridge several blocks and the counts cross — "
+      "exactly the 'subtly different' relation Section 5 describes.");
+  return bench.finish();
 }

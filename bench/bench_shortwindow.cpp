@@ -13,23 +13,26 @@
 #include <memory>
 
 #include "gen/generators.hpp"
+#include "harness.hpp"
 #include "mm/lp_rounding_mm.hpp"
 #include "shortwin/short_pipeline.hpp"
-#include "util/table.hpp"
 #include "verify/verify.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace calisched;
-  std::cout << "E3: short-window pipeline (Theorem 20), gamma = 2\n\n";
+  BenchHarness bench("E3", "short-window pipeline (Theorem 20), gamma = 2",
+                     argc, argv);
 
   const GreedyEdfMM greedy;
   const ExactMM exact;
   const LpRoundingMM lp_rounding;
 
-  Table table({"seed", "n", "box", "cals", "machines", "sum-w", "max-w",
-               "cals<=8*sum-w", "machines<=6*max-w", "verified"});
-  Table alpha_table({"seed", "n", "sum-w greedy", "sum-w exact",
-                     "realized-alpha", "cals greedy", "cals exact"});
+  Table& table = bench.table(
+      "budgets", {"seed", "n", "box", "cals", "machines", "sum-w", "max-w",
+                  "cals<=8*sum-w", "machines<=6*max-w", "verified"});
+  Table& alpha_table = bench.table(
+      "alpha", {"seed", "n", "sum-w greedy", "sum-w exact", "realized-alpha",
+                "cals greedy", "cals exact"});
   for (std::uint64_t seed = 1; seed <= 10; ++seed) {
     GenParams params;
     params.seed = seed;
@@ -50,9 +53,12 @@ int main() {
       if (!result.feasible) {
         std::cerr << "seed " << seed << " " << mm->name() << ": "
                   << result.error << '\n';
-        return 1;
+        bench.check("feasible-seed-" + std::to_string(seed), false);
+        return bench.finish();
       }
       const VerifyResult check = verify_ise(instance, result.schedule);
+      bench.check("verified-seed-" + std::to_string(seed) + "-" + mm->name(),
+                  check.ok());
       table.row()
           .cell(static_cast<std::int64_t>(seed))
           .cell(instance.size())
@@ -85,12 +91,13 @@ int main() {
         .cell(greedy_cals)
         .cell(exact_cals);
   }
-  table.print(std::cout, "Theorem 20 budgets per MM black box");
+  bench.print_table("budgets", "Theorem 20 budgets per MM black box");
   std::cout << '\n';
 
   // --- s-speed augmentation (the third concrete result of Section 1:
   // an s-speed MM box carries its speed through the reduction) ------------
-  Table speed_table({"seed", "n", "s", "box", "machines", "cals", "verified"});
+  Table& speed_table = bench.table(
+      "speed", {"seed", "n", "s", "box", "machines", "cals", "verified"});
   for (std::uint64_t seed = 1; seed <= 4; ++seed) {
     GenParams params;
     params.seed = seed;
@@ -115,15 +122,15 @@ int main() {
           .cell(verify_ise(instance, result.schedule).ok());
     }
   }
-  speed_table.print(std::cout,
+  bench.print_table("speed",
                     "speed augmentation: faster machines buy fewer machines "
                     "(calibration calendars shrink with w)");
   std::cout << '\n';
-  alpha_table.print(std::cout,
+  bench.print_table("alpha",
                     "realized alpha of greedy EDF vs exact MM (per-interval "
                     "machine mass)");
-  std::cout << "\nLemma 18: C* >= sum_i w*_i / 2, so 'cals exact' / "
-               "('sum-w exact'/2) bounds the true approximation ratio from "
-               "above.\n";
-  return 0;
+  bench.note(
+      "Lemma 18: C* >= sum_i w*_i / 2, so 'cals exact' / ('sum-w exact'/2) "
+      "bounds the true approximation ratio from above.");
+  return bench.finish();
 }

@@ -8,17 +8,20 @@
 #include <iostream>
 
 #include "gen/generators.hpp"
+#include "harness.hpp"
 #include "longwin/long_pipeline.hpp"
 #include "longwin/speed_transform.hpp"
-#include "util/table.hpp"
 #include "verify/verify.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace calisched;
-  std::cout << "E2: machines -> speed transform (Theorem 14 / Lemma 13)\n\n";
+  BenchHarness bench("E2", "machines -> speed transform (Theorem 14 / Lemma 13)",
+                     argc, argv);
 
-  Table table({"seed", "n", "m", "src-machines", "src-cals", "dst-machines",
-               "speed", "dst-cals", "cals<=src", "verified"});
+  Table& table = bench.table(
+      "transform", {"seed", "n", "m", "src-machines", "src-cals",
+                    "dst-machines", "speed", "dst-cals", "cals<=src",
+                    "verified"});
   for (std::uint64_t seed = 1; seed <= 12; ++seed) {
     GenParams params;
     params.seed = seed;
@@ -34,11 +37,13 @@ int main() {
     const int c =
         (slow.schedule.machines + instance.machines - 1) / instance.machines;
     const auto fast = speed_transform(instance, slow.schedule, c);
+    bench.check("transform-seed-" + std::to_string(seed), fast.has_value());
     if (!fast) {
       std::cerr << "seed " << seed << ": speed transform failed\n";
-      return 1;
+      return bench.finish();
     }
     const VerifyResult check = verify_ise(instance, *fast);
+    bench.check("verified-seed-" + std::to_string(seed), check.ok());
     table.row()
         .cell(static_cast<std::int64_t>(seed))
         .cell(instance.size())
@@ -51,10 +56,11 @@ int main() {
         .cell(fast->num_calibrations() <= slow.schedule.num_calibrations())
         .cell(check.ok());
   }
-  table.print(std::cout, "Theorem 12 schedule -> m machines at speed 2c");
-  std::cout << "\nTheorem 14: m machines at speed 36 with <= 12 C* "
-               "calibrations. The transform often *merges* calibrations\n"
-               "(target calendars cover several source calibrations), so "
-               "dst-cals can be far below src-cals.\n";
-  return 0;
+  bench.print_table("transform", "Theorem 12 schedule -> m machines at speed 2c");
+  bench.note(
+      "Theorem 14: m machines at speed 36 with <= 12 C* calibrations. The "
+      "transform often *merges* calibrations (target calendars cover "
+      "several source calibrations), so dst-cals can be far below "
+      "src-cals.");
+  return bench.finish();
 }

@@ -8,14 +8,16 @@
 
 #include "baselines/exact_ise.hpp"
 #include "gen/generators.hpp"
-#include "util/table.hpp"
+#include "harness.hpp"
 #include "verify/verify.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace calisched;
-  std::cout << "E5: trim gap — exact TISE(3m) vs exact ISE(m) (Lemma 2)\n\n";
+  BenchHarness bench("E5", "trim gap — exact TISE(3m) vs exact ISE(m) (Lemma 2)",
+                     argc, argv);
 
-  Table table({"seed", "n", "T", "ISE*-cals", "TISE*-cals(3m)", "gap",
+  Table& table = bench.table(
+      "gaps", {"seed", "n", "T", "ISE*-cals", "TISE*-cals(3m)", "gap",
                "gap<=3", "both-verified"});
   double worst_gap = 0.0;
   int measured = 0;
@@ -43,6 +45,7 @@ int main() {
                        static_cast<double>(ise.optimal_calibrations);
     worst_gap = std::max(worst_gap, gap);
     ++measured;
+    bench.check("gap-seed-" + std::to_string(seed), gap <= 3.0 + 1e-9);
     table.row()
         .cell(static_cast<std::int64_t>(seed))
         .cell(instance.size())
@@ -54,8 +57,10 @@ int main() {
         .cell(verify_ise(instance, ise.schedule).ok() &&
               verify_tise(tripled, tise.schedule).ok());
   }
-  table.print(std::cout, "exact trim gaps on tiny long-window instances");
-  std::cout << "\nmeasured " << measured << " instances, worst gap "
-            << format_double(worst_gap, 2) << " (Lemma 2 ceiling: 3.00)\n";
-  return 0;
+  bench.print_table("gaps", "exact trim gaps on tiny long-window instances");
+  bench.metric("worst_gap", worst_gap);
+  bench.metric("measured_instances", measured);
+  bench.note("measured " + std::to_string(measured) + " instances, worst gap " +
+             format_double(worst_gap, 2) + " (Lemma 2 ceiling: 3.00)");
+  return bench.finish();
 }

@@ -14,17 +14,18 @@
 #include "baselines/calibration_bounds.hpp"
 #include "baselines/exact_ise.hpp"
 #include "gen/generators.hpp"
+#include "harness.hpp"
 #include "mm/mm.hpp"
 #include "solver/ise_solver.hpp"
-#include "util/table.hpp"
 #include "verify/verify.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace calisched;
-  std::cout << "E6: unit jobs — prior work comparison\n\n";
+  BenchHarness bench("E6", "unit jobs — prior work comparison", argc, argv);
 
-  Table table({"seed", "n", "LB", "exact", "bender-lazy", "lazy/exact",
-               "our-solver", "all-verified"});
+  Table& table = bench.table(
+      "comparison", {"seed", "n", "LB", "exact", "bender-lazy", "lazy/exact",
+                     "our-solver", "all-verified"});
   double worst_lazy_ratio = 0.0;
   for (std::uint64_t seed = 1; seed <= 14; ++seed) {
     GenParams params;
@@ -58,6 +59,7 @@ int main() {
       verified = verified && verify_ise(instance, ours.schedule).ok();
       ours_cell = std::to_string(ours.total_calibrations);
     }
+    bench.check("verified-seed-" + std::to_string(seed), verified);
     table.row()
         .cell(static_cast<std::int64_t>(seed))
         .cell(instance.size())
@@ -68,12 +70,13 @@ int main() {
         .cell(ours_cell)
         .cell(verified);
   }
-  table.print(std::cout, "unit instances (T=5, m=2, windows <= 9)");
+  bench.print_table("comparison", "unit instances (T=5, m=2, windows <= 9)");
 
   // --- single-machine regime: Bender et al.'s first algorithm is optimal
   // whenever a 1-machine schedule exists; measure how close the
   // reconstruction gets there.
-  Table single({"seed", "n", "exact(m=1)", "bender-lazy", "optimal?"});
+  Table& single = bench.table(
+      "single", {"seed", "n", "exact(m=1)", "bender-lazy", "optimal?"});
   int optimal_count = 0, measured = 0;
   for (std::uint64_t seed = 30; seed <= 45; ++seed) {
     GenParams params;
@@ -98,15 +101,18 @@ int main() {
         .cell(lazy.schedule.num_calibrations())
         .cell(optimal);
   }
-  single.print(std::cout, "single-machine regime (their optimality case)");
+  bench.print_table("single", "single-machine regime (their optimality case)");
   std::cout << "reconstruction optimal on " << optimal_count << "/" << measured
             << " single-machine instances\n";
-  std::cout << "\nworst lazy-binning ratio measured: "
-            << format_double(worst_lazy_ratio, 2)
-            << " (Bender et al. prove 2.0 for their exact algorithm; ours "
-               "is a reconstruction)\n"
-            << "The general solver's counts include its worst-case-driven "
-               "constant factors; on unit jobs the specialized greedy is "
-               "the right tool, exactly as the paper positions it.\n";
-  return 0;
+  bench.metric("worst_lazy_ratio", worst_lazy_ratio);
+  bench.metric("single_machine_optimal", optimal_count);
+  bench.metric("single_machine_measured", measured);
+  bench.note(
+      "worst lazy-binning ratio measured: " +
+      format_double(worst_lazy_ratio, 2) +
+      " (Bender et al. prove 2.0 for their exact algorithm; ours is a "
+      "reconstruction)\nThe general solver's counts include its "
+      "worst-case-driven constant factors; on unit jobs the specialized "
+      "greedy is the right tool, exactly as the paper positions it.");
+  return bench.finish();
 }

@@ -1,0 +1,142 @@
+#include "harness.hpp"
+
+#include <fstream>
+#include <iostream>
+
+#include "trace/json.hpp"
+
+namespace calisched {
+
+namespace {
+[[nodiscard]] bool targets_stdout(const std::string& path) {
+  return path.empty() || path == "-" || path == "true";
+}
+}  // namespace
+
+BenchHarness::BenchHarness(std::string id, std::string title, int argc,
+                           char** argv)
+    : id_(std::move(id)),
+      title_(std::move(title)),
+      args_(argc, argv),
+      json_to_stdout_(args_.has("json") && targets_stdout(args_.get("json", ""))),
+      trace_(id_),
+      start_(std::chrono::steady_clock::now()) {
+  human() << id_ << ": " << title_ << "\n\n";
+}
+
+std::ostream& BenchHarness::human() const noexcept {
+  return json_to_stdout_ ? std::cerr : std::cout;
+}
+
+Table& BenchHarness::table(const std::string& key,
+                           std::vector<std::string> header) {
+  for (NamedTable& entry : tables_) {
+    if (entry.key == key) return entry.table;
+  }
+  tables_.push_back({key, "", Table(std::move(header)), false});
+  return tables_.back().table;
+}
+
+void BenchHarness::print_table(const std::string& key,
+                               const std::string& title) {
+  for (NamedTable& entry : tables_) {
+    if (entry.key != key) continue;
+    entry.title = title;
+    entry.table.print(human(), title);
+    entry.printed = true;
+    return;
+  }
+}
+
+void BenchHarness::metric(const std::string& name, double value) {
+  metrics_.emplace_back(name, value);
+  trace_.set_value(name, value);
+}
+
+void BenchHarness::check(const std::string& name, bool ok) {
+  checks_.emplace_back(name, ok);
+  if (!ok) {
+    failed_ = true;
+    human() << "CHECK FAILED: " << name << '\n';
+  }
+}
+
+void BenchHarness::note(const std::string& text) {
+  notes_.push_back(text);
+  human() << '\n' << text << '\n';
+}
+
+int BenchHarness::finish() {
+  for (NamedTable& entry : tables_) {
+    if (!entry.printed) {
+      entry.table.print(human(), entry.title);
+      entry.printed = true;
+    }
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  trace_.record_span(
+      "bench",
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+
+  const std::string json_path = args_.get("json", "");
+  if (args_.has("json")) {
+    JsonValue::Object record;
+    record.emplace_back("bench", JsonValue(id_));
+    record.emplace_back("title", JsonValue(title_));
+    record.emplace_back(
+        "elapsed_ns",
+        JsonValue(static_cast<std::int64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count())));
+    JsonValue::Object tables;
+    for (const NamedTable& entry : tables_) {
+      JsonValue::Object table_json;
+      table_json.emplace_back("title", JsonValue(entry.title));
+      JsonValue::Array header;
+      for (const std::string& cell : entry.table.header()) {
+        header.emplace_back(cell);
+      }
+      table_json.emplace_back("header", JsonValue(std::move(header)));
+      JsonValue::Array rows;
+      for (const std::vector<std::string>& row : entry.table.rows()) {
+        JsonValue::Array cells;
+        for (const std::string& cell : row) cells.emplace_back(cell);
+        rows.emplace_back(std::move(cells));
+      }
+      table_json.emplace_back("rows", JsonValue(std::move(rows)));
+      tables.emplace_back(entry.key, JsonValue(std::move(table_json)));
+    }
+    record.emplace_back("tables", JsonValue(std::move(tables)));
+    JsonValue::Object metrics;
+    for (const auto& [name, value] : metrics_) {
+      metrics.emplace_back(name, JsonValue(value));
+    }
+    record.emplace_back("metrics", JsonValue(std::move(metrics)));
+    JsonValue::Object checks;
+    for (const auto& [name, ok] : checks_) {
+      checks.emplace_back(name, JsonValue(ok));
+    }
+    record.emplace_back("checks", JsonValue(std::move(checks)));
+    JsonValue::Array notes;
+    for (const std::string& text : notes_) notes.emplace_back(text);
+    record.emplace_back("notes", JsonValue(std::move(notes)));
+    record.emplace_back("trace", trace_.to_json());
+    const JsonValue json(std::move(record));
+    if (json_to_stdout_) {
+      std::cout << json.dump(2) << '\n';
+    } else {
+      std::ofstream out(json_path);
+      if (!out) {
+        std::cerr << "cannot open " << json_path << " for writing\n";
+        return 2;
+      }
+      out << json.dump(2) << '\n';
+    }
+  }
+  for (const std::string& flag : args_.unused()) {
+    std::cerr << "warning: unused flag --" << flag << '\n';
+  }
+  return failed_ ? 1 : 0;
+}
+
+}  // namespace calisched

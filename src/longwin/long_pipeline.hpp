@@ -21,6 +21,9 @@
 
 namespace calisched {
 
+/// Compatibility view over the pipeline's TraceContext (the pipeline
+/// records everything there first; this struct is derived from it, so the
+/// two can never disagree).
 struct LongWindowTelemetry {
   int m_prime = 0;               ///< 3m
   int machines_allotted = 0;     ///< 18m
@@ -30,6 +33,8 @@ struct LongWindowTelemetry {
   int lp_columns = 0;
   std::size_t rounded_calibrations = 0;  ///< after Algorithm 1 (before mirroring)
   std::size_t total_calibrations = 0;    ///< in the final schedule
+
+  [[nodiscard]] static LongWindowTelemetry from_trace(const TraceContext& trace);
 };
 
 struct LongWindowResult {
@@ -43,6 +48,10 @@ struct LongWindowResult {
 
 struct LongWindowOptions {
   SimplexOptions lp;
+  /// Optional telemetry sink: stage spans (trim/lp/rounding/edf), LP shape
+  /// and pivot counters, and calibration totals land here; the simplex
+  /// itself reports into a "simplex" child context. Not owned.
+  TraceContext* trace = nullptr;
   /// Machine multiplier for the TISE relaxation; the paper's analysis uses
   /// 3 (Lemma 2). Exposed for the ablation benchmark.
   int trim_multiplier = 3;

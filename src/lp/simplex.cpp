@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 
+#include "trace/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace calisched {
@@ -20,10 +21,15 @@ class Tableau {
 
   LpSolution solve() {
     LpSolution solution;
+    trace_set(options_.trace, "tableau.rows", rows_);
+    trace_set(options_.trace, "tableau.columns", cols_);
     // ---- Phase 1: minimize the sum of artificial variables. ----
     if (num_artificial_ > 0) {
+      TraceSpan span(options_.trace, "phase1");
       const RunResult phase1 = run(costs1_, /*allow_artificial_entering=*/true,
                                    solution.phase1_pivots);
+      span.stop();
+      flush_pivot_counters(solution);
       if (phase1 == RunResult::kIterationLimit) {
         solution.status = LpStatus::kIterationLimit;
         return solution;
@@ -36,8 +42,11 @@ class Tableau {
       expel_artificials();
     }
     // ---- Phase 2: minimize the real objective. ----
+    TraceSpan phase2_span(options_.trace, "phase2");
     const RunResult phase2 =
         run(costs2_, /*allow_artificial_entering=*/false, solution.phase2_pivots);
+    phase2_span.stop();
+    flush_pivot_counters(solution);
     switch (phase2) {
       case RunResult::kOptimal: solution.status = LpStatus::kOptimal; break;
       case RunResult::kUnbounded: solution.status = LpStatus::kUnbounded; return solution;
@@ -171,6 +180,7 @@ class Tableau {
         last_objective = objective;
       } else if (!bland && ++stall >= options_.stall_before_bland) {
         bland = true;  // anti-cycling fallback
+        ++bland_activations_;
       }
     }
   }
@@ -226,6 +236,7 @@ class Tableau {
     const std::size_t work =
         static_cast<std::size_t>(rows_) * static_cast<std::size_t>(cols_);
     if (options_.parallel && work > options_.parallel_threshold) {
+      ++parallel_pivots_;
       ThreadPool& pool = default_pool();
       const std::size_t chunks = pool.size() * 4;
       const std::size_t chunk_size =
@@ -240,6 +251,7 @@ class Tableau {
         }
       });
     } else {
+      ++serial_pivots_;
       for (int r = 0; r < rows_; ++r) {
         if (r == pivot_row) continue;
         eliminate_row(&cell(r, 0));
@@ -269,7 +281,22 @@ class Tableau {
     }
   }
 
+  /// Mirrors the cumulative pivot accounting into the trace sink; called
+  /// after each phase so an iteration-limited solve still reports.
+  void flush_pivot_counters(const LpSolution& solution) {
+    TraceContext* trace = options_.trace;
+    if (!trace) return;
+    trace->set("pivots.phase1", solution.phase1_pivots);
+    trace->set("pivots.phase2", solution.phase2_pivots);
+    trace->set("pivots.parallel", parallel_pivots_);
+    trace->set("pivots.serial", serial_pivots_);
+    trace->set("bland.activations", bland_activations_);
+  }
+
   SimplexOptions options_;
+  std::int64_t parallel_pivots_ = 0;
+  std::int64_t serial_pivots_ = 0;
+  std::int64_t bland_activations_ = 0;
   int num_structural_ = 0;
   int slack_base_ = 0;
   int artificial_base_ = 0;

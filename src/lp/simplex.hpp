@@ -23,6 +23,8 @@
 
 namespace calisched {
 
+class TraceContext;
+
 enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
 
 struct SimplexOptions {
@@ -34,6 +36,9 @@ struct SimplexOptions {
   bool parallel = true;            ///< parallel row elimination when large
   /// Tableau cell count above which pivots eliminate rows in parallel.
   std::size_t parallel_threshold = std::size_t{1} << 21;
+  /// Optional telemetry sink: phase spans, pivot counters, tableau shape,
+  /// and the parallel-elimination hit rate land here. Not owned.
+  TraceContext* trace = nullptr;
 };
 
 struct LpSolution {

@@ -21,6 +21,8 @@
 
 namespace calisched {
 
+class TraceContext;
+
 struct MMResult {
   bool feasible = false;       ///< false only if the box gave up (node cap)
   MMSchedule schedule;         ///< valid when feasible
@@ -35,6 +37,12 @@ class MachineMinimizer {
   virtual ~MachineMinimizer() = default;
   [[nodiscard]] virtual MMResult minimize(const Instance& instance) const = 0;
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// minimize() plus telemetry: records an "mm" span and the invocation /
+  /// machines-returned / search-node counters into `trace` (no-op when
+  /// null). Every pipeline call site goes through this overload.
+  [[nodiscard]] MMResult minimize(const Instance& instance,
+                                  TraceContext* trace) const;
 };
 
 /// First-fit EDF list scheduling, trying m = lower_bound(I), ..., n.

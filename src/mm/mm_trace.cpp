@@ -1,0 +1,26 @@
+#include "mm/mm.hpp"
+#include "trace/trace.hpp"
+
+namespace calisched {
+
+MMResult MachineMinimizer::minimize(const Instance& instance,
+                                    TraceContext* trace) const {
+  TraceSpan span(trace, "mm");
+  MMResult result = minimize(instance);
+  span.stop();
+  if (trace) {
+    trace->add("mm.invocations");
+    trace->add("mm.jobs", static_cast<std::int64_t>(instance.size()));
+    trace->add("mm.search_nodes", result.search_nodes);
+    if (result.feasible) {
+      trace->add("mm.machines.returned", result.schedule.machines);
+    } else {
+      trace->add("mm.failures");
+    }
+    trace->note("mm.algorithm", result.algorithm);
+    trace->note("mm.box", name());
+  }
+  return result;
+}
+
+}  // namespace calisched

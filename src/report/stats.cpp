@@ -4,7 +4,21 @@
 #include <limits>
 #include <map>
 
+#include "trace/trace.hpp"
+
 namespace calisched {
+
+void record_stats(const ScheduleStats& stats, TraceContext* trace) {
+  if (!trace) return;
+  trace->set("stats.calibrations", static_cast<std::int64_t>(stats.calibrations));
+  trace->set("stats.machines_used", stats.machines_used);
+  trace->set("stats.calibrated_ticks", stats.calibrated_ticks);
+  trace->set("stats.busy_ticks", stats.busy_ticks);
+  trace->set_value("stats.utilization", stats.utilization);
+  trace->set("stats.span_ticks", stats.span_ticks);
+  trace->set("stats.max_calibrations_per_machine",
+             static_cast<std::int64_t>(stats.max_calibrations_per_machine));
+}
 
 ScheduleStats compute_stats(const Instance& instance, const Schedule& schedule) {
   ScheduleStats stats;

@@ -18,4 +18,10 @@ struct ScheduleStats {
 [[nodiscard]] ScheduleStats compute_stats(const Instance& instance,
                                           const Schedule& schedule);
 
+class TraceContext;
+
+/// Records every ScheduleStats field into `trace` under "stats.*" counters
+/// ("stats.utilization" as a value). No-op when `trace` is null.
+void record_stats(const ScheduleStats& stats, TraceContext* trace);
+
 }  // namespace calisched

@@ -29,7 +29,8 @@ IntervalScheduleResult schedule_interval(const Instance& jobs, Time interval_sta
   }
 
   // --- MM black box ---------------------------------------------------------
-  MMResult mm_result = mm.minimize(jobs);
+  TraceSpan interval_span(options.trace, "interval");
+  MMResult mm_result = mm.minimize(jobs, options.trace);
   result.mm_algorithm = mm_result.algorithm;
   if (!mm_result.feasible) {
     result.error = "MM black box failed on interval at " +

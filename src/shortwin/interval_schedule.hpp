@@ -16,6 +16,7 @@
 
 #include "core/schedule.hpp"
 #include "mm/mm.hpp"
+#include "trace/trace.hpp"
 
 namespace calisched {
 
@@ -30,6 +31,10 @@ struct IntervalScheduleResult {
 
 struct IntervalOptions {
   Time gamma = 2;  ///< short-window factor; Definition 1 fixes gamma = 2
+  /// Optional telemetry sink (the short-window pipeline's context): MM
+  /// invocations, per-interval spans, and partition/union counters land
+  /// here. Not owned; spans with one name aggregate across intervals.
+  TraceContext* trace = nullptr;
   /// When true, skip calendar calibrations that host no job. Off by
   /// default: the paper's Algorithm 5 calibrates unconditionally and
   /// Lemma 19 charges for all 2*gamma of them; the ablation bench flips

@@ -39,22 +39,50 @@ std::map<Time, Instance> partition_pass(std::vector<Job>& pending,
 
 }  // namespace
 
+ShortWindowTelemetry ShortWindowTelemetry::from_trace(const TraceContext& trace) {
+  ShortWindowTelemetry telemetry;
+  telemetry.intervals_pass1 = static_cast<int>(trace.counter("intervals.pass1"));
+  telemetry.intervals_pass2 = static_cast<int>(trace.counter("intervals.pass2"));
+  telemetry.sum_mm_machines = static_cast<int>(trace.counter("mm.machines.sum"));
+  telemetry.max_mm_machines = static_cast<int>(trace.counter("mm.machines.max"));
+  telemetry.machines_allotted =
+      static_cast<int>(trace.counter("machines.allotted"));
+  telemetry.total_calibrations =
+      static_cast<std::size_t>(trace.counter("calibrations.total"));
+  telemetry.mm_algorithms = trace.notes("mm.algorithm");
+  std::sort(telemetry.mm_algorithms.begin(), telemetry.mm_algorithms.end());
+  return telemetry;
+}
+
 ShortWindowResult solve_short_window(const Instance& instance,
                                      const MachineMinimizer& mm,
                                      const IntervalOptions& options) {
   const Time gamma = options.gamma;
   ShortWindowResult result;
+  // All telemetry flows through the trace; the caller's sink is used when
+  // provided, a local one otherwise, and the legacy telemetry struct is
+  // derived from it on every exit path.
+  TraceContext local_trace("short_window");
+  TraceContext* trace = options.trace ? options.trace : &local_trace;
+  IntervalOptions interval_options = options;
+  interval_options.trace = trace;
+  const auto finish = [&]() {
+    result.telemetry = ShortWindowTelemetry::from_trace(*trace);
+    return std::move(result);
+  };
   for (const Job& job : instance.jobs) {
     assert(job.window() <= gamma * instance.T &&
            "short-window pipeline requires windows <= gamma*T");
     (void)job;
   }
+  trace->set("jobs", static_cast<std::int64_t>(instance.size()));
   result.schedule = Schedule::empty_like(instance, 0);
   if (instance.empty()) {
     result.feasible = true;
-    return result;
+    return finish();
   }
 
+  TraceSpan partition_span(trace, "partition");
   std::vector<Job> pending = instance.jobs;
   struct Pass {
     std::map<Time, Instance> intervals;
@@ -65,32 +93,38 @@ ShortWindowResult solve_short_window(const Instance& instance,
   passes[0].intervals = partition_pass(pending, instance, /*offset=*/0, gamma);
   passes[1].intervals =
       partition_pass(pending, instance, /*offset=*/gamma * instance.T, gamma);
+  partition_span.stop();
   if (!pending.empty()) {
     // Contradicts Lemma 16 for short jobs; defensive (asserted above).
     result.error = "job " + std::to_string(pending.front().id) +
                    " fits neither partitioning pass";
-    return result;
+    return finish();
   }
 
-  std::vector<std::string> algorithms;
+  TraceSpan intervals_span(trace, "intervals");
+  int sum_w = 0;
+  int max_w = 0;
   for (Pass& pass : passes) {
     for (const auto& [start, interval_jobs] : pass.intervals) {
       IntervalScheduleResult interval =
-          schedule_interval(interval_jobs, start, mm, options);
+          schedule_interval(interval_jobs, start, mm, interval_options);
       if (!interval.feasible) {
         result.error = std::move(interval.error);
-        return result;
+        return finish();
       }
-      result.telemetry.sum_mm_machines += interval.mm_machines;
-      result.telemetry.max_mm_machines =
-          std::max(result.telemetry.max_mm_machines, interval.mm_machines);
+      sum_w += interval.mm_machines;
+      max_w = std::max(max_w, interval.mm_machines);
       pass.max_w = std::max(pass.max_w, interval.mm_machines);
-      algorithms.push_back(interval.mm_algorithm);
       pass.schedules.push_back(std::move(interval));
     }
   }
-  result.telemetry.intervals_pass1 = static_cast<int>(passes[0].schedules.size());
-  result.telemetry.intervals_pass2 = static_cast<int>(passes[1].schedules.size());
+  intervals_span.stop();
+  trace->set("mm.machines.sum", sum_w);
+  trace->set("mm.machines.max", max_w);
+  trace->set("intervals.pass1",
+             static_cast<std::int64_t>(passes[0].schedules.size()));
+  trace->set("intervals.pass2",
+             static_cast<std::int64_t>(passes[1].schedules.size()));
 
   // Union the interval schedules. Within a pass, intervals share a pool of
   // 3*max_w machines: interval machine groups [0,w), [w,2w), [2w,3w) map to
@@ -99,6 +133,7 @@ ShortWindowResult solve_short_window(const Instance& instance,
   // Passes use disjoint pools.
   // All intervals use the same MM box, hence the same tick resolution;
   // the union inherits it (1 when every interval was empty).
+  TraceSpan union_span(trace, "union");
   for (const Pass& pass : passes) {
     for (const IntervalScheduleResult& interval : pass.schedules) {
       if (interval.schedule.time_denominator != 1) {
@@ -133,16 +168,13 @@ ShortWindowResult solve_short_window(const Instance& instance,
     pool_base += groups_per_interval * pool_w;
   }
   result.schedule.machines = std::max(1, pool_base);
-  result.telemetry.machines_allotted = pool_base;
-  result.telemetry.total_calibrations = result.schedule.num_calibrations();
-
-  std::sort(algorithms.begin(), algorithms.end());
-  algorithms.erase(std::unique(algorithms.begin(), algorithms.end()),
-                   algorithms.end());
-  result.telemetry.mm_algorithms = std::move(algorithms);
   result.schedule.normalize();
+  union_span.stop();
+  trace->set("machines.allotted", pool_base);
+  trace->set("calibrations.total",
+             static_cast<std::int64_t>(result.schedule.num_calibrations()));
   result.feasible = true;
-  return result;
+  return finish();
 }
 
 }  // namespace calisched

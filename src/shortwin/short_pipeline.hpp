@@ -16,6 +16,9 @@
 
 namespace calisched {
 
+/// Compatibility view over the pipeline's TraceContext (the pipeline
+/// records everything there first; this struct is derived from it, so the
+/// two can never disagree).
 struct ShortWindowTelemetry {
   int intervals_pass1 = 0;       ///< non-empty intervals in the aligned pass
   int intervals_pass2 = 0;       ///< non-empty intervals in the offset pass
@@ -24,6 +27,8 @@ struct ShortWindowTelemetry {
   int machines_allotted = 0;     ///< 3*max(w)_pass1 + 3*max(w)_pass2
   std::size_t total_calibrations = 0;
   std::vector<std::string> mm_algorithms;  ///< distinct black-box labels seen
+
+  [[nodiscard]] static ShortWindowTelemetry from_trace(const TraceContext& trace);
 };
 
 struct ShortWindowResult {

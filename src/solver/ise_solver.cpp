@@ -1,16 +1,30 @@
 #include "solver/ise_solver.hpp"
 
+#include "trace/trace.hpp"
+
 namespace calisched {
 
 IseSolveResult solve_ise(const Instance& instance, const IseSolverOptions& options) {
   IseSolveResult result;
+  // Top-level telemetry: stage totals here, the pipelines in child contexts.
+  TraceContext local_trace("solve_ise");
+  TraceContext* trace = options.trace ? options.trace : &local_trace;
+  trace->set("jobs", static_cast<std::int64_t>(instance.size()));
+  trace->set("machines", instance.machines);
+
+  TraceSpan split_span(trace, "split");
   const WindowSplit split = split_by_window(instance);
+  split_span.stop();
   result.long_job_count = split.long_jobs.size();
   result.short_job_count = split.short_jobs.size();
+  trace->set("jobs.long", static_cast<std::int64_t>(split.long_jobs.size()));
+  trace->set("jobs.short", static_cast<std::int64_t>(split.short_jobs.size()));
 
   // --- long-window pool ------------------------------------------------------
+  LongWindowOptions long_options = options.long_window;
+  long_options.trace = &trace->child("long_window");
   LongWindowResult long_result =
-      solve_long_window(split.long_jobs, options.long_window);
+      solve_long_window(split.long_jobs, long_options);
   result.long_telemetry = long_result.telemetry;
   if (!long_result.feasible) {
     result.error = "long-window pipeline: " + long_result.error;
@@ -22,8 +36,10 @@ IseSolveResult solve_ise(const Instance& instance, const IseSolverOptions& optio
   const MachineMinimizer& mm =
       options.mm ? static_cast<const MachineMinimizer&>(*options.mm)
                  : static_cast<const MachineMinimizer&>(default_mm);
+  IntervalOptions short_options = options.short_window;
+  short_options.trace = &trace->child("short_window");
   ShortWindowResult short_result =
-      solve_short_window(split.short_jobs, mm, options.short_window);
+      solve_short_window(split.short_jobs, mm, short_options);
   result.short_telemetry = short_result.telemetry;
   if (!short_result.feasible) {
     result.error = "short-window pipeline: " + short_result.error;
@@ -34,6 +50,7 @@ IseSolveResult solve_ise(const Instance& instance, const IseSolverOptions& optio
   // An s-speed MM box leaves the short schedule in 1/s ticks at speed s;
   // lift the (1-speed) long schedule onto the same s-speed machine park —
   // jobs only get shorter, so feasibility is preserved.
+  TraceSpan combine_span(trace, "combine");
   const std::int64_t s = short_result.schedule.speed;
   if (s != 1) {
     long_result.schedule.scale_denominator(s);
@@ -45,9 +62,14 @@ IseSolveResult solve_ise(const Instance& instance, const IseSolverOptions& optio
   combined.append_disjoint(long_result.schedule, 0);
   combined.append_disjoint(short_result.schedule, long_result.schedule.machines);
   combined.normalize();
+  combine_span.stop();
   result.machines_allotted =
       long_result.schedule.machines + short_result.schedule.machines;
   result.total_calibrations = combined.num_calibrations();
+  trace->set("machines.allotted", result.machines_allotted);
+  trace->set("calibrations.total",
+             static_cast<std::int64_t>(result.total_calibrations));
+  trace->set("speed", combined.speed);
   result.schedule = std::move(combined);
   result.feasible = true;
   return result;

@@ -20,6 +20,11 @@ struct IseSolverOptions {
   IntervalOptions short_window;
   /// MM black box for the short-window pipeline; GreedyEdfMM when null.
   std::shared_ptr<const MachineMinimizer> mm;
+  /// Optional telemetry sink for the whole solve: split/combine spans and
+  /// top-level totals at this level, with the pipelines reporting into
+  /// "long_window" / "short_window" child contexts (any trace already set
+  /// on the pipeline options is overridden by those children). Not owned.
+  TraceContext* trace = nullptr;
 };
 
 struct IseSolveResult {

@@ -50,6 +50,14 @@ class Table {
 
   [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
 
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows()
+      const noexcept {
+    return rows_;
+  }
+
   /// Writes the table with aligned columns and a rule under the header.
   void print(std::ostream& out, std::string_view title = "") const;
 

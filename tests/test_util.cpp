@@ -134,6 +134,40 @@ TEST(ThreadPool, ParallelForPropagatesException) {
       std::runtime_error);
 }
 
+TEST(ThreadPool, ParallelForRethrowsExactlyOneException) {
+  // Many bodies throw concurrently; the caller must see exactly one
+  // exception (the first captured), on its own thread, not a terminate.
+  ThreadPool pool(4);
+  int caught = 0;
+  try {
+    parallel_for(pool, 64, [](std::size_t) {
+      throw std::runtime_error("every body throws");
+    });
+  } catch (const std::runtime_error&) {
+    ++caught;
+  }
+  EXPECT_EQ(caught, 1);
+  // The pool survives a throwing run and processes later work.
+  std::atomic<int> sum{0};
+  parallel_for(pool, 32, [&](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum.load(), 32 * 31 / 2);
+}
+
+TEST(ThreadPool, DefaultPoolReusableAfterException) {
+  EXPECT_THROW(parallel_for(default_pool(), 8,
+                            [](std::size_t i) {
+                              if (i % 2 == 0) throw std::logic_error("boom");
+                            }),
+               std::logic_error);
+  std::atomic<int> count{0};
+  parallel_for(default_pool(), 100, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 100);
+  // A second throwing run still yields exactly one exception.
+  EXPECT_THROW(parallel_for(default_pool(), 8,
+                            [](std::size_t) { throw std::logic_error("again"); }),
+               std::logic_error);
+}
+
 TEST(ThreadPool, ZeroCountIsNoop) {
   ThreadPool pool(2);
   parallel_for(pool, 0, [](std::size_t) { FAIL(); });

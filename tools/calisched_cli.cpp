@@ -7,7 +7,12 @@
 // Usage:
 //   calisched <instance-file> [--algo=NAME] [--gantt] [--csv] [--quiet]
 //             [--adaptive-mirror] [--prune-empty] [--relaxed] [--mm=NAME]
+//             [--trace-json=FILE]
 //   calisched --generate=FAMILY --n=N --T=N --machines=N [--seed=N] --out=F
+//
+// --trace-json=FILE writes the solve's full stage trace (per-stage spans,
+// counters, LP/MM telemetry, schedule stats) as JSON; FILE of "-" means
+// stdout.
 //
 // MM boxes can be speed-augmented with --mm-speed=S (Theorem 1's s-speed
 // augmentation).
@@ -38,6 +43,7 @@
 #include "report/stats.hpp"
 #include "shortwin/short_pipeline.hpp"
 #include "solver/ise_solver.hpp"
+#include "trace/trace.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "verify/verify.hpp"
@@ -109,12 +115,14 @@ struct RunOutcome {
 };
 
 RunOutcome run_algorithm(const Instance& instance, const CliArgs& args,
-                         const std::string& algo) {
+                         const std::string& algo, TraceContext* trace) {
   RunOutcome outcome;
   LongWindowOptions long_options;
+  long_options.trace = trace;
   long_options.adaptive_mirror = args.get_bool("adaptive-mirror", false);
   long_options.prune_empty_calibrations = args.get_bool("prune-empty", false);
   IntervalOptions short_options;
+  short_options.trace = trace;
   short_options.relaxed_calibrations = args.get_bool("relaxed", false);
   short_options.trim_unused_calibrations = args.get_bool("prune-empty", false);
   if (short_options.relaxed_calibrations) {
@@ -132,6 +140,7 @@ RunOutcome run_algorithm(const Instance& instance, const CliArgs& args,
     options.long_window = long_options;
     options.short_window = short_options;
     options.mm = mm;
+    options.trace = trace;
     IseSolveResult result = solve_ise(instance, options);
     outcome.feasible = result.feasible;
     outcome.schedule = std::move(result.schedule);
@@ -206,7 +215,15 @@ int main(int argc, char** argv) {
   }
 
   const std::string algo = args.get("algo", "combined");
-  const RunOutcome outcome = run_algorithm(instance, args, algo);
+  // A bare --trace-json (parsed as "true") and "-" both mean stdout.
+  const bool want_trace = args.has("trace-json");
+  const std::string trace_path = args.get("trace-json", "");
+  TraceContext trace(algo == "combined" ? "solve_ise" : algo);
+  trace.note("algorithm", algo);
+  TraceSpan solve_span(&trace, "solve");
+  const RunOutcome outcome =
+      run_algorithm(instance, args, algo, want_trace ? &trace : nullptr);
+  solve_span.stop();
   if (!outcome.feasible) {
     std::cerr << algo << ": " << outcome.error << '\n';
     return 1;
@@ -220,6 +237,19 @@ int main(int argc, char** argv) {
   }
 
   const ScheduleStats stats = compute_stats(instance, outcome.schedule);
+  if (want_trace) {
+    record_stats(stats, &trace);
+    if (trace_path.empty() || trace_path == "-" || trace_path == "true") {
+      std::cout << trace.json() << '\n';
+    } else {
+      std::ofstream trace_file(trace_path);
+      if (!trace_file) {
+        std::cerr << "cannot open " << trace_path << " for writing\n";
+        return 2;
+      }
+      trace_file << trace.json() << '\n';
+    }
+  }
   if (!args.get_bool("quiet", false)) {
     std::cout << "algorithm        : " << algo << '\n'
               << "jobs             : " << instance.size() << '\n'

@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Tier-1 verification: configure + build + run the full test suite against
+# the release preset (see ROADMAP.md). Exits non-zero on the first failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake --preset release
+cmake --build --preset release -j "$(nproc)"
+ctest --preset release

@@ -19,7 +19,8 @@ bool fits(const Job& job, Time t, Time T) {
 
 }  // namespace
 
-std::optional<double> ise_lp_bound(const Instance& instance) {
+std::optional<double> ise_lp_bound(const Instance& instance,
+                                   const SimplexOptions& options) {
   if (instance.empty()) return 0.0;
   // Full integer grid (see header comment), pruned to points where at
   // least one job fits.
@@ -78,19 +79,20 @@ std::optional<double> ise_lp_bound(const Instance& instance) {
     }
   }
 
-  const LpSolution solution = solve_lp(model);
+  const LpSolution solution = solve_lp(model, options);
   if (solution.status != LpStatus::kOptimal) return std::nullopt;
   return solution.objective;
 }
 
 std::int64_t ise_certified_bound(const Instance& instance,
-                                 std::size_t max_points) {
+                                 std::size_t max_points,
+                                 const SimplexOptions& options) {
   const std::int64_t combinatorial = calibration_lower_bound(instance);
   if (instance.empty()) return combinatorial;
   const auto grid_size = static_cast<std::size_t>(
       instance.max_deadline() - instance.min_release() + instance.T - 1);
   if (grid_size > max_points) return combinatorial;
-  const auto lp = ise_lp_bound(instance);
+  const auto lp = ise_lp_bound(instance, options);
   if (!lp) return combinatorial;
   const auto lp_bound = static_cast<std::int64_t>(std::ceil(*lp - 1e-6));
   return std::max(combinatorial, lp_bound);

@@ -20,16 +20,20 @@
 #include <optional>
 
 #include "core/instance.hpp"
+#include "lp/simplex.hpp"
 
 namespace calisched {
 
 /// LP value (fractional calibrations) or nullopt when the solver fails
 /// (does not happen at library scales). Integer bound: ceil(value).
-[[nodiscard]] std::optional<double> ise_lp_bound(const Instance& instance);
+/// `options` selects the simplex engine and tolerances.
+[[nodiscard]] std::optional<double> ise_lp_bound(
+    const Instance& instance, const SimplexOptions& options = {});
 
 /// max(combinatorial calibration_lower_bound, ceil(ise_lp_bound)); skips
 /// the LP when the integer grid exceeds `max_points` points.
-[[nodiscard]] std::int64_t ise_certified_bound(const Instance& instance,
-                                               std::size_t max_points = 400);
+[[nodiscard]] std::int64_t ise_certified_bound(
+    const Instance& instance, std::size_t max_points = 400,
+    const SimplexOptions& options = {});
 
 }  // namespace calisched

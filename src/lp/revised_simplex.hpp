@@ -1,0 +1,67 @@
+// Sparse revised simplex with presolve and partial pricing.
+//
+// The dense tableau (simplex.cpp) re-eliminates the whole rows x cols
+// tableau on every pivot; for the TISE relaxation — whose constraint
+// matrix has a handful of nonzeros per column — almost all of that work
+// touches zeros. This engine keeps the constraint matrix in a CSC column
+// store and represents the basis inverse as an eta file (product form of
+// the inverse), so one pivot costs an FTRAN + BTRAN over stored nonzeros
+// instead of a dense elimination:
+//
+//  * presolve     — drops empty and duplicate rows, fixes variables pinned
+//                   by singleton equality rows, eliminates empty columns,
+//                   and normalizes every rhs to be nonnegative before the
+//                   engine sees the model;
+//  * pricing      — partial pricing: sections of the column range are
+//                   scanned cyclically into a small candidate list that is
+//                   re-priced each iteration, instead of a full Dantzig
+//                   scan; Bland's least-index rule takes over after the
+//                   same stall detection the dense engine uses;
+//  * basis        — eta-file FTRAN/BTRAN with periodic refactorization
+//                   (Gauss-Jordan over the basis columns, sparsest column
+//                   first, partial pivoting), which bounds the eta length
+//                   and resets accumulated roundoff.
+//
+// Semantics (statuses, tolerances, Bland fallback, iteration limits) match
+// the dense tableau, which stays available through SimplexOptions::engine
+// as the differential-testing oracle.
+#pragma once
+
+#include <vector>
+
+#include "lp/simplex.hpp"
+
+namespace calisched {
+
+/// What presolve did to a model; exposed for tests and trace reporting.
+struct PresolveSummary {
+  int rows_dropped = 0;      ///< empty, forcing, or duplicate rows removed
+  int cols_fixed = 0;        ///< variables pinned by presolve
+  int rows_normalized = 0;   ///< rows flipped to make rhs >= 0
+  bool infeasible = false;   ///< presolve proved the model infeasible
+  /// A cost-reducing column with no constraints was fixed at 0; the model
+  /// is unbounded iff the remaining LP is feasible.
+  bool unbounded_if_feasible = false;
+  double objective_offset = 0.0;  ///< cost contribution of fixed variables
+};
+
+/// A presolved model plus the mapping needed to undo the reductions.
+struct PresolvedLp {
+  LpModel model;                    ///< reduced model, every rhs >= 0
+  std::vector<int> column_map;      ///< original column -> reduced (-1 fixed)
+  std::vector<double> fixed_values; ///< per original column; valid when fixed
+  PresolveSummary summary;
+};
+
+/// Runs the presolve reductions (gated by options.presolve; rhs
+/// normalization always happens) and returns the reduced model. When
+/// summary.infeasible is set the model must not be solved.
+[[nodiscard]] PresolvedLp presolve_lp(const LpModel& model,
+                                      const SimplexOptions& options);
+
+/// Solves min c'x via presolve + sparse revised simplex. Call through
+/// solve_lp (simplex.hpp), which dispatches on SimplexOptions::engine.
+[[nodiscard]] LpSolution solve_lp_revised(const LpModel& model,
+                                          const SimplexOptions& options);
+
+}  // namespace calisched

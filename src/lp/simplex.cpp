@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 
+#include "lp/revised_simplex.hpp"
 #include "trace/trace.hpp"
 #include "util/thread_pool.hpp"
 
@@ -39,7 +40,7 @@ class Tableau {
         solution.status = LpStatus::kInfeasible;
         return solution;
       }
-      expel_artificials();
+      expel_artificials(solution.expel_pivots);
     }
     // ---- Phase 2: minimize the real objective. ----
     TraceSpan phase2_span(options_.trace, "phase2");
@@ -264,8 +265,9 @@ class Tableau {
 
   /// After phase 1, pivot remaining zero-valued artificial basics out on any
   /// nonzero non-artificial column; rows with no such column are redundant
-  /// (all-zero) and harmless.
-  void expel_artificials() {
+  /// (all-zero) and harmless. Expel pivots are counted separately from the
+  /// phase counts so that serial + parallel == phase1 + phase2 + expel.
+  void expel_artificials(std::int64_t& expel_pivots) {
     for (int r = 0; r < rows_; ++r) {
       if (basis_[static_cast<std::size_t>(r)] < artificial_base_) continue;
       int pivot_col = -1;
@@ -277,7 +279,10 @@ class Tableau {
           pivot_col = c;
         }
       }
-      if (pivot_col >= 0) pivot(r, pivot_col);
+      if (pivot_col >= 0) {
+        pivot(r, pivot_col);
+        ++expel_pivots;
+      }
     }
   }
 
@@ -288,6 +293,7 @@ class Tableau {
     if (!trace) return;
     trace->set("pivots.phase1", solution.phase1_pivots);
     trace->set("pivots.phase2", solution.phase2_pivots);
+    trace->set("pivots.expel", solution.expel_pivots);
     trace->set("pivots.parallel", parallel_pivots_);
     trace->set("pivots.serial", serial_pivots_);
     trace->set("bland.activations", bland_activations_);
@@ -312,6 +318,11 @@ class Tableau {
 }  // namespace
 
 LpSolution solve_lp(const LpModel& model, const SimplexOptions& options) {
+  trace_note(options.trace, "lp.engine",
+             options.engine == LpEngine::kRevised ? "revised" : "dense");
+  if (options.engine == LpEngine::kRevised) {
+    return solve_lp_revised(model, options);
+  }
   Tableau tableau(model, options);
   return tableau.solve();
 }

@@ -1,19 +1,26 @@
-// Two-phase primal simplex on a dense tableau.
+// LP solver front end: engine switch + the dense two-phase tableau.
 //
-// This is the LP engine behind the TISE relaxation (Section 3 of the
-// paper). Design notes:
+// Two engines solve the same model type behind one solve_lp() call:
 //
-//  * Dense tableau. The TISE LP at the instance sizes the exact-bound
-//    experiments use (hundreds of rows/columns) fits comfortably; dense
-//    row operations are cache-friendly and auto-vectorize.
+//  * kRevised (default) — sparse revised simplex with presolve, eta-file
+//    basis (product form of the inverse, periodic refactorization), and
+//    partial pricing; see lp/revised_simplex.hpp. This is the engine that
+//    scales the TISE relaxation past toy sizes.
+//  * kDenseTableau — the original two-phase dense tableau, kept as the
+//    reference oracle for differential testing and for tiny models where
+//    dense row operations are cache-friendly and auto-vectorize.
+//
+// Shared semantics (both engines):
 //  * Phase 1 minimizes the sum of artificial variables to find a basic
 //    feasible point; > tolerance at optimum means infeasible.
-//  * Pricing is Dantzig (most negative reduced cost); after a configurable
+//  * Pricing is Dantzig (most negative reduced cost; the revised engine
+//    restricts the scan to partial-pricing sections); after a configurable
 //    number of non-improving pivots the solver switches to Bland's rule,
 //    which guarantees termination in the presence of degeneracy.
-//  * Large tableaus eliminate rows in parallel through the shared thread
-//    pool; each worker owns disjoint rows, so no synchronisation is needed
-//    inside a pivot.
+//  * Large dense tableaus eliminate rows in parallel through the shared
+//    thread pool; each worker owns disjoint rows, so no synchronisation is
+//    needed inside a pivot. (The revised engine's pivots are too cheap to
+//    parallelize.)
 #pragma once
 
 #include <cstdint>
@@ -27,17 +34,41 @@ class TraceContext;
 
 enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
 
+/// Which simplex implementation solve_lp runs.
+enum class LpEngine {
+  kDenseTableau,  ///< dense two-phase tableau (reference oracle)
+  kRevised,       ///< sparse revised simplex (presolve + eta file)
+};
+
 struct SimplexOptions {
+  LpEngine engine = LpEngine::kRevised;
   double feasibility_tol = 1e-7;   ///< constraint / phase-1 feasibility
   double pivot_tol = 1e-9;         ///< smallest acceptable pivot magnitude
   double reduced_cost_tol = 1e-9;  ///< optimality threshold
   std::int64_t max_pivots = 2'000'000;
   int stall_before_bland = 256;    ///< non-improving pivots before Bland
   bool parallel = true;            ///< parallel row elimination when large
-  /// Tableau cell count above which pivots eliminate rows in parallel.
+  /// Tableau cell count above which pivots eliminate rows in parallel
+  /// (dense engine only).
   std::size_t parallel_threshold = std::size_t{1} << 21;
-  /// Optional telemetry sink: phase spans, pivot counters, tableau shape,
-  /// and the parallel-elimination hit rate land here. Not owned.
+
+  // --- revised engine ---------------------------------------------------
+  bool presolve = true;            ///< run the presolve reductions
+  /// Pivots since the last basis refactorization that trigger the next
+  /// one. The two-sided triangular peel makes a rebuild near-linear in the
+  /// basis nonzeros, but each rebuild still FTRANs every basis column, so
+  /// the sweet spot sits well above the eta-growth break-even; 64 won a
+  /// 4x4x4 parameter sweep on the TISE family.
+  int refactor_interval = 64;
+  /// Partial pricing: cap on the candidate list carried between pivots
+  /// (each pivot re-prices the survivors; a full sweep still precedes any
+  /// "optimal"). Small is fine — the list only seeds the next pivot.
+  int pricing_candidates = 8;
+  /// Partial pricing: columns examined per scan section.
+  int pricing_section = 256;
+
+  /// Optional telemetry sink: phase spans, pivot counters, model shape,
+  /// presolve reductions, and refactorization stats land here. Not owned.
   TraceContext* trace = nullptr;
 };
 
@@ -47,9 +78,13 @@ struct LpSolution {
   std::vector<double> values;  ///< one per model variable (phase variables excluded)
   std::int64_t phase1_pivots = 0;
   std::int64_t phase2_pivots = 0;
+  /// Pivots spent expelling zero-valued artificial basics after phase 1;
+  /// not part of either phase count.
+  std::int64_t expel_pivots = 0;
 };
 
-/// Solves min c'x s.t. model rows, x >= 0.
+/// Solves min c'x s.t. model rows, x >= 0, with the engine selected in
+/// `options` (sparse revised simplex by default).
 [[nodiscard]] LpSolution solve_lp(const LpModel& model,
                                   const SimplexOptions& options = {});
 

@@ -1,0 +1,98 @@
+#include "lp/sparse.hpp"
+
+#include <cmath>
+#include <functional>
+#include <queue>
+
+namespace calisched {
+
+void EtaFile::append(int pivot_row, const std::vector<double>& w) {
+  const std::size_t begin = values_.size();
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    if (static_cast<int>(i) == pivot_row) continue;
+    if (w[i] != 0.0) {
+      rows_.push_back(static_cast<int>(i));
+      values_.push_back(w[i]);
+    }
+  }
+  etas_.push_back(Eta{pivot_row, 1.0 / w[static_cast<std::size_t>(pivot_row)],
+                      begin, values_.size()});
+}
+
+void EtaFile::ftran(std::vector<double>& v) const {
+  for (const Eta& eta : etas_) {
+    const auto r = static_cast<std::size_t>(eta.pivot_row);
+    const double vr = v[r];
+    if (vr == 0.0) continue;
+    const double t = vr * eta.pivot_recip;
+    v[r] = t;
+    for (std::size_t k = eta.begin; k < eta.end; ++k) {
+      v[static_cast<std::size_t>(rows_[k])] -= values_[k] * t;
+    }
+  }
+}
+
+void EtaFile::ftran_tracked(std::vector<double>& v,
+                            std::vector<int>& touched) const {
+  for (const Eta& eta : etas_) {
+    const auto r = static_cast<std::size_t>(eta.pivot_row);
+    const double vr = v[r];
+    if (vr == 0.0) continue;
+    const double t = vr * eta.pivot_recip;
+    v[r] = t;
+    for (std::size_t k = eta.begin; k < eta.end; ++k) {
+      const auto row = static_cast<std::size_t>(rows_[k]);
+      if (v[row] == 0.0) touched.push_back(rows_[k]);
+      v[row] -= values_[k] * t;
+    }
+  }
+}
+
+void EtaFile::ftran_indexed(std::vector<double>& v, std::vector<int>& touched,
+                            const std::vector<int>& eta_of_row) const {
+  // Min-heap of eta indices still to fire; equivalent to ftran() because an
+  // eta acts only when v is nonzero at its pivot row, and fill created
+  // behind the frontier (at an already-passed eta's pivot row) is ignored
+  // by a sequential ftran() too.
+  std::priority_queue<int, std::vector<int>, std::greater<int>> pending;
+  for (const int row : touched) {
+    const int e = eta_of_row[static_cast<std::size_t>(row)];
+    if (e >= 0) pending.push(e);
+  }
+  int last = -1;
+  while (!pending.empty()) {
+    const int e = pending.top();
+    pending.pop();
+    if (e == last) continue;  // duplicate entry
+    last = e;
+    const Eta& eta = etas_[static_cast<std::size_t>(e)];
+    const auto r = static_cast<std::size_t>(eta.pivot_row);
+    const double vr = v[r];
+    if (vr == 0.0) continue;  // cancelled before this eta fired
+    const double t = vr * eta.pivot_recip;
+    v[r] = t;
+    for (std::size_t k = eta.begin; k < eta.end; ++k) {
+      const auto row = static_cast<std::size_t>(rows_[k]);
+      if (v[row] == 0.0) {
+        touched.push_back(rows_[k]);
+        const int e2 = eta_of_row[row];
+        if (e2 > e) pending.push(e2);
+      }
+      v[row] -= values_[k] * t;
+    }
+  }
+}
+
+void EtaFile::btran(std::vector<double>& y) const {
+  for (std::size_t e = etas_.size(); e-- > 0;) {
+    const Eta& eta = etas_[e];
+    const auto r = static_cast<std::size_t>(eta.pivot_row);
+    double sum = y[r];
+    for (std::size_t k = eta.begin; k < eta.end; ++k) {
+      sum -= values_[k] * y[static_cast<std::size_t>(rows_[k])];
+    }
+    y[r] = sum * eta.pivot_recip;
+  }
+}
+
+}  // namespace calisched

@@ -1,0 +1,182 @@
+// Sparse building blocks for the revised simplex engine.
+//
+//  * CscMatrix — compressed-sparse-column store of the standard-form
+//    constraint matrix [structural | slack/surplus | artificial]. The
+//    revised simplex never forms a tableau; every pivot touches only the
+//    stored nonzeros of the columns involved.
+//  * EtaFile — the basis inverse in product form (PFI): B^{-1} is held as
+//    a sequence of eta matrices, one appended per pivot, each differing
+//    from the identity in a single column. FTRAN applies them in order to
+//    a column (B^{-1} a), BTRAN applies their transposes in reverse to a
+//    row (y' B^{-1}). The file is rebuilt from the basis columns during
+//    periodic refactorization, which bounds its length and resets
+//    accumulated roundoff.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace calisched {
+
+/// Compressed-sparse-column matrix. Columns are built left to right via
+/// begin_column()/push(); `starts` has one extra trailing entry so column
+/// c's nonzeros live in [starts[c], starts[c+1]).
+class CscMatrix {
+ public:
+  CscMatrix() { starts_.push_back(0); }
+
+  void reserve(int columns, std::size_t nonzeros) {
+    starts_.reserve(static_cast<std::size_t>(columns) + 1);
+    rows_.reserve(nonzeros);
+    values_.reserve(nonzeros);
+  }
+
+  /// Opens the next column; returns its index.
+  int begin_column() {
+    starts_.push_back(starts_.back());
+    return num_columns() - 1;
+  }
+
+  /// Appends a nonzero to the most recently opened column.
+  void push(int row, double value) {
+    rows_.push_back(row);
+    values_.push_back(value);
+    ++starts_.back();
+  }
+
+  [[nodiscard]] int num_columns() const noexcept {
+    return static_cast<int>(starts_.size()) - 1;
+  }
+  [[nodiscard]] std::size_t num_nonzeros() const noexcept {
+    return values_.size();
+  }
+  [[nodiscard]] std::size_t column_begin(int column) const noexcept {
+    return starts_[static_cast<std::size_t>(column)];
+  }
+  [[nodiscard]] std::size_t column_end(int column) const noexcept {
+    return starts_[static_cast<std::size_t>(column) + 1];
+  }
+  [[nodiscard]] std::size_t column_size(int column) const noexcept {
+    return column_end(column) - column_begin(column);
+  }
+  [[nodiscard]] int row(std::size_t k) const noexcept { return rows_[k]; }
+  [[nodiscard]] double value(std::size_t k) const noexcept { return values_[k]; }
+
+  /// Scatters column `column` into the dense vector `out` (assumed zeroed
+  /// on the column's rows beforehand).
+  void scatter(int column, std::vector<double>& out) const {
+    for (std::size_t k = column_begin(column); k < column_end(column); ++k) {
+      out[static_cast<std::size_t>(rows_[k])] += values_[k];
+    }
+  }
+
+  /// Dot product of column `column` with a dense vector.
+  [[nodiscard]] double dot(int column, const std::vector<double>& dense) const {
+    double sum = 0.0;
+    for (std::size_t k = column_begin(column); k < column_end(column); ++k) {
+      sum += values_[k] * dense[static_cast<std::size_t>(rows_[k])];
+    }
+    return sum;
+  }
+
+  /// Dots every column in [lo, hi) with `dense`, invoking fn(column, dot)
+  /// unless skip(column) is true. The column range is contiguous in the
+  /// nonzero pool, so this is one sequential scan — the pricing loop's
+  /// cache behaviour depends on it (per-column dot() calls re-derive
+  /// bounds and defeat prefetching).
+  template <typename Skip, typename Fn>
+  void dot_range(int lo, int hi, const std::vector<double>& dense, Skip&& skip,
+                 Fn&& fn) const {
+    std::size_t k = column_begin(lo);
+    for (int c = lo; c < hi; ++c) {
+      const std::size_t end = column_end(c);
+      if (!skip(c)) {
+        double sum = 0.0;
+        for (; k < end; ++k) {
+          sum += values_[k] * dense[static_cast<std::size_t>(rows_[k])];
+        }
+        fn(c, sum);
+      }
+      k = end;
+    }
+  }
+
+ private:
+  std::vector<std::size_t> starts_;
+  std::vector<int> rows_;
+  std::vector<double> values_;
+};
+
+/// Product-form-of-the-inverse basis: a flat pool of eta nonzeros plus one
+/// record per eta (pivot row, pivot value, off-pivot slice).
+class EtaFile {
+ public:
+  void clear() {
+    etas_.clear();
+    rows_.clear();
+    values_.clear();
+  }
+
+  /// Appends the eta derived from pivoting the FTRANed column `w` (dense,
+  /// length = row count) on `pivot_row`. `w[pivot_row]` must be nonzero.
+  void append(int pivot_row, const std::vector<double>& w);
+
+  /// Sparse append: opens an eta with the given pivot, then push() adds its
+  /// off-pivot nonzeros. Used by refactorization for columns known to need
+  /// no elimination (their FTRAN through the file so far is a no-op).
+  void begin_eta(int pivot_row, double pivot_value) {
+    etas_.push_back(
+        Eta{pivot_row, 1.0 / pivot_value, values_.size(), values_.size()});
+  }
+  void push(int row, double value) {
+    rows_.push_back(row);
+    values_.push_back(value);
+    ++etas_.back().end;
+  }
+
+  /// v := B^{-1} v  (apply etas oldest-first).
+  void ftran(std::vector<double>& v) const;
+
+  /// ftran() over a mostly-zero dense `v` whose nonzero positions are
+  /// listed in `touched`; rows that become nonzero are appended to
+  /// `touched`, so callers can gather the result without scanning the full
+  /// vector. A cancelled-to-zero row may remain listed (and a refilled row
+  /// listed twice); callers gathering results zero each row as they visit
+  /// it, which both dedupes and restores the all-zero scratch invariant.
+  void ftran_tracked(std::vector<double>& v, std::vector<int>& touched) const;
+
+  /// ftran_tracked() for files whose etas have pairwise-distinct pivot
+  /// rows (refactorization builds). `eta_of_row` maps a row to the index
+  /// of the eta pivoted on it (-1 if none); with it, only the etas a
+  /// nonzero can actually fire are visited (via a min-heap over eta
+  /// indices), so the cost is proportional to the fill produced, not the
+  /// file length. Refactorization relies on this to stay near-linear in
+  /// basis nonzeros.
+  void ftran_indexed(std::vector<double>& v, std::vector<int>& touched,
+                     const std::vector<int>& eta_of_row) const;
+
+  /// y := y B^{-1}  (apply eta transposes newest-first).
+  void btran(std::vector<double>& y) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return etas_.size(); }
+  [[nodiscard]] std::size_t num_nonzeros() const noexcept {
+    return values_.size() + etas_.size();  // off-pivot entries + pivots
+  }
+
+ private:
+  struct Eta {
+    int pivot_row;
+    /// 1 / w[pivot_row] at append time. Stored reciprocal so FTRAN/BTRAN
+    /// multiply instead of divide — the file is applied once per simplex
+    /// iteration, and a division per eta would dominate both transforms.
+    double pivot_recip;
+    std::size_t begin, end;  ///< off-pivot slice into rows_/values_
+  };
+
+  std::vector<Eta> etas_;
+  std::vector<int> rows_;
+  std::vector<double> values_;
+};
+
+}  // namespace calisched

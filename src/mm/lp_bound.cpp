@@ -7,7 +7,8 @@
 
 namespace calisched {
 
-std::optional<double> mm_lp_bound(const Instance& instance) {
+std::optional<double> mm_lp_bound(const Instance& instance,
+                                  const SimplexOptions& options) {
   if (instance.empty()) return 0.0;
   const Time origin = instance.min_release();
   const Time horizon = instance.max_deadline();
@@ -41,18 +42,19 @@ std::optional<double> mm_lp_bound(const Instance& instance) {
     }
   }
 
-  const LpSolution solution = solve_lp(model);
+  const LpSolution solution = solve_lp(model, options);
   if (solution.status != LpStatus::kOptimal) return std::nullopt;
   return solution.objective;
 }
 
-int mm_certified_bound(const Instance& instance, Time max_slots) {
+int mm_certified_bound(const Instance& instance, Time max_slots,
+                       const SimplexOptions& options) {
   const int combinatorial = mm_lower_bound(instance);
   if (instance.empty()) return combinatorial;
   if (instance.max_deadline() - instance.min_release() > max_slots) {
     return combinatorial;
   }
-  const auto lp = mm_lp_bound(instance);
+  const auto lp = mm_lp_bound(instance, options);
   if (!lp) return combinatorial;
   const int lp_bound = static_cast<int>(std::ceil(*lp - 1e-6));
   return std::max(combinatorial, lp_bound);

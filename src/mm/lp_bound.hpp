@@ -16,17 +16,21 @@
 #include <optional>
 
 #include "core/instance.hpp"
+#include "lp/simplex.hpp"
 
 namespace calisched {
 
 /// Returns the LP value (machines, fractional), or nullopt if the LP
 /// could not be solved (never happens for well-formed instances at sane
 /// horizons; guarded anyway). The integer lower bound is ceil(value).
-[[nodiscard]] std::optional<double> mm_lp_bound(const Instance& instance);
+/// `options` selects the simplex engine and tolerances.
+[[nodiscard]] std::optional<double> mm_lp_bound(
+    const Instance& instance, const SimplexOptions& options = {});
 
 /// max(mm_lower_bound, ceil(mm_lp_bound)); falls back to the combinatorial
 /// bound when the LP is skipped (horizon too large: > max_slots slots).
 [[nodiscard]] int mm_certified_bound(const Instance& instance,
-                                     Time max_slots = 2000);
+                                     Time max_slots = 2000,
+                                     const SimplexOptions& options = {});
 
 }  // namespace calisched

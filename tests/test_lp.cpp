@@ -1,11 +1,31 @@
-// Tests for the two-phase simplex on textbook and randomized programs.
+// Tests for the two-phase simplex on textbook and randomized programs,
+// differential tests between the dense tableau and the revised engine, and
+// unit tests for the revised engine's presolve reductions.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
+#include "lp/revised_simplex.hpp"
 #include "lp/simplex.hpp"
+#include "trace/trace.hpp"
 #include "util/rng.hpp"
 
 namespace calisched {
 namespace {
+
+SimplexOptions engine_options(LpEngine engine) {
+  SimplexOptions options;
+  options.engine = engine;
+  return options;
+}
+
+constexpr LpEngine kBothEngines[] = {LpEngine::kDenseTableau,
+                                     LpEngine::kRevised};
+
+const char* engine_name(LpEngine engine) {
+  return engine == LpEngine::kDenseTableau ? "dense" : "revised";
+}
 
 TEST(Simplex, SolvesTextbookMaximization) {
   // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  =>  opt 36 at (2, 6).
@@ -173,9 +193,13 @@ TEST(Simplex, ParallelEliminationMatchesSerial) {
       model.add_coefficient(row, v, rng.uniform_real(0.1, 1.0));
     }
   }
+  // Pinned to the dense engine: parallel row elimination is a dense-tableau
+  // feature (the revised engine's pivots are too cheap to parallelize).
   SimplexOptions serial;
+  serial.engine = LpEngine::kDenseTableau;
   serial.parallel = false;
   SimplexOptions parallel;
+  parallel.engine = LpEngine::kDenseTableau;
   parallel.parallel = true;
   parallel.parallel_threshold = 0;  // force the parallel path
   const LpSolution a = solve_lp(model, serial);
@@ -184,6 +208,227 @@ TEST(Simplex, ParallelEliminationMatchesSerial) {
   ASSERT_EQ(b.status, LpStatus::kOptimal);
   EXPECT_NEAR(a.objective, b.objective, 1e-7);
   EXPECT_LE(model.max_violation(b.values), 1e-6);
+}
+
+TEST(Simplex, BealeCyclingExampleTerminatesOnBothEngines) {
+  // Beale's classic cycling LP: Dantzig pricing with naive tie-breaking
+  // cycles forever at the degenerate origin. With an aggressive stall
+  // threshold the Bland fallback must engage and both engines reach the
+  // optimum -0.05 at (1/25, 0, 1, 0).
+  LpModel model;
+  const int x1 = model.add_variable("x1", -0.75);
+  const int x2 = model.add_variable("x2", 150.0);
+  const int x3 = model.add_variable("x3", -0.02);
+  const int x4 = model.add_variable("x4", 6.0);
+  int row = model.add_row("r1", RowSense::kLe, 0.0);
+  model.add_coefficient(row, x1, 0.25);
+  model.add_coefficient(row, x2, -60.0);
+  model.add_coefficient(row, x3, -0.04);
+  model.add_coefficient(row, x4, 9.0);
+  row = model.add_row("r2", RowSense::kLe, 0.0);
+  model.add_coefficient(row, x1, 0.5);
+  model.add_coefficient(row, x2, -90.0);
+  model.add_coefficient(row, x3, -0.02);
+  model.add_coefficient(row, x4, 3.0);
+  row = model.add_row("r3", RowSense::kLe, 1.0);
+  model.add_coefficient(row, x3, 1.0);
+
+  for (const LpEngine engine : kBothEngines) {
+    TraceContext trace("lp");
+    SimplexOptions options = engine_options(engine);
+    options.stall_before_bland = 2;  // engage Bland almost immediately
+    options.max_pivots = 10'000;     // a cycle would exhaust this
+    options.trace = &trace;
+    const LpSolution solution = solve_lp(model, options);
+    ASSERT_EQ(solution.status, LpStatus::kOptimal) << engine_name(engine);
+    EXPECT_NEAR(solution.objective, -0.05, 1e-9) << engine_name(engine);
+    EXPECT_NEAR(solution.values[x1], 0.04, 1e-9) << engine_name(engine);
+    EXPECT_NEAR(solution.values[x2], 0.0, 1e-9) << engine_name(engine);
+    EXPECT_NEAR(solution.values[x3], 1.0, 1e-9) << engine_name(engine);
+    EXPECT_NEAR(solution.values[x4], 0.0, 1e-9) << engine_name(engine);
+  }
+}
+
+TEST(Simplex, HeavilyDegenerateProgramUsesBlandFallback) {
+  // Many hyperplanes through the same degenerate vertex plus a stall
+  // threshold of 1: any non-improving pivot flips the solver to Bland's
+  // rule, which must still reach the optimum on both engines.
+  LpModel model;
+  const int x = model.add_variable("x", -1.0);
+  const int y = model.add_variable("y", -1.0);
+  const int z = model.add_variable("z", -1.0);
+  for (int i = 0; i < 10; ++i) {
+    const int row = model.add_row("deg" + std::to_string(i), RowSense::kLe, 0.0);
+    model.add_coefficient(row, x, 1.0 + 0.05 * i);
+    model.add_coefficient(row, y, -1.0 - 0.03 * i);
+    model.add_coefficient(row, z, i % 2 == 0 ? 0.5 : -0.5);
+  }
+  const int cap = model.add_row("cap", RowSense::kLe, 6.0);
+  model.add_coefficient(cap, x, 1.0);
+  model.add_coefficient(cap, y, 1.0);
+  model.add_coefficient(cap, z, 1.0);
+
+  double objectives[2] = {0.0, 0.0};
+  int index = 0;
+  for (const LpEngine engine : kBothEngines) {
+    SimplexOptions options = engine_options(engine);
+    options.stall_before_bland = 1;
+    const LpSolution solution = solve_lp(model, options);
+    ASSERT_EQ(solution.status, LpStatus::kOptimal) << engine_name(engine);
+    EXPECT_LE(model.max_violation(solution.values), 1e-7)
+        << engine_name(engine);
+    objectives[index++] = solution.objective;
+  }
+  EXPECT_NEAR(objectives[0], objectives[1], 1e-9);
+}
+
+TEST(Simplex, EnginesAgreeOnRandomBoundedPrograms) {
+  // Differential property test: on random bounded-feasible programs the
+  // revised engine must reproduce the dense oracle's optimum (values may
+  // differ at degenerate optima; objective and feasibility may not).
+  Rng rng(90210);
+  for (int trial = 0; trial < 40; ++trial) {
+    LpModel model;
+    const int vars = 3 + static_cast<int>(rng.index(8));
+    for (int v = 0; v < vars; ++v) {
+      model.add_variable("v" + std::to_string(v), rng.uniform_real(-2.0, 2.0));
+    }
+    for (int v = 0; v < vars; ++v) {
+      const int row = model.add_row("cap" + std::to_string(v), RowSense::kLe,
+                                    rng.uniform_real(1.0, 10.0));
+      model.add_coefficient(row, v, 1.0);
+    }
+    const int mixes = 1 + static_cast<int>(rng.index(4));
+    for (int r = 0; r < mixes; ++r) {
+      const int row = model.add_row("mix" + std::to_string(r),
+                                    r % 2 == 0 ? RowSense::kGe : RowSense::kLe,
+                                    rng.uniform_real(0.2, 2.0));
+      for (int v = 0; v < vars; ++v) {
+        if (rng.index(3) == 0) continue;  // keep the rows sparse-ish
+        model.add_coefficient(row, v, rng.uniform_real(0.1, 1.5));
+      }
+    }
+    const LpSolution dense =
+        solve_lp(model, engine_options(LpEngine::kDenseTableau));
+    const LpSolution revised =
+        solve_lp(model, engine_options(LpEngine::kRevised));
+    ASSERT_EQ(dense.status, revised.status) << "trial " << trial;
+    if (dense.status != LpStatus::kOptimal) continue;
+    EXPECT_NEAR(dense.objective, revised.objective, 1e-6) << "trial " << trial;
+    EXPECT_LE(model.max_violation(revised.values), 1e-6) << "trial " << trial;
+    EXPECT_NEAR(model.objective_value(revised.values), revised.objective, 1e-6)
+        << "trial " << trial;
+  }
+}
+
+TEST(Simplex, EnginesAgreeOnInfeasibleAndUnbounded) {
+  LpModel infeasible;
+  const int x = infeasible.add_variable("x", 1.0);
+  int row = infeasible.add_row("le", RowSense::kLe, 1.0);
+  infeasible.add_coefficient(row, x, 1.0);
+  row = infeasible.add_row("ge", RowSense::kGe, 2.0);
+  infeasible.add_coefficient(row, x, 1.0);
+
+  LpModel unbounded;
+  const int u = unbounded.add_variable("u", -1.0);
+  row = unbounded.add_row("ge", RowSense::kGe, 1.0);
+  unbounded.add_coefficient(row, u, 1.0);
+
+  for (const LpEngine engine : kBothEngines) {
+    EXPECT_EQ(solve_lp(infeasible, engine_options(engine)).status,
+              LpStatus::kInfeasible)
+        << engine_name(engine);
+    EXPECT_EQ(solve_lp(unbounded, engine_options(engine)).status,
+              LpStatus::kUnbounded)
+        << engine_name(engine);
+  }
+}
+
+TEST(Presolve, DropsEmptyAndDuplicateRows) {
+  LpModel model;
+  const int x = model.add_variable("x", 1.0);
+  const int y = model.add_variable("y", 2.0);
+  int row = model.add_row("empty", RowSense::kLe, 5.0);  // no coefficients
+  for (int i = 0; i < 2; ++i) {
+    row = model.add_row("dup" + std::to_string(i), RowSense::kLe,
+                        i == 0 ? 4.0 : 3.0);
+    model.add_coefficient(row, x, 1.0);
+    model.add_coefficient(row, y, 1.0);
+  }
+  const PresolvedLp presolved = presolve_lp(model, SimplexOptions{});
+  EXPECT_FALSE(presolved.summary.infeasible);
+  // The empty row and the looser duplicate (rhs 4) both go; the binding
+  // copy (rhs 3) survives.
+  EXPECT_EQ(presolved.summary.rows_dropped, 2);
+  ASSERT_EQ(presolved.model.num_rows(), 1);
+  EXPECT_NEAR(presolved.model.rhs(0), 3.0, 1e-12);
+}
+
+TEST(Presolve, FixesSingletonEqualityChains) {
+  // x = 3 pins x; substituting makes "x + y = 5" a singleton pinning y.
+  LpModel model;
+  const int x = model.add_variable("x", 2.0);
+  const int y = model.add_variable("y", 1.0);
+  int row = model.add_row("fix_x", RowSense::kEq, 3.0);
+  model.add_coefficient(row, x, 1.0);
+  row = model.add_row("sum", RowSense::kEq, 5.0);
+  model.add_coefficient(row, x, 1.0);
+  model.add_coefficient(row, y, 1.0);
+  const PresolvedLp presolved = presolve_lp(model, SimplexOptions{});
+  EXPECT_FALSE(presolved.summary.infeasible);
+  EXPECT_EQ(presolved.summary.cols_fixed, 2);
+  EXPECT_EQ(presolved.summary.rows_dropped, 2);
+  EXPECT_EQ(presolved.column_map[static_cast<std::size_t>(x)], -1);
+  EXPECT_EQ(presolved.column_map[static_cast<std::size_t>(y)], -1);
+  EXPECT_NEAR(presolved.fixed_values[static_cast<std::size_t>(x)], 3.0, 1e-12);
+  EXPECT_NEAR(presolved.fixed_values[static_cast<std::size_t>(y)], 2.0, 1e-12);
+  // Objective offset carries the fixed variables' cost: 2*3 + 1*2.
+  EXPECT_NEAR(presolved.summary.objective_offset, 8.0, 1e-12);
+  // The full solve must agree with the hand computation.
+  const LpSolution solution = solve_lp(model);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 8.0, 1e-9);
+  EXPECT_NEAR(solution.values[x], 3.0, 1e-9);
+  EXPECT_NEAR(solution.values[y], 2.0, 1e-9);
+}
+
+TEST(Presolve, DetectsInfeasibilityFromEmptyAndConflictingRows) {
+  // After fixing x = 1, the row "x <= 0" becomes an unsatisfiable empty row.
+  LpModel model;
+  const int x = model.add_variable("x", 0.0);
+  int row = model.add_row("fix", RowSense::kEq, 1.0);
+  model.add_coefficient(row, x, 1.0);
+  row = model.add_row("cap", RowSense::kLe, 0.0);
+  model.add_coefficient(row, x, 1.0);
+  const PresolvedLp presolved = presolve_lp(model, SimplexOptions{});
+  EXPECT_TRUE(presolved.summary.infeasible);
+  EXPECT_EQ(solve_lp(model).status, LpStatus::kInfeasible);
+}
+
+TEST(Presolve, EmptyColumnWithNegativeCostFlagsUnbounded) {
+  // y appears in no row; cost -1 means y -> +inf drives the objective to
+  // -inf once the rest is feasible.
+  LpModel model;
+  const int x = model.add_variable("x", 1.0);
+  model.add_variable("y", -1.0);
+  const int row = model.add_row("cap", RowSense::kLe, 4.0);
+  model.add_coefficient(row, x, 1.0);
+  const PresolvedLp presolved = presolve_lp(model, SimplexOptions{});
+  EXPECT_TRUE(presolved.summary.unbounded_if_feasible);
+  EXPECT_EQ(solve_lp(model).status, LpStatus::kUnbounded);
+}
+
+TEST(Presolve, NormalizesNegativeRhs) {
+  // -x <= -3 must arrive at the engine as x >= 3 with rhs +3.
+  LpModel model;
+  const int x = model.add_variable("x", 1.0);
+  const int row = model.add_row("neg", RowSense::kLe, -3.0);
+  model.add_coefficient(row, x, -1.0);
+  const PresolvedLp presolved = presolve_lp(model, SimplexOptions{});
+  EXPECT_EQ(presolved.summary.rows_normalized, 1);
+  ASSERT_EQ(presolved.model.num_rows(), 1);
+  EXPECT_NEAR(presolved.model.rhs(0), 3.0, 1e-12);
+  EXPECT_EQ(presolved.model.sense(0), RowSense::kGe);
 }
 
 TEST(Simplex, IterationLimitReported) {

@@ -16,6 +16,7 @@
 #include "gen/generators.hpp"
 #include "longwin/fractional_witness.hpp"
 #include "longwin/long_pipeline.hpp"
+#include "longwin/tise_lp.hpp"
 #include "longwin/rounding.hpp"
 #include "longwin/speed_transform.hpp"
 #include "mm/mm.hpp"
@@ -111,6 +112,35 @@ TEST_P(LongWindowSweep, PipelineInvariants) {
   EXPECT_LE(fast->num_calibrations(), pipeline.schedule.num_calibrations());
   const VerifyResult fast_check = verify_ise(instance, *fast);
   EXPECT_TRUE(fast_check.ok()) << fast_check.to_string();
+}
+
+TEST_P(LongWindowSweep, LpEnginesAgreeOnTiseRelaxation) {
+  // P7 (differential): the sparse revised simplex and the dense tableau
+  // must agree on the TISE relaxation across the whole sweep — same
+  // status, and at optimality the same objective to LP tolerance. Vertex
+  // choice may differ (degenerate optima), so values are checked only
+  // through each engine's own feasibility, not against each other.
+  const Instance instance = generate_long_window(to_params(GetParam()));
+  const int m_prime = 3 * instance.machines;
+  SimplexOptions dense_options;
+  dense_options.engine = LpEngine::kDenseTableau;
+  SimplexOptions revised_options;
+  revised_options.engine = LpEngine::kRevised;
+  const TiseFractional dense = solve_tise_lp(instance, m_prime, dense_options);
+  const TiseFractional revised =
+      solve_tise_lp(instance, m_prime, revised_options);
+  ASSERT_EQ(dense.status, revised.status);
+  if (dense.status != LpStatus::kOptimal) return;
+  EXPECT_NEAR(dense.objective, revised.objective, 1e-6);
+  // Both fractional solutions must cover every job's processing demand.
+  for (const TiseFractional* lp : {&dense, &revised}) {
+    ASSERT_EQ(lp->assignment.size(), instance.size());
+    for (std::size_t j = 0; j < instance.size(); ++j) {
+      double fraction = 0.0;
+      for (const auto& [point, value] : lp->assignment[j]) fraction += value;
+      EXPECT_NEAR(fraction, 1.0, 1e-6) << "job " << j;
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, LongWindowSweep, testing::ValuesIn(sweep_cases()),

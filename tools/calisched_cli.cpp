@@ -7,8 +7,12 @@
 // Usage:
 //   calisched <instance-file> [--algo=NAME] [--gantt] [--csv] [--quiet]
 //             [--adaptive-mirror] [--prune-empty] [--relaxed] [--mm=NAME]
-//             [--trace-json=FILE]
+//             [--lp-engine=dense|revised] [--trace-json=FILE]
 //   calisched --generate=FAMILY --n=N --T=N --machines=N [--seed=N] --out=F
+//
+// --lp-engine picks the simplex implementation behind the long-window TISE
+// relaxation: "revised" (default) is the sparse revised simplex, "dense" the
+// reference tableau (see src/lp/simplex.hpp).
 //
 // --trace-json=FILE writes the solve's full stage trace (per-stage spans,
 // counters, LP/MM telemetry, schedule stats) as JSON; FILE of "-" means
@@ -37,6 +41,7 @@
 #include "baselines/exact_ise.hpp"
 #include "gen/generators.hpp"
 #include "longwin/long_pipeline.hpp"
+#include "lp/simplex.hpp"
 #include "mm/lp_rounding_mm.hpp"
 #include "mm/mm.hpp"
 #include "report/ascii_gantt.hpp"
@@ -121,6 +126,15 @@ RunOutcome run_algorithm(const Instance& instance, const CliArgs& args,
   long_options.trace = trace;
   long_options.adaptive_mirror = args.get_bool("adaptive-mirror", false);
   long_options.prune_empty_calibrations = args.get_bool("prune-empty", false);
+  const std::string lp_engine = args.get("lp-engine", "revised");
+  if (lp_engine == "dense") {
+    long_options.lp.engine = LpEngine::kDenseTableau;
+  } else if (lp_engine == "revised") {
+    long_options.lp.engine = LpEngine::kRevised;
+  } else {
+    outcome.error = "unknown LP engine '" + lp_engine + "' (dense|revised)";
+    return outcome;
+  }
   IntervalOptions short_options;
   short_options.trace = trace;
   short_options.relaxed_calibrations = args.get_bool("relaxed", false);

@@ -6,22 +6,34 @@
 #include <vector>
 
 #include "core/schedule.hpp"
+#include "runtime/limits.hpp"
+#include "runtime/status.hpp"
 
 namespace calisched {
 
 struct BaselineResult {
   bool feasible = false;
+  /// Structured outcome: kInfeasible when the greedy gave up (honest
+  /// failure), kDeadlineExceeded / kCancelled when `limits` fired.
+  SolveStatus status = SolveStatus::kOk;
   Schedule schedule;  ///< verifier-clean ISE schedule when feasible
   std::string error;
 };
 
 /// Interface for simple reference algorithms. Unlike the paper's pipeline,
 /// baselines may fail on feasible instances; they report it honestly.
+/// Implementations poll `limits` at least once per job placed.
 class IseBaseline {
  public:
   virtual ~IseBaseline() = default;
-  [[nodiscard]] virtual BaselineResult solve(const Instance& instance) const = 0;
+  [[nodiscard]] virtual BaselineResult solve(const Instance& instance,
+                                             const RunLimits& limits) const = 0;
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Unlimited run (legacy signature; forwards RunLimits::none()).
+  [[nodiscard]] BaselineResult solve(const Instance& instance) const {
+    return solve(instance, RunLimits::none());
+  }
 };
 
 /// One calibration per job: job j runs at r_j inside its own calibration
@@ -30,7 +42,9 @@ class IseBaseline {
 /// "no sharing" upper baseline.
 class PerJobCalibration final : public IseBaseline {
  public:
-  [[nodiscard]] BaselineResult solve(const Instance& instance) const override;
+  using IseBaseline::solve;
+  [[nodiscard]] BaselineResult solve(const Instance& instance,
+                                     const RunLimits& limits) const override;
   [[nodiscard]] std::string name() const override { return "per-job"; }
 };
 
@@ -40,7 +54,9 @@ class PerJobCalibration final : public IseBaseline {
 /// calibrations; may fail on tight instances (reported, not hidden).
 class SaturateCalibration final : public IseBaseline {
  public:
-  [[nodiscard]] BaselineResult solve(const Instance& instance) const override;
+  using IseBaseline::solve;
+  [[nodiscard]] BaselineResult solve(const Instance& instance,
+                                     const RunLimits& limits) const override;
   [[nodiscard]] std::string name() const override { return "saturate"; }
 };
 
@@ -54,7 +70,9 @@ class SaturateCalibration final : public IseBaseline {
 /// and the tests only rely on feasibility plus measured quality.
 class BenderUnitLazyBinning final : public IseBaseline {
  public:
-  [[nodiscard]] BaselineResult solve(const Instance& instance) const override;
+  using IseBaseline::solve;
+  [[nodiscard]] BaselineResult solve(const Instance& instance,
+                                     const RunLimits& limits) const override;
   [[nodiscard]] std::string name() const override { return "bender-lazy"; }
 };
 
@@ -67,7 +85,9 @@ class BenderUnitLazyBinning final : public IseBaseline {
 /// choices paint it into a corner on the given machine count.
 class GreedyLazyIse final : public IseBaseline {
  public:
-  [[nodiscard]] BaselineResult solve(const Instance& instance) const override;
+  using IseBaseline::solve;
+  [[nodiscard]] BaselineResult solve(const Instance& instance,
+                                     const RunLimits& limits) const override;
   [[nodiscard]] std::string name() const override { return "greedy-lazy"; }
 };
 

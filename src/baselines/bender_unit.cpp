@@ -29,12 +29,14 @@ Time earliest_free_slot(const OpenCalibration& cal, Time T, Time release,
 
 }  // namespace
 
-BaselineResult BenderUnitLazyBinning::solve(const Instance& instance) const {
+BaselineResult BenderUnitLazyBinning::solve(const Instance& instance,
+                                            const RunLimits& limits) const {
   BaselineResult result;
+  LimitPoller poller(limits, /*stride=*/16);
   for (const Job& job : instance.jobs) {
     if (job.proc != 1) {
-      result.error = "bender-lazy requires unit processing times";
-      return result;
+      return fail_result(result, SolveStatus::kInfeasible,
+                         "requires unit processing times", "bender-lazy");
     }
   }
   const Time T = instance.T;
@@ -56,6 +58,9 @@ BaselineResult BenderUnitLazyBinning::solve(const Instance& instance) const {
 
   Schedule schedule = Schedule::empty_like(instance, m);
   for (const Job* job : order) {
+    if (poller.poll() != SolveStatus::kOk) {
+      return fail_result(result, poller.status());
+    }
     // 1) Reuse: earliest free slot in any open calibration.
     OpenCalibration* best_cal = nullptr;
     Time best_slot = std::numeric_limits<Time>::max();
@@ -122,9 +127,10 @@ BaselineResult BenderUnitLazyBinning::solve(const Instance& instance) const {
       }
     }
     if (chosen_machine < 0) {
-      result.error = "bender-lazy: no machine can host a calibration for job " +
-                     std::to_string(job->id);
-      return result;
+      return fail_result(result, SolveStatus::kInfeasible,
+                         "no machine can host a calibration for job " +
+                             std::to_string(job->id),
+                         "bender-lazy");
     }
     OpenCalibration cal{chosen_machine, chosen_start,
                         std::vector<bool>(static_cast<std::size_t>(T), false)};

@@ -21,7 +21,9 @@ struct SearchCalibration {
 class ExactSearch {
  public:
   ExactSearch(const Instance& instance, const ExactIseOptions& options)
-      : instance_(instance), options_(options) {
+      : instance_(instance),
+        options_(options),
+        poller_(options.limits, /*stride=*/1024) {
     // Candidate integer start times: a calibration is useful only if at
     // least one job can run inside it.
     const Time lo = instance.min_release() - instance.T + 1;
@@ -63,10 +65,14 @@ class ExactSearch {
       }
       if (budget_hit_) {
         result.nodes = nodes_;
+        result.status = poller_.status() != SolveStatus::kOk
+                            ? poller_.status()
+                            : SolveStatus::kLimitExceeded;
         return result;  // solved = false
       }
     }
     result.solved = true;
+    result.status = SolveStatus::kInfeasible;
     result.nodes = nodes_;
     return result;  // feasible = false within the calibration cap
   }
@@ -85,8 +91,9 @@ class ExactSearch {
   /// Picks `remaining` more calibration start times, nondecreasing, from
   /// grid_[from..], keeping the sliding overlap within the machine count.
   bool choose_times(int remaining, std::size_t from) {
-    if (++nodes_ > options_.node_budget) {
-      budget_hit_ = true;
+    if (++nodes_ > options_.node_budget ||
+        poller_.poll() != SolveStatus::kOk) {
+      budget_hit_ = true;  // either way: abandon the whole search
       return false;
     }
     if (remaining == 0) return pack_jobs(0);
@@ -109,8 +116,9 @@ class ExactSearch {
 
   /// Assigns jobs_by_deadline_[index..] to the chosen calibrations.
   bool pack_jobs(std::size_t index) {
-    if (++nodes_ > options_.node_budget) {
-      budget_hit_ = true;
+    if (++nodes_ > options_.node_budget ||
+        poller_.poll() != SolveStatus::kOk) {
+      budget_hit_ = true;  // either way: abandon the whole search
       return false;
     }
     if (index == jobs_by_deadline_.size()) return true;
@@ -144,7 +152,9 @@ class ExactSearch {
       clip.deadline = std::min(job->deadline, cal.start + instance_.T);
       clipped.jobs.push_back(clip);
     }
-    return exact_mm_feasible(clipped, 1, /*node_budget=*/100'000).has_value();
+    return exact_mm_feasible(clipped, 1, /*node_budget=*/100'000,
+                             /*nodes=*/nullptr, options_.limits)
+        .has_value();
   }
 
   /// Rebuilds the full schedule from the final packing: greedy interval
@@ -191,6 +201,7 @@ class ExactSearch {
 
   const Instance& instance_;
   ExactIseOptions options_;
+  LimitPoller poller_;
   std::vector<Time> grid_;
   std::vector<const Job*> jobs_by_deadline_;
   std::vector<SearchCalibration> calibrations_;

@@ -19,6 +19,8 @@
 #include <cstdint>
 
 #include "core/schedule.hpp"
+#include "runtime/limits.hpp"
+#include "runtime/status.hpp"
 
 namespace calisched {
 
@@ -29,6 +31,8 @@ struct ExactIseOptions {
   /// Restrict job placement to calibrations nested in the job's window
   /// (exact *TISE* optimum instead of exact ISE optimum).
   bool require_tise = false;
+  /// Deadline + cancellation, polled inside the search loops.
+  RunLimits limits;
 };
 
 struct ExactIseResult {
@@ -36,6 +40,9 @@ struct ExactIseResult {
   bool solved = false;
   /// True when a feasible schedule with <= max_calibrations exists.
   bool feasible = false;
+  /// kOk (optimum found), kInfeasible (exhausted the calibration cap),
+  /// kLimitExceeded (node budget), kDeadlineExceeded / kCancelled.
+  SolveStatus status = SolveStatus::kOk;
   std::size_t optimal_calibrations = 0;
   Schedule schedule;  ///< an optimal schedule when feasible
   std::int64_t nodes = 0;

@@ -37,7 +37,9 @@ bool match_slots(const Instance& instance, const std::vector<Time>& slots,
 class BlockSearch {
  public:
   BlockSearch(const Instance& instance, const GapMinOptions& options)
-      : instance_(instance), options_(options) {
+      : instance_(instance),
+        options_(options),
+        poller_(options.limits, /*stride=*/1024) {
     // Candidate block start times: any integer in [min_r, max_d).
     for (Time t = instance.min_release(); t < instance.max_deadline(); ++t) {
       grid_.push_back(t);
@@ -59,10 +61,14 @@ class BlockSearch {
       }
       if (budget_hit_) {
         result.nodes = nodes_;
+        result.status = poller_.status() != SolveStatus::kOk
+                            ? poller_.status()
+                            : SolveStatus::kLimitExceeded;
         return result;
       }
     }
     result.solved = true;  // infeasible within max_blocks
+    result.status = SolveStatus::kInfeasible;
     result.nodes = nodes_;
     return result;
   }
@@ -71,8 +77,9 @@ class BlockSearch {
   /// Chooses `remaining_blocks` disjoint blocks (>= 1 idle slot apart)
   /// with total length `remaining_len`, starting at grid index >= from.
   bool place_blocks(int remaining_blocks, Time remaining_len, std::size_t from) {
-    if (++nodes_ > options_.node_budget) {
-      budget_hit_ = true;
+    if (++nodes_ > options_.node_budget ||
+        poller_.poll() != SolveStatus::kOk) {
+      budget_hit_ = true;  // either way: abandon the whole search
       return false;
     }
     if (remaining_blocks == 0) {
@@ -108,6 +115,7 @@ class BlockSearch {
 
   const Instance& instance_;
   GapMinOptions options_;
+  LimitPoller poller_;
   std::vector<Time> grid_;
   std::vector<std::pair<Time, Time>> blocks_;  // (start, length)
   std::vector<ScheduledJob> best_slots_;

@@ -19,12 +19,17 @@
 #include <cstdint>
 
 #include "core/schedule.hpp"
+#include "runtime/limits.hpp"
+#include "runtime/status.hpp"
 
 namespace calisched {
 
 struct GapMinResult {
   bool solved = false;    ///< search completed within the node budget
   bool feasible = false;  ///< a feasible schedule exists
+  /// kOk (optimum found), kInfeasible (exhausted max_blocks),
+  /// kLimitExceeded (node budget), kDeadlineExceeded / kCancelled.
+  SolveStatus status = SolveStatus::kOk;
   std::size_t busy_blocks = 0;  ///< minimal number of maximal busy runs
   /// One scheduled slot per job when feasible (machine 0).
   std::vector<ScheduledJob> slots;
@@ -34,6 +39,8 @@ struct GapMinResult {
 struct GapMinOptions {
   std::int64_t node_budget = 2'000'000;
   int max_blocks = 8;
+  /// Deadline + cancellation, polled inside the block search.
+  RunLimits limits;
 };
 
 /// Requires unit processing times; one machine. T is irrelevant to gaps.

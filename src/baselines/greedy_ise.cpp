@@ -39,8 +39,10 @@ struct OpenCalibration {
 
 }  // namespace
 
-BaselineResult GreedyLazyIse::solve(const Instance& instance) const {
+BaselineResult GreedyLazyIse::solve(const Instance& instance,
+                                    const RunLimits& limits) const {
   BaselineResult result;
+  LimitPoller poller(limits, /*stride=*/16);
   const Time T = instance.T;
   const int m = instance.machines;
 
@@ -59,6 +61,9 @@ BaselineResult GreedyLazyIse::solve(const Instance& instance) const {
   Schedule schedule = Schedule::empty_like(instance, m);
 
   for (std::size_t index = 0; index < order.size(); ++index) {
+    if (poller.poll() != SolveStatus::kOk) {
+      return fail_result(result, poller.status());
+    }
     const Job& job = *order[index];
     // 1) Reuse: earliest feasible start across open calibrations.
     OpenCalibration* best_cal = nullptr;
@@ -116,9 +121,10 @@ BaselineResult GreedyLazyIse::solve(const Instance& instance) const {
       }
     }
     if (chosen_machine < 0) {
-      result.error = "greedy-lazy: no machine can open a calibration for job " +
-                     std::to_string(job.id);
-      return result;
+      return fail_result(result, SolveStatus::kInfeasible,
+                         "no machine can open a calibration for job " +
+                             std::to_string(job.id),
+                         "greedy-lazy");
     }
     OpenCalibration cal{chosen_machine, chosen_start, {}};
     const Time s = std::max(chosen_start, job.release);

@@ -5,8 +5,10 @@
 
 namespace calisched {
 
-BaselineResult PerJobCalibration::solve(const Instance& instance) const {
+BaselineResult PerJobCalibration::solve(const Instance& instance,
+                                        const RunLimits& limits) const {
   BaselineResult result;
+  LimitPoller poller(limits, /*stride=*/64);
   // Calibration intervals [r_j, r_j + T); greedy interval coloring gives
   // the minimum number of machines (max overlap).
   struct Entry {
@@ -22,6 +24,9 @@ BaselineResult PerJobCalibration::solve(const Instance& instance) const {
   std::vector<Time> machine_busy_until;  // end of last calibration per machine
   Schedule schedule = Schedule::empty_like(instance, 0);
   for (const Job* job : order) {
+    if (poller.poll() != SolveStatus::kOk) {
+      return fail_result(result, poller.status());
+    }
     int machine = -1;
     for (std::size_t i = 0; i < machine_busy_until.size(); ++i) {
       if (machine_busy_until[i] <= job->release) {

@@ -7,8 +7,10 @@
 
 namespace calisched {
 
-BaselineResult SaturateCalibration::solve(const Instance& instance) const {
+BaselineResult SaturateCalibration::solve(const Instance& instance,
+                                          const RunLimits& limits) const {
   BaselineResult result;
+  LimitPoller poller(limits, /*stride=*/64);
   if (instance.empty()) {
     result.feasible = true;
     result.schedule = Schedule::empty_like(instance, 0);
@@ -34,6 +36,9 @@ BaselineResult SaturateCalibration::solve(const Instance& instance) const {
   std::vector<bool> done(instance.size(), false);
   std::size_t remaining = instance.size();
   while (remaining > 0) {
+    if (poller.poll() != SolveStatus::kOk) {
+      return fail_result(result, poller.status());
+    }
     const auto machine_it = std::min_element(free_at.begin(), free_at.end());
     Time min_release = std::numeric_limits<Time>::max();
     for (std::size_t j = 0; j < instance.size(); ++j) {
@@ -54,9 +59,10 @@ BaselineResult SaturateCalibration::solve(const Instance& instance) const {
     const Time cell_end = origin + (floor_div(start - origin, T) + 1) * T;
     if (start + job.proc > cell_end) start = cell_end;  // bump to next cell
     if (start + job.proc > job.deadline) {
-      result.error = "saturate baseline: job " + std::to_string(job.id) +
-                     " misses its deadline under grid-aligned EDF";
-      return result;
+      return fail_result(result, SolveStatus::kInfeasible,
+                         "job " + std::to_string(job.id) +
+                             " misses its deadline under grid-aligned EDF",
+                         "saturate");
     }
     schedule.jobs.push_back(
         {job.id, static_cast<int>(machine_it - free_at.begin()), start});

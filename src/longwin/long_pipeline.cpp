@@ -58,6 +58,7 @@ LongWindowResult solve_long_window(const Instance& instance,
   // Step 2: LP relaxation on m' machines. The simplex reports pivots and
   // phase timings into its own child context.
   SimplexOptions lp_options = options.lp;
+  lp_options.limits = options.limits;
   lp_options.trace = &trace->child("simplex");
   TraceSpan lp_span(trace, "lp");
   const TiseFractional fractional = solve_tise_lp(instance, m_prime, lp_options);
@@ -66,13 +67,13 @@ LongWindowResult solve_long_window(const Instance& instance,
   trace->set("lp.pivots", fractional.pivots);
   trace->set("lp.rows", fractional.lp_rows);
   trace->set("lp.columns", fractional.lp_columns);
-  if (fractional.status == LpStatus::kInfeasible) {
-    result.error = "TISE LP infeasible on " + std::to_string(m_prime) +
-                   " machines";
-    return finish();
-  }
   if (fractional.status != LpStatus::kOptimal) {
-    result.error = "LP solver did not converge";
+    fail_result(result, lp_status_to_solve(fractional.status),
+                fractional.status == LpStatus::kInfeasible
+                    ? "TISE LP infeasible on " + std::to_string(m_prime) +
+                          " machines"
+                    : "LP solver did not converge",
+                "lp");
     return finish();
   }
 
@@ -99,9 +100,11 @@ LongWindowResult solve_long_window(const Instance& instance,
   edf_span.stop();
   trace->set("edf.mirrored", used_mirror ? 1 : 0);
   if (!assigned.unassigned.empty()) {
-    result.error = "EDF assignment left " +
-                   std::to_string(assigned.unassigned.size()) +
-                   " job(s) unscheduled (pipeline guarantee violated)";
+    fail_result(result, SolveStatus::kNumericalFailure,
+                "EDF assignment left " +
+                    std::to_string(assigned.unassigned.size()) +
+                    " job(s) unscheduled (pipeline guarantee violated)",
+                "edf");
     return finish();
   }
   result.feasible = true;
@@ -131,8 +134,9 @@ LongWindowResult solve_long_window_speed(const Instance& instance,
   auto transformed = speed_transform(instance, result.schedule, c);
   transform_span.stop();
   if (!transformed) {
-    result.feasible = false;
-    result.error = "speed transform failed (contradicts Lemma 13)";
+    fail_result(result, SolveStatus::kNumericalFailure,
+                "speed transform failed (contradicts Lemma 13)",
+                "speed_transform");
     result.telemetry = LongWindowTelemetry::from_trace(*trace);
     return result;
   }

@@ -18,6 +18,8 @@
 
 #include "core/schedule.hpp"
 #include "longwin/tise_lp.hpp"
+#include "runtime/limits.hpp"
+#include "runtime/status.hpp"
 
 namespace calisched {
 
@@ -40,7 +42,12 @@ struct LongWindowTelemetry {
 struct LongWindowResult {
   bool feasible = false;         ///< false: no fractional TISE schedule on 3m
                                  ///< machines exists (or a pipeline guarantee
-                                 ///< failed; `error` distinguishes)
+                                 ///< failed; `status`/`error` distinguish)
+  /// Structured outcome: kInfeasible (no fractional TISE schedule),
+  /// kDeadlineExceeded / kCancelled (RunLimits fired inside the LP),
+  /// kNumericalFailure (a pipeline guarantee was violated), kLimitExceeded
+  /// (LP pivot cap). `error` is format_failure() of this status.
+  SolveStatus status = SolveStatus::kOk;
   Schedule schedule;             ///< valid when feasible; verify_tise-clean
   LongWindowTelemetry telemetry;
   std::string error;
@@ -48,6 +55,10 @@ struct LongWindowResult {
 
 struct LongWindowOptions {
   SimplexOptions lp;
+  /// Deadline + cancellation, polled inside the simplex pivot loop (the
+  /// pipeline's only superpolynomial-in-practice stage). Copied over
+  /// `lp.limits` before solving.
+  RunLimits limits;
   /// Optional telemetry sink: stage spans (trim/lp/rounding/edf), LP shape
   /// and pivot counters, and calibration totals land here; the simplex
   /// itself reports into a "simplex" child context. Not owned.

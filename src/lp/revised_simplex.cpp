@@ -207,7 +207,9 @@ namespace {
 class RevisedSimplex {
  public:
   RevisedSimplex(const LpModel& model, const SimplexOptions& options)
-      : options_(options), num_structural_(model.num_variables()) {
+      : options_(options),
+        poller_(options.limits, /*stride=*/32),
+        num_structural_(model.num_variables()) {
     build(model);
   }
 
@@ -224,6 +226,10 @@ class RevisedSimplex {
                                    solution.phase1_pivots);
       span.stop();
       flush_counters(solution);
+      if (phase1 == RunResult::kStopped) {
+        solution.status = stop_status();
+        return solution;
+      }
       if (phase1 == RunResult::kIterationLimit) {
         solution.status = LpStatus::kIterationLimit;
         return solution;
@@ -249,6 +255,9 @@ class RevisedSimplex {
       case RunResult::kIterationLimit:
         solution.status = LpStatus::kIterationLimit;
         return solution;
+      case RunResult::kStopped:
+        solution.status = stop_status();
+        return solution;
     }
     // ---- Extract structural values. ----
     refresh_basic_values();
@@ -265,7 +274,13 @@ class RevisedSimplex {
   }
 
  private:
-  enum class RunResult { kOptimal, kUnbounded, kIterationLimit };
+  enum class RunResult { kOptimal, kUnbounded, kIterationLimit, kStopped };
+
+  /// LpStatus for a kStopped run (deadline vs cancellation).
+  [[nodiscard]] LpStatus stop_status() const noexcept {
+    return poller_.status() == SolveStatus::kCancelled ? LpStatus::kCancelled
+                                                       : LpStatus::kDeadlineExceeded;
+  }
 
   void build(const LpModel& model) {
     rows_ = model.num_rows();
@@ -351,6 +366,7 @@ class RevisedSimplex {
     double objective = basis_objective(costs);
     while (true) {
       if (pivot_count >= options_.max_pivots) return RunResult::kIterationLimit;
+      if (poller_.poll() != SolveStatus::kOk) return RunResult::kStopped;
       compute_duals(costs);
       const int entering = bland ? price_bland(costs, allow_artificial_entering)
                                  : price_partial(costs, allow_artificial_entering);
@@ -829,6 +845,7 @@ class RevisedSimplex {
   }
 
   SimplexOptions options_;
+  LimitPoller poller_;
   int num_structural_ = 0;
   int slack_base_ = 0;
   int artificial_base_ = 0;

@@ -16,7 +16,9 @@ namespace {
 class Tableau {
  public:
   Tableau(const LpModel& model, const SimplexOptions& options)
-      : options_(options), num_structural_(model.num_variables()) {
+      : options_(options),
+        poller_(options.limits, /*stride=*/8),
+        num_structural_(model.num_variables()) {
     build(model);
   }
 
@@ -31,6 +33,10 @@ class Tableau {
                                    solution.phase1_pivots);
       span.stop();
       flush_pivot_counters(solution);
+      if (phase1 == RunResult::kStopped) {
+        solution.status = stop_status();
+        return solution;
+      }
       if (phase1 == RunResult::kIterationLimit) {
         solution.status = LpStatus::kIterationLimit;
         return solution;
@@ -54,6 +60,9 @@ class Tableau {
       case RunResult::kIterationLimit:
         solution.status = LpStatus::kIterationLimit;
         return solution;
+      case RunResult::kStopped:
+        solution.status = stop_status();
+        return solution;
     }
     // ---- Extract structural values. ----
     solution.values.assign(static_cast<std::size_t>(num_structural_), 0.0);
@@ -69,7 +78,13 @@ class Tableau {
   }
 
  private:
-  enum class RunResult { kOptimal, kUnbounded, kIterationLimit };
+  enum class RunResult { kOptimal, kUnbounded, kIterationLimit, kStopped };
+
+  /// LpStatus for a kStopped run (deadline vs cancellation).
+  [[nodiscard]] LpStatus stop_status() const noexcept {
+    return poller_.status() == SolveStatus::kCancelled ? LpStatus::kCancelled
+                                                       : LpStatus::kDeadlineExceeded;
+  }
 
   [[nodiscard]] int rhs_col() const noexcept { return cols_ - 1; }
 
@@ -169,6 +184,7 @@ class Tableau {
     bool bland = false;
     while (true) {
       if (pivot_count >= options_.max_pivots) return RunResult::kIterationLimit;
+      if (poller_.poll() != SolveStatus::kOk) return RunResult::kStopped;
       const int entering = choose_entering(active_costs, allow_artificial_entering, bland);
       if (entering < 0) return RunResult::kOptimal;
       const int leaving = choose_leaving(entering, bland);
@@ -300,6 +316,7 @@ class Tableau {
   }
 
   SimplexOptions options_;
+  LimitPoller poller_;
   std::int64_t parallel_pivots_ = 0;
   std::int64_t serial_pivots_ = 0;
   std::int64_t bland_activations_ = 0;
@@ -317,7 +334,28 @@ class Tableau {
 
 }  // namespace
 
+SolveStatus lp_status_to_solve(LpStatus status) noexcept {
+  switch (status) {
+    case LpStatus::kOptimal: return SolveStatus::kOk;
+    case LpStatus::kInfeasible: return SolveStatus::kInfeasible;
+    case LpStatus::kUnbounded: return SolveStatus::kNumericalFailure;
+    case LpStatus::kIterationLimit: return SolveStatus::kLimitExceeded;
+    case LpStatus::kDeadlineExceeded: return SolveStatus::kDeadlineExceeded;
+    case LpStatus::kCancelled: return SolveStatus::kCancelled;
+  }
+  return SolveStatus::kNumericalFailure;
+}
+
 LpSolution solve_lp(const LpModel& model, const SimplexOptions& options) {
+  // Already over the limit: skip even the tableau/CSC build.
+  const SolveStatus entry = options.limits.check();
+  if (entry != SolveStatus::kOk) {
+    LpSolution solution;
+    solution.status = entry == SolveStatus::kCancelled
+                          ? LpStatus::kCancelled
+                          : LpStatus::kDeadlineExceeded;
+    return solution;
+  }
   trace_note(options.trace, "lp.engine",
              options.engine == LpEngine::kRevised ? "revised" : "dense");
   if (options.engine == LpEngine::kRevised) {

@@ -27,12 +27,25 @@
 #include <vector>
 
 #include "lp/model.hpp"
+#include "runtime/limits.hpp"
 
 namespace calisched {
 
 class TraceContext;
 
-enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+enum class LpStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+  kDeadlineExceeded,  ///< RunLimits deadline expired mid-solve
+  kCancelled,         ///< RunLimits cancel token fired mid-solve
+};
+
+/// Maps an LP outcome onto the shared solve-status taxonomy (kUnbounded
+/// becomes kNumericalFailure: the models this codebase builds are bounded,
+/// so an unbounded verdict signals a construction bug or roundoff).
+[[nodiscard]] SolveStatus lp_status_to_solve(LpStatus status) noexcept;
 
 /// Which simplex implementation solve_lp runs.
 enum class LpEngine {
@@ -70,6 +83,10 @@ struct SimplexOptions {
   /// Optional telemetry sink: phase spans, pivot counters, model shape,
   /// presolve reductions, and refactorization stats land here. Not owned.
   TraceContext* trace = nullptr;
+
+  /// Wall-clock deadline + cancellation, polled once per pivot (both
+  /// engines). A stopped solve returns kDeadlineExceeded / kCancelled.
+  RunLimits limits;
 };
 
 struct LpSolution {

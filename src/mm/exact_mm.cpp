@@ -20,8 +20,12 @@ namespace {
 class FeasibilitySearch {
  public:
   FeasibilitySearch(const Instance& instance, int machines,
-                    std::int64_t node_budget)
-      : instance_(instance), machines_(machines), node_budget_(node_budget) {
+                    std::int64_t node_budget,
+                    const RunLimits& limits = RunLimits::none())
+      : instance_(instance),
+        machines_(machines),
+        node_budget_(node_budget),
+        poller_(limits, /*stride=*/1024) {
     free_at_.assign(static_cast<std::size_t>(machines_),
                     std::numeric_limits<Time>::min());
     done_.assign(instance_.size(), false);
@@ -36,6 +40,10 @@ class FeasibilitySearch {
   [[nodiscard]] bool run() { return dfs(instance_.size()); }
   [[nodiscard]] std::int64_t nodes() const noexcept { return nodes_; }
   [[nodiscard]] bool exhausted_budget() const noexcept { return budget_hit_; }
+  /// kOk, or the RunLimits reason the search stopped early.
+  [[nodiscard]] SolveStatus limit_status() const noexcept {
+    return poller_.status();
+  }
   [[nodiscard]] MMSchedule schedule() const {
     MMSchedule result;
     result.machines = machines_;
@@ -46,8 +54,8 @@ class FeasibilitySearch {
  private:
   bool dfs(std::size_t remaining) {
     if (remaining == 0) return true;
-    if (++nodes_ > node_budget_) {
-      budget_hit_ = true;
+    if (++nodes_ > node_budget_ || poller_.poll() != SolveStatus::kOk) {
+      budget_hit_ = true;  // either way: abandon the whole search
       return false;
     }
     // Candidate start frontiers: one machine per distinct free time.
@@ -106,6 +114,7 @@ class FeasibilitySearch {
   const Instance& instance_;
   int machines_;
   std::int64_t node_budget_;
+  LimitPoller poller_;
   std::vector<Time> free_at_;
   std::vector<bool> done_;
   std::vector<std::size_t> order_;
@@ -118,21 +127,23 @@ class FeasibilitySearch {
 
 std::optional<MMSchedule> exact_mm_feasible(const Instance& instance, int machines,
                                             std::int64_t node_budget,
-                                            std::int64_t* nodes) {
+                                            std::int64_t* nodes,
+                                            const RunLimits& limits) {
   if (instance.empty()) {
     MMSchedule empty;
     empty.machines = machines;
     if (nodes) *nodes = 0;
     return empty;
   }
-  FeasibilitySearch search(instance, machines, node_budget);
+  FeasibilitySearch search(instance, machines, node_budget, limits);
   const bool feasible = search.run();
   if (nodes) *nodes = search.nodes();
   if (!feasible) return std::nullopt;
   return search.schedule();
 }
 
-MMResult ExactMM::minimize(const Instance& instance) const {
+MMResult ExactMM::minimize(const Instance& instance,
+                           const RunLimits& limits) const {
   MMResult result;
   result.algorithm = name();
   if (instance.empty()) {
@@ -142,24 +153,28 @@ MMResult ExactMM::minimize(const Instance& instance) const {
   }
   const int n = static_cast<int>(instance.size());
   for (int m = mm_lower_bound(instance); m <= n; ++m) {
-    std::int64_t nodes = 0;
-    FeasibilitySearch search(instance, m, node_budget_);
+    FeasibilitySearch search(instance, m, node_budget_, limits);
     const bool feasible = search.run();
-    nodes = search.nodes();
-    result.search_nodes += nodes;
+    result.search_nodes += search.nodes();
     if (feasible) {
       result.feasible = true;
       result.schedule = search.schedule();
       return result;
     }
+    if (search.limit_status() != SolveStatus::kOk) {
+      // Deadline / cancellation: stop immediately, no fallback work.
+      result.status = search.limit_status();
+      return result;
+    }
     if (search.exhausted_budget()) {
       // Give up on exactness; report the greedy schedule instead.
-      MMResult fallback = GreedyEdfMM().minimize(instance);
+      MMResult fallback = GreedyEdfMM().minimize(instance, limits);
       fallback.algorithm = "exact-bnb(budget-exceeded)->greedy-edf";
       fallback.search_nodes = result.search_nodes;
       return fallback;
     }
   }
+  result.status = SolveStatus::kInfeasible;
   return result;  // unreachable: m = n is always feasible
 }
 

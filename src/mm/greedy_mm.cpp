@@ -58,7 +58,8 @@ std::optional<MMSchedule> try_edf(const Instance& instance, int machines) {
 
 }  // namespace
 
-MMResult GreedyEdfMM::minimize(const Instance& instance) const {
+MMResult GreedyEdfMM::minimize(const Instance& instance,
+                               const RunLimits& limits) const {
   MMResult result;
   result.algorithm = name();
   if (instance.empty()) {
@@ -66,8 +67,13 @@ MMResult GreedyEdfMM::minimize(const Instance& instance) const {
     result.schedule.machines = 0;
     return result;
   }
+  LimitPoller poller(limits, /*stride=*/1);  // one EDF attempt per poll
   const int n = static_cast<int>(instance.size());
   for (int m = mm_lower_bound(instance); m <= n; ++m) {
+    if (poller.poll() != SolveStatus::kOk) {
+      result.status = poller.status();
+      return result;
+    }
     if (auto schedule = try_edf(instance, m)) {
       result.feasible = true;
       result.schedule = std::move(*schedule);
@@ -75,6 +81,7 @@ MMResult GreedyEdfMM::minimize(const Instance& instance) const {
     }
   }
   // Unreachable: with m = n every job starts at its release time.
+  result.status = SolveStatus::kInfeasible;
   return result;
 }
 

@@ -105,7 +105,8 @@ std::optional<double> mm_start_time_lp_bound(const Instance& instance,
   return solution.objective;
 }
 
-MMResult LpRoundingMM::minimize(const Instance& instance) const {
+MMResult LpRoundingMM::minimize(const Instance& instance,
+                                const RunLimits& limits) const {
   MMResult result;
   result.algorithm = name();
   if (instance.empty()) {
@@ -116,12 +117,19 @@ MMResult LpRoundingMM::minimize(const Instance& instance) const {
   auto built = build_start_time_lp(instance, options_.max_slots);
   std::optional<LpSolution> solution;
   if (built) {
-    LpSolution solved = solve_lp(built->model);
+    SimplexOptions lp_options;
+    lp_options.limits = limits;
+    LpSolution solved = solve_lp(built->model, lp_options);
+    if (solved.status == LpStatus::kDeadlineExceeded ||
+        solved.status == LpStatus::kCancelled) {
+      result.status = lp_status_to_solve(solved.status);
+      return result;
+    }
     if (solved.status == LpStatus::kOptimal) solution = std::move(solved);
   }
   if (!solution) {
     // Horizon too large or LP trouble: honest fallback.
-    MMResult fallback = GreedyEdfMM().minimize(instance);
+    MMResult fallback = GreedyEdfMM().minimize(instance, limits);
     fallback.algorithm = name() + "(fallback->greedy-edf)";
     return fallback;
   }

@@ -44,7 +44,9 @@ class LpRoundingMM final : public MachineMinimizer {
 
   LpRoundingMM() : options_() {}
   explicit LpRoundingMM(Options options) : options_(options) {}
-  [[nodiscard]] MMResult minimize(const Instance& instance) const override;
+  using MachineMinimizer::minimize;
+  [[nodiscard]] MMResult minimize(const Instance& instance,
+                                  const RunLimits& limits) const override;
   [[nodiscard]] std::string name() const override { return "lp-rounding"; }
 
  private:

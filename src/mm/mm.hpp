@@ -17,6 +17,8 @@
 #include <memory>
 #include <string>
 
+#include "runtime/limits.hpp"
+#include "runtime/status.hpp"
 #include "verify/verify.hpp"
 
 namespace calisched {
@@ -24,25 +26,41 @@ namespace calisched {
 class TraceContext;
 
 struct MMResult {
-  bool feasible = false;       ///< false only if the box gave up (node cap)
+  bool feasible = false;       ///< false if the box gave up or was stopped
+  /// Structured outcome: kOk iff feasible; kLimitExceeded (node cap),
+  /// kDeadlineExceeded / kCancelled (RunLimits) otherwise.
+  SolveStatus status = SolveStatus::kOk;
   MMSchedule schedule;         ///< valid when feasible
   std::string algorithm;       ///< which box produced it
   std::int64_t search_nodes = 0;  ///< branch-and-bound telemetry (0 for greedy)
 };
 
 /// Abstract MM black box; implementations must return verifier-clean
-/// schedules whenever they report feasible.
+/// schedules whenever they report feasible, and must honor `limits`
+/// (deadline + cancellation) by returning the matching failure status
+/// promptly instead of running to completion.
 class MachineMinimizer {
  public:
   virtual ~MachineMinimizer() = default;
-  [[nodiscard]] virtual MMResult minimize(const Instance& instance) const = 0;
+  [[nodiscard]] virtual MMResult minimize(const Instance& instance,
+                                          const RunLimits& limits) const = 0;
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Unlimited run (legacy signature; forwards RunLimits::none()).
+  [[nodiscard]] MMResult minimize(const Instance& instance) const {
+    return minimize(instance, RunLimits::none());
+  }
 
   /// minimize() plus telemetry: records an "mm" span and the invocation /
   /// machines-returned / search-node counters into `trace` (no-op when
   /// null). Every pipeline call site goes through this overload.
   [[nodiscard]] MMResult minimize(const Instance& instance,
+                                  const RunLimits& limits,
                                   TraceContext* trace) const;
+  [[nodiscard]] MMResult minimize(const Instance& instance,
+                                  TraceContext* trace) const {
+    return minimize(instance, RunLimits::none(), trace);
+  }
 };
 
 /// First-fit EDF list scheduling, trying m = lower_bound(I), ..., n.
@@ -50,7 +68,9 @@ class MachineMinimizer {
 /// short-window analysis charges against.
 class GreedyEdfMM final : public MachineMinimizer {
  public:
-  [[nodiscard]] MMResult minimize(const Instance& instance) const override;
+  using MachineMinimizer::minimize;
+  [[nodiscard]] MMResult minimize(const Instance& instance,
+                                  const RunLimits& limits) const override;
   [[nodiscard]] std::string name() const override { return "greedy-edf"; }
 };
 
@@ -61,7 +81,9 @@ class ExactMM final : public MachineMinimizer {
  public:
   explicit ExactMM(std::int64_t node_budget = 4'000'000)
       : node_budget_(node_budget) {}
-  [[nodiscard]] MMResult minimize(const Instance& instance) const override;
+  using MachineMinimizer::minimize;
+  [[nodiscard]] MMResult minimize(const Instance& instance,
+                                  const RunLimits& limits) const override;
   [[nodiscard]] std::string name() const override { return "exact-bnb"; }
 
  private:
@@ -73,7 +95,9 @@ class ExactMM final : public MachineMinimizer {
 /// Requires a unit-job instance (asserts otherwise).
 class UnitEdfMM final : public MachineMinimizer {
  public:
-  [[nodiscard]] MMResult minimize(const Instance& instance) const override;
+  using MachineMinimizer::minimize;
+  [[nodiscard]] MMResult minimize(const Instance& instance,
+                                  const RunLimits& limits) const override;
   [[nodiscard]] std::string name() const override { return "unit-edf"; }
 };
 
@@ -87,7 +111,9 @@ class SpeedupMM final : public MachineMinimizer {
  public:
   SpeedupMM(std::shared_ptr<const MachineMinimizer> inner, std::int64_t speed)
       : inner_(std::move(inner)), speed_(speed) {}
-  [[nodiscard]] MMResult minimize(const Instance& instance) const override;
+  using MachineMinimizer::minimize;
+  [[nodiscard]] MMResult minimize(const Instance& instance,
+                                  const RunLimits& limits) const override;
   [[nodiscard]] std::string name() const override {
     return "speed" + std::to_string(speed_) + "x(" + inner_->name() + ")";
   }
@@ -100,8 +126,9 @@ class SpeedupMM final : public MachineMinimizer {
 /// Nonpreemptive feasibility of `instance` on exactly `machines` machines,
 /// via the same search ExactMM uses. Returns the schedule when feasible.
 /// `nodes` (optional) receives the number of search nodes explored.
+/// A stopped search (budget, deadline, cancellation) returns nullopt.
 [[nodiscard]] std::optional<MMSchedule> exact_mm_feasible(
     const Instance& instance, int machines, std::int64_t node_budget,
-    std::int64_t* nodes = nullptr);
+    std::int64_t* nodes = nullptr, const RunLimits& limits = RunLimits::none());
 
 }  // namespace calisched

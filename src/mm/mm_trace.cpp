@@ -4,9 +4,10 @@
 namespace calisched {
 
 MMResult MachineMinimizer::minimize(const Instance& instance,
+                                    const RunLimits& limits,
                                     TraceContext* trace) const {
   TraceSpan span(trace, "mm");
-  MMResult result = minimize(instance);
+  MMResult result = minimize(instance, limits);
   span.stop();
   if (trace) {
     trace->add("mm.invocations");

@@ -4,7 +4,8 @@
 
 namespace calisched {
 
-MMResult SpeedupMM::minimize(const Instance& instance) const {
+MMResult SpeedupMM::minimize(const Instance& instance,
+                             const RunLimits& limits) const {
   assert(speed_ >= 1);
   // Equivalent reformulation of "machines speed_ times faster": stretch the
   // timeline by speed_ and keep processing times. A job of p time units on
@@ -17,7 +18,7 @@ MMResult SpeedupMM::minimize(const Instance& instance) const {
     scaled.jobs.push_back(
         Job{job.id, job.release * speed_, job.deadline * speed_, job.proc});
   }
-  MMResult result = inner_->minimize(scaled);
+  MMResult result = inner_->minimize(scaled, limits);
   result.algorithm = name();
   if (result.feasible) {
     // Inner starts are in stretched units, i.e. 1/speed_ of a real unit —

@@ -55,7 +55,8 @@ std::optional<MMSchedule> try_unit_edf(const Instance& instance, int machines) {
 
 }  // namespace
 
-MMResult UnitEdfMM::minimize(const Instance& instance) const {
+MMResult UnitEdfMM::minimize(const Instance& instance,
+                             const RunLimits& limits) const {
   MMResult result;
   result.algorithm = name();
   if (instance.empty()) {
@@ -67,14 +68,20 @@ MMResult UnitEdfMM::minimize(const Instance& instance) const {
     assert(job.proc == 1 && "UnitEdfMM requires unit processing times");
     (void)job;
   }
+  LimitPoller poller(limits, /*stride=*/1);  // one EDF attempt per poll
   const int n = static_cast<int>(instance.size());
   for (int m = mm_lower_bound(instance); m <= n; ++m) {
+    if (poller.poll() != SolveStatus::kOk) {
+      result.status = poller.status();
+      return result;
+    }
     if (auto schedule = try_unit_edf(instance, m)) {
       result.feasible = true;
       result.schedule = std::move(*schedule);
       return result;
     }
   }
+  result.status = SolveStatus::kInfeasible;
   return result;  // unreachable for well-formed unit instances
 }
 

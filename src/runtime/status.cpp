@@ -1,0 +1,47 @@
+#include "runtime/status.hpp"
+
+#include <array>
+
+namespace calisched {
+namespace {
+
+constexpr std::array<std::string_view, 6> kStatusNames = {
+    "ok",        "infeasible",        "deadline-exceeded",
+    "cancelled", "numerical-failure", "limit-exceeded",
+};
+
+}  // namespace
+
+std::string_view to_string(SolveStatus status) noexcept {
+  const auto index = static_cast<std::size_t>(status);
+  return index < kStatusNames.size() ? kStatusNames[index] : "unknown";
+}
+
+bool parse_solve_status(std::string_view text, SolveStatus* out) noexcept {
+  for (std::size_t i = 0; i < kStatusNames.size(); ++i) {
+    if (kStatusNames[i] == text) {
+      if (out) *out = static_cast<SolveStatus>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string format_failure(SolveStatus status, std::string_view detail,
+                           std::string_view stage) {
+  std::string message;
+  message.reserve(stage.size() + detail.size() + 24);
+  if (!stage.empty()) {
+    message.append(stage);
+    message.append(": ");
+  }
+  message.append(to_string(status));
+  if (!detail.empty()) {
+    message.append(" (");
+    message.append(detail);
+    message.append(")");
+  }
+  return message;
+}
+
+}  // namespace calisched

@@ -1,0 +1,61 @@
+// The structured solve-status taxonomy shared by every algorithm layer.
+//
+// Before this layer existed, each pipeline/baseline/box reported failure as
+// `bool feasible + std::string error`, with every call site formatting its
+// own message. A SolveStatus classifies the outcome machine-readably (the
+// batch driver shards on it, the JSONL output serializes it), and
+// format_failure() is the single place a human-readable string is built, so
+// no call site concatenates its own failure prose anymore.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace calisched {
+
+/// Outcome of one algorithm run. Everything except kOk means "no schedule".
+enum class SolveStatus {
+  kOk,                ///< completed; result payload is valid
+  kInfeasible,        ///< no solution exists (or this algorithm cannot find one)
+  kDeadlineExceeded,  ///< RunLimits wall-clock deadline expired mid-solve
+  kCancelled,         ///< cooperative CancelToken fired mid-solve
+  kNumericalFailure,  ///< internal guarantee violated (LP unbounded, EDF gap)
+  kLimitExceeded,     ///< iteration / node budget exhausted before an answer
+};
+
+/// Stable kebab-case name ("ok", "deadline-exceeded", ...); used by the
+/// batch JSONL schema and test assertions.
+[[nodiscard]] std::string_view to_string(SolveStatus status) noexcept;
+
+/// Inverse of to_string; returns false (and leaves *out alone) on an
+/// unknown name.
+[[nodiscard]] bool parse_solve_status(std::string_view text,
+                                      SolveStatus* out) noexcept;
+
+/// True for the statuses caused by RunLimits rather than the instance.
+[[nodiscard]] constexpr bool is_limit_status(SolveStatus status) noexcept {
+  return status == SolveStatus::kDeadlineExceeded ||
+         status == SolveStatus::kCancelled ||
+         status == SolveStatus::kLimitExceeded;
+}
+
+/// The one place failure strings are formatted:
+///   "[stage: ]<status-name>[ (detail)]"
+/// e.g. format_failure(kInfeasible, "TISE LP on 9 machines", "long-window
+/// pipeline") == "long-window pipeline: infeasible (TISE LP on 9 machines)".
+[[nodiscard]] std::string format_failure(SolveStatus status,
+                                         std::string_view detail = {},
+                                         std::string_view stage = {});
+
+/// Marks a result struct (anything with `feasible`, `status`, `error`
+/// members) as failed, routing the message through format_failure.
+template <typename Result>
+Result& fail_result(Result& result, SolveStatus status,
+                    std::string_view detail = {}, std::string_view stage = {}) {
+  result.feasible = false;
+  result.status = status;
+  result.error = format_failure(status, detail, stage);
+  return result;
+}
+
+}  // namespace calisched

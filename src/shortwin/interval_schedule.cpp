@@ -30,11 +30,16 @@ IntervalScheduleResult schedule_interval(const Instance& jobs, Time interval_sta
 
   // --- MM black box ---------------------------------------------------------
   TraceSpan interval_span(options.trace, "interval");
-  MMResult mm_result = mm.minimize(jobs, options.trace);
+  MMResult mm_result = mm.minimize(jobs, options.limits, options.trace);
   result.mm_algorithm = mm_result.algorithm;
   if (!mm_result.feasible) {
-    result.error = "MM black box failed on interval at " +
-                   std::to_string(interval_start);
+    const SolveStatus status = mm_result.status == SolveStatus::kOk
+                                   ? SolveStatus::kInfeasible
+                                   : mm_result.status;
+    fail_result(result, status,
+                "MM black box failed on interval at " +
+                    std::to_string(interval_start),
+                "mm");
     return result;
   }
   // An s-speed MM box reports start times in 1/s-unit ticks; the ISE

@@ -22,6 +22,8 @@ namespace calisched {
 
 struct IntervalScheduleResult {
   bool feasible = false;
+  /// Structured outcome; mirrors the MM box's status when the box failed.
+  SolveStatus status = SolveStatus::kOk;
   /// Valid when feasible: machines = 3w, absolute times, denominator 1.
   Schedule schedule;
   int mm_machines = 0;  ///< w, after compacting unused machines
@@ -31,6 +33,8 @@ struct IntervalScheduleResult {
 
 struct IntervalOptions {
   Time gamma = 2;  ///< short-window factor; Definition 1 fixes gamma = 2
+  /// Deadline + cancellation, forwarded to every MM black-box invocation.
+  RunLimits limits;
   /// Optional telemetry sink (the short-window pipeline's context): MM
   /// invocations, per-interval spans, and partition/union counters land
   /// here. Not owned; spans with one name aggregate across intervals.

@@ -96,8 +96,10 @@ ShortWindowResult solve_short_window(const Instance& instance,
   partition_span.stop();
   if (!pending.empty()) {
     // Contradicts Lemma 16 for short jobs; defensive (asserted above).
-    result.error = "job " + std::to_string(pending.front().id) +
-                   " fits neither partitioning pass";
+    fail_result(result, SolveStatus::kNumericalFailure,
+                "job " + std::to_string(pending.front().id) +
+                    " fits neither partitioning pass",
+                "partition");
     return finish();
   }
 
@@ -109,6 +111,7 @@ ShortWindowResult solve_short_window(const Instance& instance,
       IntervalScheduleResult interval =
           schedule_interval(interval_jobs, start, mm, interval_options);
       if (!interval.feasible) {
+        result.status = interval.status;
         result.error = std::move(interval.error);
         return finish();
       }

@@ -33,6 +33,10 @@ struct ShortWindowTelemetry {
 
 struct ShortWindowResult {
   bool feasible = false;
+  /// Structured outcome: kInfeasible / kDeadlineExceeded / kCancelled /
+  /// kLimitExceeded propagate from the failing interval's MM box;
+  /// kNumericalFailure flags a partition-invariant violation.
+  SolveStatus status = SolveStatus::kOk;
   Schedule schedule;
   ShortWindowTelemetry telemetry;
   std::string error;

@@ -22,12 +22,14 @@ IseSolveResult solve_ise(const Instance& instance, const IseSolverOptions& optio
 
   // --- long-window pool ------------------------------------------------------
   LongWindowOptions long_options = options.long_window;
+  long_options.limits = options.limits;
   long_options.trace = &trace->child("long_window");
   LongWindowResult long_result =
       solve_long_window(split.long_jobs, long_options);
   result.long_telemetry = long_result.telemetry;
   if (!long_result.feasible) {
-    result.error = "long-window pipeline: " + long_result.error;
+    fail_result(result, long_result.status, long_result.error,
+                "long-window pipeline");
     return result;
   }
 
@@ -37,12 +39,14 @@ IseSolveResult solve_ise(const Instance& instance, const IseSolverOptions& optio
       options.mm ? static_cast<const MachineMinimizer&>(*options.mm)
                  : static_cast<const MachineMinimizer&>(default_mm);
   IntervalOptions short_options = options.short_window;
+  short_options.limits = options.limits;
   short_options.trace = &trace->child("short_window");
   ShortWindowResult short_result =
       solve_short_window(split.short_jobs, mm, short_options);
   result.short_telemetry = short_result.telemetry;
   if (!short_result.feasible) {
-    result.error = "short-window pipeline: " + short_result.error;
+    fail_result(result, short_result.status, short_result.error,
+                "short-window pipeline");
     return result;
   }
 

@@ -18,6 +18,9 @@ namespace calisched {
 struct IseSolverOptions {
   LongWindowOptions long_window;
   IntervalOptions short_window;
+  /// Deadline + cancellation for the whole solve; copied over both
+  /// pipelines' limits before dispatch.
+  RunLimits limits;
   /// MM black box for the short-window pipeline; GreedyEdfMM when null.
   std::shared_ptr<const MachineMinimizer> mm;
   /// Optional telemetry sink for the whole solve: split/combine spans and
@@ -29,6 +32,8 @@ struct IseSolverOptions {
 
 struct IseSolveResult {
   bool feasible = false;
+  /// Structured outcome, propagated from whichever pipeline failed.
+  SolveStatus status = SolveStatus::kOk;
   Schedule schedule;
   std::string error;
 

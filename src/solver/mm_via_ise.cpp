@@ -26,6 +26,7 @@ MmViaIseResult mm_via_ise(const Instance& mm_instance) {
   options.short_window.trim_unused_calibrations = true;
   const IseSolveResult solved = solve_ise(ise, options);
   if (!solved.feasible) {
+    result.status = solved.status;
     result.error = solved.error;
     return result;
   }
@@ -52,7 +53,8 @@ MmViaIseResult mm_via_ise(const Instance& mm_instance) {
       }
     }
     if (machine < 0) {
-      result.error = "job outside every calibration (solver bug)";
+      fail_result(result, SolveStatus::kNumericalFailure,
+                  "job outside every calibration (solver bug)");
       return result;
     }
     result.schedule.jobs.push_back({job.id, machine, sj.start});

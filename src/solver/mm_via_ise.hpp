@@ -12,12 +12,15 @@
 
 #include <cstddef>
 
+#include "runtime/status.hpp"
 #include "verify/verify.hpp"
 
 namespace calisched {
 
 struct MmViaIseResult {
   bool feasible = false;
+  /// Structured outcome, propagated from the underlying ISE solve.
+  SolveStatus status = SolveStatus::kOk;
   MMSchedule schedule;          ///< one machine per ISE calibration
   std::size_t calibrations = 0; ///< of the underlying ISE solve (= machines)
   std::string error;

@@ -9,6 +9,20 @@
 //             [--adaptive-mirror] [--prune-empty] [--relaxed] [--mm=NAME]
 //             [--lp-engine=dense|revised] [--trace-json=FILE]
 //   calisched --generate=FAMILY --n=N --T=N --machines=N [--seed=N] --out=F
+//   calisched solve-batch [instance-files...] [--algo=NAME] [--threads=N]
+//             [--timeout-ms=N] [--out=FILE] [--no-timing] [--trace]
+//             [--family=F --count=N --seed=N --n=N --T=N --machines=N ...]
+//
+// solve-batch runs one registered algorithm over many instances concurrently
+// and writes one JSON record per instance (JSONL). Instances come from the
+// positional files, or — when none are given — from the generator spec flags
+// (same family flags as --generate, plus --count; instance i uses a seed
+// derived from --seed and i). Results are deterministic: the output is
+// byte-identical for every --threads value once --no-timing drops the
+// elapsed-time fields. --timeout-ms is a per-instance wall-clock deadline
+// (records report status "deadline-exceeded" when it fires). --algo accepts
+// any registry name (see AlgorithmRegistry::builtin()); unlike the single-
+// instance path below, MM boxes (mm-*) and gap-min are valid here too.
 //
 // --lp-engine picks the simplex implementation behind the long-window TISE
 // relaxation: "revised" (default) is the sparse revised simplex, "dense" the
@@ -46,6 +60,7 @@
 #include "mm/mm.hpp"
 #include "report/ascii_gantt.hpp"
 #include "report/stats.hpp"
+#include "runtime/batch.hpp"
 #include "shortwin/short_pipeline.hpp"
 #include "solver/ise_solver.hpp"
 #include "trace/trace.hpp"
@@ -96,6 +111,97 @@ int generate_mode(const CliArgs& args) {
     }
     write_instance(file, instance);
     std::cout << "wrote " << instance.size() << " jobs to " << out << '\n';
+  }
+  return 0;
+}
+
+int solve_batch_mode(const CliArgs& args) {
+  const std::string algo = args.get("algo", "combined");
+  const AlgorithmRegistry& registry = AlgorithmRegistry::builtin();
+  const Algorithm* algorithm = registry.find(algo);
+  if (!algorithm) {
+    std::cerr << "unknown algorithm '" << algo << "'; registered:";
+    for (const std::string& name : registry.names()) std::cerr << ' ' << name;
+    std::cerr << '\n';
+    return 2;
+  }
+
+  std::vector<Instance> instances;
+  BatchOptions options;
+  const std::vector<std::string>& positional = args.positional();
+  if (positional.size() > 1) {
+    for (std::size_t i = 1; i < positional.size(); ++i) {
+      std::ifstream file(positional[i]);
+      if (!file) {
+        std::cerr << "cannot read " << positional[i] << '\n';
+        return 2;
+      }
+      try {
+        instances.push_back(read_instance(file));
+      } catch (const std::exception& error) {
+        std::cerr << positional[i] << ": " << error.what() << '\n';
+        return 2;
+      }
+    }
+  } else {
+    BatchSpec spec;
+    spec.family = args.get("family", "mixed");
+    spec.count = static_cast<std::size_t>(args.get_int("count", 32));
+    spec.params.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    spec.params.n = static_cast<int>(args.get_int("n", 12));
+    spec.params.T = args.get_int("T", 10);
+    spec.params.machines = static_cast<int>(args.get_int("machines", 2));
+    spec.params.horizon = args.get_int("horizon", 10 * spec.params.T);
+    spec.params.max_proc = args.get_int("max-proc", spec.params.T);
+    spec.long_fraction = args.get_double("long-fraction", 0.5);
+    spec.max_window = args.get_int("max-window", 0);
+    spec.bursts = static_cast<int>(args.get_int("bursts", 3));
+    spec.burst_span = args.get_int("burst-span", 0);
+    spec.long_windows = args.get_bool("long-windows", false);
+    try {
+      instances = generate_batch(spec, &options.seeds);
+    } catch (const std::exception& error) {
+      std::cerr << error.what() << '\n';
+      return 2;
+    }
+  }
+
+  options.threads = static_cast<std::size_t>(args.get_int("threads", 1));
+  const std::int64_t timeout_ms = args.get_int("timeout-ms", 0);
+  if (timeout_ms > 0) {
+    options.per_instance_deadline = std::chrono::milliseconds(timeout_ms);
+  }
+  options.collect_traces = args.get_bool("trace", false);
+  const bool include_timing = !args.get_bool("no-timing", false);
+
+  const std::vector<BatchRecord> records =
+      BatchRunner(*algorithm).run(instances, options);
+
+  const std::string out_path = args.get("out", "");
+  if (out_path.empty() || out_path == "-") {
+    write_batch_jsonl(std::cout, records, include_timing);
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "cannot open " << out_path << " for writing\n";
+      return 2;
+    }
+    write_batch_jsonl(out, records, include_timing);
+    std::cout << "wrote " << records.size() << " records to " << out_path
+              << '\n';
+  }
+
+  std::size_t solved = 0;
+  std::size_t limited = 0;
+  for (const BatchRecord& record : records) {
+    if (record.feasible) ++solved;
+    if (is_limit_status(record.status)) ++limited;
+  }
+  std::cerr << "solve-batch: " << algo << " on " << records.size()
+            << " instances, " << solved << " solved, " << limited
+            << " limit-stopped\n";
+  for (const std::string& flag : args.unused()) {
+    std::cerr << "warning: unused flag --" << flag << '\n';
   }
   return 0;
 }
@@ -209,10 +315,15 @@ RunOutcome run_algorithm(const Instance& instance, const CliArgs& args,
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   if (args.has("generate")) return generate_mode(args);
+  if (!args.positional().empty() && args.positional()[0] == "solve-batch") {
+    return solve_batch_mode(args);
+  }
 
   if (args.positional().empty()) {
     std::cerr << "usage: calisched <instance-file> [--algo=NAME] [--gantt] "
-                 "[--csv]\n       calisched --generate=FAMILY --out=FILE\n";
+                 "[--csv]\n       calisched --generate=FAMILY --out=FILE\n"
+                 "       calisched solve-batch [files...] [--algo=NAME] "
+                 "[--threads=N] [--timeout-ms=N]\n";
     return 2;
   }
   std::ifstream file(args.positional()[0]);

@@ -1,0 +1,242 @@
+// Experiment E14 — intra-solve parallelism and simplex warm starts.
+//
+// Part A exercises the IntervalOptions::threads fan-out: one wide
+// short-window instance (many disjoint 2*gamma*T intervals, the
+// LP-rounding box doing real per-interval work) solved at 1/2/4/8 worker
+// threads, recording wall time and the byte-identity of the serialized
+// schedule. The acceptance bar is >= 2x at 4 threads — but like E13 the
+// speedup check is gated on hardware_concurrency >= 4; the determinism
+// check runs everywhere.
+//
+// Part B measures the WarmStart + SimplexWorkspace payoff on the
+// m'-descending rhs sweep pattern (one LP shape, capacity tightening step
+// by step) and on straight re-solves: total simplex pivots cold vs
+// warm-chained, with the dense tableau's objective as the per-step oracle.
+#include <chrono>
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/schedule_io.hpp"
+#include "gen/generators.hpp"
+#include "harness.hpp"
+#include "lp/revised_simplex.hpp"
+#include "lp/simplex.hpp"
+#include "mm/lp_rounding_mm.hpp"
+#include "shortwin/short_pipeline.hpp"
+#include "verify/verify.hpp"
+
+namespace {
+
+using namespace calisched;
+
+double elapsed_ms(std::chrono::steady_clock::time_point start) {
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 std::chrono::steady_clock::now() - start)
+                 .count()) /
+         1e6;
+}
+
+/// One LP of the sweep family: negative costs push against per-variable
+/// caps, a shared capacity row carries the sweeping rhs, and >= cover rows
+/// force Phase 1 work on every cold solve. The structure is identical at
+/// every capacity, so a warm basis can transfer between steps.
+LpModel sweep_model(int capacity) {
+  LpModel model;
+  constexpr int kVars = 24;
+  for (int v = 0; v < kVars; ++v) {
+    model.add_variable("x" + std::to_string(v),
+                       -(1.0 + 0.17 * static_cast<double>(v % 7)));
+  }
+  const int shared =
+      model.add_row("capacity", RowSense::kLe, static_cast<double>(capacity));
+  for (int v = 0; v < kVars; ++v) {
+    model.add_coefficient(shared, v, 1.0);
+    const int cap =
+        model.add_row("cap" + std::to_string(v), RowSense::kLe,
+                      2.0 + static_cast<double>((3 * v) % 5));
+    model.add_coefficient(cap, v, 1.0);
+  }
+  for (int r = 0; r < 4; ++r) {
+    const int row = model.add_row("cover" + std::to_string(r), RowSense::kGe,
+                                  1.0 + 0.5 * static_cast<double>(r));
+    for (int v = r; v < kVars; v += 4) model.add_coefficient(row, v, 1.0);
+  }
+  return model;
+}
+
+std::int64_t total_pivots(const LpSolution& solution) {
+  return solution.phase1_pivots + solution.phase2_pivots +
+         solution.expel_pivots;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchHarness bench("E14",
+                     "intra-solve parallelism and simplex warm starts",
+                     argc, argv);
+
+  // --- Part A: parallel interval fan-out -------------------------------
+  GenParams params;
+  params.seed = 42;
+  params.n = static_cast<int>(bench.args().get_int("n", 480));
+  params.T = 10;
+  params.machines = 2;
+  params.horizon = 80 * params.T;  // ~20 disjoint intervals per pass
+  params.max_proc = 9;
+  const Instance instance = generate_short_window(params);
+  // Heavy per-interval work: one start-time LP + many rounding samples per
+  // interval, so the fan-out has something worth parallelizing.
+  LpRoundingMM::Options box_options;
+  box_options.samples = 256;
+  const LpRoundingMM box(box_options);
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  Table& fanout = bench.table(
+      "fanout", {"threads", "intervals", "cals", "wall-ms", "speedup"});
+
+  double single_ms = 0.0;
+  double four_ms = 0.0;
+  std::string reference_bytes;
+  bool all_identical = true;
+  bool all_feasible = true;
+  for (const int threads : {1, 2, 4, 8}) {
+    IntervalOptions options;
+    options.threads = threads;
+    const auto start = std::chrono::steady_clock::now();
+    const ShortWindowResult result = solve_short_window(instance, box, options);
+    const double wall_ms = elapsed_ms(start);
+    all_feasible = all_feasible && result.feasible;
+    if (!result.feasible) continue;
+
+    std::ostringstream bytes;
+    write_schedule(bytes, result.schedule);
+    if (threads == 1) {
+      single_ms = wall_ms;
+      reference_bytes = bytes.str();
+      bench.check("sequential schedule verifies",
+                  verify_ise(instance, result.schedule).ok());
+    }
+    if (threads == 4) four_ms = wall_ms;
+    all_identical = all_identical && bytes.str() == reference_bytes;
+
+    fanout.row()
+        .cell(std::int64_t{threads})
+        .cell(std::int64_t{result.telemetry.intervals_pass1 +
+                           result.telemetry.intervals_pass2})
+        .cell(result.telemetry.total_calibrations)
+        .cell(wall_ms, 1)
+        .cell(wall_ms > 0.0 ? single_ms / wall_ms : 0.0, 2);
+  }
+  bench.print_table(
+      "fanout", "short-window fan-out, lp-rounding box, n=" +
+                    std::to_string(params.n) + ", horizon=" +
+                    std::to_string(params.horizon) +
+                    ", hardware cores: " + std::to_string(cores));
+
+  const double speedup = four_ms > 0.0 ? single_ms / four_ms : 0.0;
+  bench.metric("speedup_4_threads", speedup);
+  bench.metric("hardware_cores", static_cast<double>(cores));
+  bench.check("all thread counts feasible", all_feasible);
+  bench.check("schedule byte-identical across thread counts", all_identical);
+  if (cores >= 4) {
+    bench.check("4-thread solve >= 2x single-thread", speedup >= 2.0);
+  }
+
+  // --- Part B: warm-started rhs sweep ----------------------------------
+  Table& sweep = bench.table(
+      "warmstart", {"capacity", "cold-pivots", "warm-pivots", "warm?",
+                    "objective", "oracle-agrees"});
+  WarmStart warm;
+  SimplexWorkspace workspace;
+  std::int64_t cold_total = 0;
+  std::int64_t warm_total = 0;
+  int accepted = 0;
+  bool oracle_ok = true;
+  for (int capacity = 30; capacity >= 8; --capacity) {
+    const LpModel model = sweep_model(capacity);
+    SimplexOptions cold_options;
+    cold_options.engine = LpEngine::kRevised;
+    const LpSolution cold = solve_lp(model, cold_options);
+
+    SimplexOptions warm_options;
+    warm_options.engine = LpEngine::kRevised;
+    warm_options.warm_start = &warm;
+    warm_options.workspace = &workspace;
+    const LpSolution chained = solve_lp(model, warm_options);
+
+    SimplexOptions dense_options;
+    dense_options.engine = LpEngine::kDenseTableau;
+    const LpSolution oracle = solve_lp(model, dense_options);
+
+    const bool agrees = cold.status == LpStatus::kOptimal &&
+                        chained.status == LpStatus::kOptimal &&
+                        oracle.status == LpStatus::kOptimal &&
+                        std::abs(chained.objective - oracle.objective) < 1e-6 &&
+                        std::abs(cold.objective - oracle.objective) < 1e-6;
+    oracle_ok = oracle_ok && agrees;
+    cold_total += total_pivots(cold);
+    warm_total += total_pivots(chained);
+    accepted += chained.warm_started ? 1 : 0;
+    sweep.row()
+        .cell(std::int64_t{capacity})
+        .cell(total_pivots(cold))
+        .cell(total_pivots(chained))
+        .cell(std::string(chained.warm_started ? "yes" : "no"))
+        .cell(chained.objective, 3)
+        .cell(std::string(agrees ? "yes" : "NO"));
+  }
+  bench.print_table("warmstart",
+                    "m'-style capacity sweep, one WarmStart + "
+                    "SimplexWorkspace chained through every step");
+
+  // Straight re-solves of one model: after the first solve the exported
+  // basis is optimal, so every re-solve should cost zero Phase-1 pivots.
+  WarmStart resolve_warm;
+  SimplexWorkspace resolve_workspace;
+  const LpModel fixed = sweep_model(20);
+  std::int64_t resolve_phase1 = 0;
+  bool resolved_warm = true;
+  for (int repeat = 0; repeat < 5; ++repeat) {
+    SimplexOptions options;
+    options.engine = LpEngine::kRevised;
+    options.warm_start = &resolve_warm;
+    options.workspace = &resolve_workspace;
+    const LpSolution solution = solve_lp(fixed, options);
+    if (repeat > 0) {
+      resolve_phase1 += solution.phase1_pivots;
+      resolved_warm = resolved_warm && solution.warm_started;
+    }
+  }
+
+  const double reduction =
+      cold_total > 0
+          ? 1.0 - static_cast<double>(warm_total) /
+                      static_cast<double>(cold_total)
+          : 0.0;
+  bench.metric("cold_total_pivots", static_cast<double>(cold_total));
+  bench.metric("warm_total_pivots", static_cast<double>(warm_total));
+  bench.metric("warm_accepted_steps", static_cast<double>(accepted));
+  bench.metric("pivot_reduction", reduction);
+  bench.check("warm-chained sweep matches the dense oracle", oracle_ok);
+  bench.check("warm chaining reduces total pivots", warm_total < cold_total);
+  bench.check("re-solves accept the exported basis", resolved_warm);
+  bench.check("re-solves need zero phase-1 pivots", resolve_phase1 == 0);
+
+  bench.note(
+      "the interval fan-out merges per-task results and scratch traces in "
+      "interval order, so the schedule bytes are identical at every thread "
+      "count; 4-thread speedup on this machine: " +
+      format_double(speedup, 2) + "x (" + std::to_string(cores) +
+      " hardware cores; the >= 2x bar applies on machines with >= 4 cores, "
+      "where the disjoint intervals solve independently). Warm-chaining one "
+      "basis through the capacity sweep cut total pivots from " +
+      std::to_string(cold_total) + " to " + std::to_string(warm_total) +
+      " (" + format_double(100.0 * reduction, 1) +
+      "% fewer), and re-solving an unchanged model skips Phase 1 entirely.");
+  return bench.finish();
+}

@@ -11,7 +11,10 @@
 //   machines   <= 6 * alpha * w*              via w* >= max_i w*_i.
 #include <iostream>
 #include <memory>
+#include <sstream>
+#include <string>
 
+#include "core/schedule_io.hpp"
 #include "gen/generators.hpp"
 #include "harness.hpp"
 #include "mm/lp_rounding_mm.hpp"
@@ -129,6 +132,36 @@ int main(int argc, char** argv) {
   bench.print_table("alpha",
                     "realized alpha of greedy EDF vs exact MM (per-interval "
                     "machine mass)");
+
+  // --- parallel fan-out determinism (the deep measurement is E14) --------
+  {
+    GenParams params;
+    params.seed = 7;
+    params.n = 24;
+    params.T = 10;
+    params.machines = 2;
+    params.horizon = 40 * params.T;
+    params.max_proc = 9;
+    const Instance instance = generate_short_window(params);
+    std::string reference;
+    bool identical = true;
+    for (const int threads : {1, 4}) {
+      IntervalOptions options;
+      options.threads = threads;
+      const ShortWindowResult result =
+          solve_short_window(instance, greedy, options);
+      if (!result.feasible) {
+        identical = false;
+        break;
+      }
+      std::ostringstream bytes;
+      write_schedule(bytes, result.schedule);
+      if (threads == 1) reference = bytes.str();
+      identical = identical && bytes.str() == reference;
+    }
+    bench.check("parallel fan-out reproduces the sequential schedule",
+                identical);
+  }
   bench.note(
       "Lemma 18: C* >= sum_i w*_i / 2, so 'cals exact' / ('sum-w exact'/2) "
       "bounds the true approximation ratio from above.");

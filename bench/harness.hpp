@@ -25,6 +25,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <deque>
 #include <string>
 #include <utility>
 #include <vector>
@@ -97,7 +98,9 @@ class BenchHarness {
   bool json_to_stdout_ = false;  ///< declared after args_: derived from it
   TraceContext trace_;
   std::chrono::steady_clock::time_point start_;
-  std::vector<NamedTable> tables_;
+  /// deque, not vector: table() hands out long-lived Table& references, so
+  /// registering a later table must not relocate earlier entries.
+  std::deque<NamedTable> tables_;
   std::vector<std::pair<std::string, double>> metrics_;
   std::vector<std::pair<std::string, bool>> checks_;
   std::vector<std::string> notes_;

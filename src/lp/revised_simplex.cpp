@@ -201,6 +201,46 @@ PresolvedLp presolve_lp(const LpModel& model, const SimplexOptions& options) {
   return out;
 }
 
+/// The engine's entire mutable state: constraint matrix, eta files, and
+/// every per-solve work vector. Hosted either inside one RevisedSimplex
+/// (cold path) or inside a caller-held SimplexWorkspace, in which case the
+/// buffers keep their capacity from solve to solve. build() re-assigns or
+/// clears every field, so stale contents from a previous solve can never
+/// leak into the next one.
+struct SimplexWorkspace::Impl {
+  CscMatrix matrix;
+  EtaFile etas;
+  std::vector<double> b;
+  std::vector<double> basic_values;
+  std::vector<double> costs1;
+  std::vector<double> costs2;
+  std::vector<double> duals;
+  std::vector<double> work;
+  std::vector<int> touched;
+  std::vector<std::pair<int, double>> entering;
+  std::vector<int> basis;
+  std::vector<char> in_basis;
+  std::vector<int> candidates;
+  EtaFile fresh;
+  std::vector<int> rf_new_basis;
+  std::vector<char> rf_row_pivoted;
+  std::vector<char> rf_slot_done;
+  std::vector<int> rf_eta_of_row;
+  std::vector<int> rf_row_count;
+  std::vector<int> rf_col_count;
+  std::vector<std::size_t> rf_row_start;
+  std::vector<std::size_t> rf_row_fill;
+  std::vector<int> rf_row_slot;
+  std::vector<int> rf_row_queue;
+  std::vector<int> rf_col_queue;
+  std::vector<int> rf_kernel;
+  std::vector<std::pair<int, double>> rf_spill;
+  std::vector<int> initial_basis;
+};
+
+SimplexWorkspace::SimplexWorkspace() : impl_(std::make_unique<Impl>()) {}
+SimplexWorkspace::~SimplexWorkspace() = default;
+
 namespace {
 
 /// One revised-simplex solve over a presolved model (every rhs >= 0).
@@ -209,7 +249,37 @@ class RevisedSimplex {
   RevisedSimplex(const LpModel& model, const SimplexOptions& options)
       : options_(options),
         poller_(options.limits, /*stride=*/32),
-        num_structural_(model.num_variables()) {
+        num_structural_(model.num_variables()),
+        scratch_(options.workspace ? &options.workspace->impl()
+                                   : &local_scratch_),
+        matrix_(scratch_->matrix),
+        etas_(scratch_->etas),
+        b_(scratch_->b),
+        basic_values_(scratch_->basic_values),
+        costs1_(scratch_->costs1),
+        costs2_(scratch_->costs2),
+        duals_(scratch_->duals),
+        work_(scratch_->work),
+        touched_(scratch_->touched),
+        entering_(scratch_->entering),
+        basis_(scratch_->basis),
+        in_basis_(scratch_->in_basis),
+        candidates_(scratch_->candidates),
+        fresh_(scratch_->fresh),
+        rf_new_basis_(scratch_->rf_new_basis),
+        rf_row_pivoted_(scratch_->rf_row_pivoted),
+        rf_slot_done_(scratch_->rf_slot_done),
+        rf_eta_of_row_(scratch_->rf_eta_of_row),
+        rf_row_count_(scratch_->rf_row_count),
+        rf_col_count_(scratch_->rf_col_count),
+        rf_row_start_(scratch_->rf_row_start),
+        rf_row_fill_(scratch_->rf_row_fill),
+        rf_row_slot_(scratch_->rf_row_slot),
+        rf_row_queue_(scratch_->rf_row_queue),
+        rf_col_queue_(scratch_->rf_col_queue),
+        rf_kernel_(scratch_->rf_kernel),
+        rf_spill_(scratch_->rf_spill),
+        initial_basis_(scratch_->initial_basis) {
     build(model);
   }
 
@@ -219,8 +289,19 @@ class RevisedSimplex {
     trace_set(options_.trace, "revised.columns", total_cols_);
     trace_set(options_.trace, "revised.nnz",
               static_cast<std::int64_t>(matrix_.num_nonzeros()));
+    // ---- Warm start: adopt the caller's basis when it checks out. ----
+    bool warm = false;
+    if (options_.warm_start && options_.warm_start->valid) {
+      trace_add(options_.trace, "warmstart.offered");
+      warm = try_warm_start(*options_.warm_start);
+      trace_add(options_.trace,
+                warm ? "warmstart.accepted" : "warmstart.rejected");
+    }
+    solution.warm_started = warm;
     // ---- Phase 1: minimize the sum of artificial variables. ----
-    if (num_artificial_ > 0) {
+    // A successfully installed warm basis is artificial-free and primal
+    // feasible, so Phase 1 (and the expel pass) has nothing to do.
+    if (num_artificial_ > 0 && !warm) {
       TraceSpan span(options_.trace, "phase1");
       const RunResult phase1 = run(costs1_, /*allow_artificial_entering=*/true,
                                    solution.phase1_pivots);
@@ -270,6 +351,7 @@ class RevisedSimplex {
       }
     }
     solution.objective = basis_objective(costs2_);
+    export_warm_start();
     return solution;
   }
 
@@ -283,6 +365,10 @@ class RevisedSimplex {
   }
 
   void build(const LpModel& model) {
+    // A reused workspace arrives with the previous solve's matrix and eta
+    // file; drop the contents, keep the capacity.
+    matrix_.clear();
+    etas_.clear();
     rows_ = model.num_rows();
     // Column layout mirrors the dense tableau: [structural | slack+surplus
     // | artificial]; rhs is already nonnegative, so no sign flips here.
@@ -352,6 +438,71 @@ class RevisedSimplex {
     for (int c = artificial_base_; c < total_cols_; ++c) {
       costs1_[static_cast<std::size_t>(c)] = 1.0;
     }
+  }
+
+  /// Tries to install `warm` as the starting basis. Acceptance requires, in
+  /// order: a matching (rows, cols) shape signature, only structural/slack
+  /// columns (see WarmStart), no duplicates, a clean refactorization (the
+  /// basis is nonsingular under *this* model's coefficients), and primal
+  /// feasibility of B^{-1} b under this model's rhs. Any failure restores
+  /// the cold identity basis and returns false — the solve then proceeds
+  /// exactly as if no warm start had been offered.
+  bool try_warm_start(const WarmStart& warm) {
+    if (warm.rows != rows_ || warm.cols != total_cols_) return false;
+    if (static_cast<int>(warm.basis.size()) != rows_) return false;
+    for (const int col : warm.basis) {
+      if (col < 0 || col >= artificial_base_) return false;
+    }
+    initial_basis_ = basis_;
+    basis_ = warm.basis;
+    std::fill(in_basis_.begin(), in_basis_.end(), char{0});
+    for (const int col : basis_) {
+      if (in_basis_[static_cast<std::size_t>(col)]) {  // duplicate column
+        restore_cold_basis();
+        return false;
+      }
+      in_basis_[static_cast<std::size_t>(col)] = 1;
+    }
+    const std::int64_t failures_before = refactor_failures_;
+    refactorize();
+    if (refactor_failures_ != failures_before) {  // numerically singular
+      restore_cold_basis();
+      return false;
+    }
+    // refactorize() left basic_values_ = B^{-1} b for the warm basis.
+    for (const double value : basic_values_) {
+      if (value < -options_.feasibility_tol) {  // not feasible under this rhs
+        restore_cold_basis();
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Undoes a failed warm-start installation: identity basis, empty eta
+  /// file, basic values = b (exactly the state build() left behind).
+  void restore_cold_basis() {
+    basis_ = initial_basis_;
+    etas_.clear();
+    etas_since_refactor_ = 0;
+    std::fill(in_basis_.begin(), in_basis_.end(), char{0});
+    for (const int col : basis_) in_basis_[static_cast<std::size_t>(col)] = 1;
+    basic_values_ = b_;
+  }
+
+  /// Writes the optimal basis back into the caller's WarmStart slot. Bases
+  /// that kept a redundant-row artificial are not exported (see WarmStart);
+  /// the slot's previous contents stay as they were.
+  void export_warm_start() {
+    WarmStart* warm = options_.warm_start;
+    if (!warm) return;
+    for (const int col : basis_) {
+      if (col >= artificial_base_) return;
+    }
+    warm->valid = true;
+    warm->rows = rows_;
+    warm->cols = total_cols_;
+    warm->basis = basis_;
   }
 
   /// One simplex phase over the given cost vector.
@@ -852,36 +1003,44 @@ class RevisedSimplex {
   int num_artificial_ = 0;
   int rows_ = 0;
   int total_cols_ = 0;
-  CscMatrix matrix_;
-  EtaFile etas_;
-  std::vector<double> b_;
-  std::vector<double> basic_values_;  ///< x_B, one per row
-  std::vector<double> costs1_;
-  std::vector<double> costs2_;
-  std::vector<double> duals_;  ///< y (BTRAN scratch)
+  // Engine state lives in a SimplexWorkspace::Impl — the caller's when
+  // SimplexOptions::workspace is set (buffer reuse across a solve
+  // sequence), this engine's own otherwise. The references below keep the
+  // algorithm body oblivious to where the storage lives.
+  SimplexWorkspace::Impl local_scratch_;
+  SimplexWorkspace::Impl* scratch_;
+  CscMatrix& matrix_;
+  EtaFile& etas_;
+  std::vector<double>& b_;
+  std::vector<double>& basic_values_;  ///< x_B, one per row
+  std::vector<double>& costs1_;
+  std::vector<double>& costs2_;
+  std::vector<double>& duals_;  ///< y (BTRAN scratch)
   /// Dense FTRAN scratch; all zeros between uses (gatherers restore it).
-  std::vector<double> work_;
-  std::vector<int> touched_;  ///< nonzero rows of work_ during an FTRAN
+  std::vector<double>& work_;
+  std::vector<int>& touched_;  ///< nonzero rows of work_ during an FTRAN
   /// Entering column B^{-1} a_q as sorted (row, value) pairs.
-  std::vector<std::pair<int, double>> entering_;
-  std::vector<int> basis_;
-  std::vector<char> in_basis_;
-  std::vector<int> candidates_;
+  std::vector<std::pair<int, double>>& entering_;
+  std::vector<int>& basis_;
+  std::vector<char>& in_basis_;
+  std::vector<int>& candidates_;
   // Refactorization scratch, reused across calls (see refactorize()).
-  EtaFile fresh_;
-  std::vector<int> rf_new_basis_;
-  std::vector<char> rf_row_pivoted_;
-  std::vector<char> rf_slot_done_;
-  std::vector<int> rf_eta_of_row_;
-  std::vector<int> rf_row_count_;
-  std::vector<int> rf_col_count_;
-  std::vector<std::size_t> rf_row_start_;  ///< CSR: row -> basis slots
-  std::vector<std::size_t> rf_row_fill_;
-  std::vector<int> rf_row_slot_;
-  std::vector<int> rf_row_queue_;
-  std::vector<int> rf_col_queue_;
-  std::vector<int> rf_kernel_;
-  std::vector<std::pair<int, double>> rf_spill_;
+  EtaFile& fresh_;
+  std::vector<int>& rf_new_basis_;
+  std::vector<char>& rf_row_pivoted_;
+  std::vector<char>& rf_slot_done_;
+  std::vector<int>& rf_eta_of_row_;
+  std::vector<int>& rf_row_count_;
+  std::vector<int>& rf_col_count_;
+  std::vector<std::size_t>& rf_row_start_;  ///< CSR: row -> basis slots
+  std::vector<std::size_t>& rf_row_fill_;
+  std::vector<int>& rf_row_slot_;
+  std::vector<int>& rf_row_queue_;
+  std::vector<int>& rf_col_queue_;
+  std::vector<int>& rf_kernel_;
+  std::vector<std::pair<int, double>>& rf_spill_;
+  /// build()'s identity basis, saved by try_warm_start for the fallback.
+  std::vector<int>& initial_basis_;
   int cursor_ = 0;
   int etas_since_refactor_ = 0;
   std::int64_t bland_activations_ = 0;

@@ -32,6 +32,8 @@
 namespace calisched {
 
 class TraceContext;
+struct WarmStart;        // revised engine starting basis (revised_simplex.hpp)
+class SimplexWorkspace;  // revised engine scratch arena (revised_simplex.hpp)
 
 enum class LpStatus {
   kOptimal,
@@ -80,6 +82,21 @@ struct SimplexOptions {
   /// Partial pricing: columns examined per scan section.
   int pricing_section = 256;
 
+  /// Optional in/out starting basis (revised engine only; the dense oracle
+  /// ignores it, so differential runs stay cold-start comparable). On entry
+  /// a valid basis whose shape matches the presolved model is installed and
+  /// Phase 1 is skipped when it refactorizes cleanly and is primal
+  /// feasible; otherwise the solve silently falls back to a cold start. On
+  /// an optimal exit the final basis is written back. Not owned; a
+  /// WarmStart must not be shared by concurrent solves.
+  WarmStart* warm_start = nullptr;
+  /// Optional scratch arena (revised engine only) reused across solves so
+  /// a sequence of structurally-similar LPs stops re-allocating its matrix,
+  /// eta file, and work vectors every time. Not owned; a workspace must not
+  /// be shared by concurrent solves. Results are identical with or without
+  /// one.
+  SimplexWorkspace* workspace = nullptr;
+
   /// Optional telemetry sink: phase spans, pivot counters, model shape,
   /// presolve reductions, and refactorization stats land here. Not owned.
   TraceContext* trace = nullptr;
@@ -98,6 +115,9 @@ struct LpSolution {
   /// Pivots spent expelling zero-valued artificial basics after phase 1;
   /// not part of either phase count.
   std::int64_t expel_pivots = 0;
+  /// True when a caller-provided WarmStart basis was accepted and Phase 1
+  /// was skipped (revised engine only).
+  bool warm_started = false;
 };
 
 /// Solves min c'x s.t. model rows, x >= 0, with the engine selected in

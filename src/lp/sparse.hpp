@@ -32,6 +32,16 @@ class CscMatrix {
     values_.reserve(nonzeros);
   }
 
+  /// Drops every column but keeps the allocated buffers, so a rebuild into
+  /// the same matrix (workspace reuse across solves) allocates nothing once
+  /// the buffers have grown to the family's working size.
+  void clear() {
+    starts_.clear();
+    starts_.push_back(0);
+    rows_.clear();
+    values_.clear();
+  }
+
   /// Opens the next column; returns its index.
   int begin_column() {
     starts_.push_back(starts_.back());

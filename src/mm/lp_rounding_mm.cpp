@@ -96,11 +96,15 @@ MMSchedule color_starts(const Instance& instance, const std::vector<Time>& start
 }  // namespace
 
 std::optional<double> mm_start_time_lp_bound(const Instance& instance,
-                                             Time max_slots) {
+                                             Time max_slots,
+                                             const SimplexOptions& lp) {
+  // An already-expired limit answers before the (potentially large) LP
+  // build, mirroring the entry checks of the MM boxes themselves.
+  if (lp.limits.check() != SolveStatus::kOk) return std::nullopt;
   if (instance.empty()) return 0.0;
   auto built = build_start_time_lp(instance, max_slots);
   if (!built) return std::nullopt;
-  const LpSolution solution = solve_lp(built->model);
+  const LpSolution solution = solve_lp(built->model, lp);
   if (solution.status != LpStatus::kOptimal) return std::nullopt;
   return solution.objective;
 }
@@ -117,7 +121,7 @@ MMResult LpRoundingMM::minimize(const Instance& instance,
   auto built = build_start_time_lp(instance, options_.max_slots);
   std::optional<LpSolution> solution;
   if (built) {
-    SimplexOptions lp_options;
+    SimplexOptions lp_options = options_.lp;
     lp_options.limits = limits;
     LpSolution solved = solve_lp(built->model, lp_options);
     if (solved.status == LpStatus::kDeadlineExceeded ||

@@ -24,15 +24,20 @@
 
 #include <optional>
 
+#include "lp/simplex.hpp"
 #include "mm/mm.hpp"
 
 namespace calisched {
 
 /// The start-time LP value (fractional machines); nullopt if the horizon
-/// exceeds `max_slots` or the solver fails. ceil(value) is a certified MM
-/// lower bound, dominating the preemptive bound of mm_lp_bound().
+/// exceeds `max_slots` or the solver fails (including a deadline or
+/// cancellation carried in lp.limits). ceil(value) is a certified MM lower
+/// bound, dominating the preemptive bound of mm_lp_bound(). `lp` selects
+/// the engine, tolerances, RunLimits, and (for repeated bound queries) an
+/// optional warm start / workspace for the underlying solve.
 [[nodiscard]] std::optional<double> mm_start_time_lp_bound(
-    const Instance& instance, Time max_slots = 2000);
+    const Instance& instance, Time max_slots = 2000,
+    const SimplexOptions& lp = {});
 
 class LpRoundingMM final : public MachineMinimizer {
  public:
@@ -40,6 +45,10 @@ class LpRoundingMM final : public MachineMinimizer {
     std::uint64_t seed = 0x5eedULL;
     int samples = 32;      ///< random rounding attempts (plus one arg-max)
     Time max_slots = 2000; ///< horizon cap; beyond it, fall back to greedy
+    /// Simplex configuration for the start-time LP (engine, tolerances,
+    /// warm start / workspace). The RunLimits handed to minimize() replace
+    /// lp.limits for that call, so a deadline always reaches the solver.
+    SimplexOptions lp;
   };
 
   LpRoundingMM() : options_() {}

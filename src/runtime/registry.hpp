@@ -73,7 +73,13 @@ class Algorithm {
   [[nodiscard]] virtual std::string name() const = 0;
   [[nodiscard]] virtual AlgorithmCapabilities capabilities() const = 0;
   /// `trace` may be null; when provided it must be exclusive to this call
-  /// (TraceContext is not internally synchronized).
+  /// (TraceContext is not internally synchronized; solvers that fan work
+  /// out internally record into per-task scratch traces and merge them
+  /// back deterministically — see the thread-local-child contract in
+  /// trace/trace.hpp — so exclusivity at this boundary is all a caller
+  /// needs). Adapters keep intra-solve fan-out off by default: the batch
+  /// driver owns cross-instance parallelism, and nesting the two would
+  /// oversubscribe the machine.
   [[nodiscard]] virtual RunResult run(const Instance& instance,
                                       const RunLimits& limits,
                                       TraceContext* trace) const = 0;

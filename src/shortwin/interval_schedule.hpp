@@ -49,6 +49,13 @@ struct IntervalOptions {
   /// calibration, so Algorithm 5 needs only w machines instead of 3w.
   /// Schedules built this way verify under CalibrationPolicy::kOverlapAllowed.
   bool relaxed_calibrations = false;
+  /// Worker threads for the per-interval MM fan-out in solve_short_window
+  /// (the intervals are disjoint, so Algorithm 5 runs are independent).
+  /// 1 = sequential (default), 0 = hardware_concurrency. Any value yields
+  /// byte-identical schedules and telemetry: results and per-interval scratch
+  /// traces are merged in interval order, never completion order. Ignored by
+  /// schedule_interval itself.
+  int threads = 1;
 };
 
 /// `jobs` must all nest in [interval_start, interval_start + 2*gamma*T).

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <deque>
 #include <map>
 
 #include "util/arith.hpp"
+#include "util/thread_pool.hpp"
 
 namespace calisched {
 namespace {
@@ -103,25 +105,68 @@ ShortWindowResult solve_short_window(const Instance& instance,
     return finish();
   }
 
+  // The intervals are disjoint in time and share no state, so the MM solves
+  // fan out across a thread pool. Determinism contract: every interval is
+  // always solved (no early exit), each task records into a scratch trace it
+  // exclusively owns, and both results and traces are merged in interval
+  // order below — so schedule, telemetry, and failure report are identical
+  // at any options.threads, sequential path included.
   TraceSpan intervals_span(trace, "intervals");
-  int sum_w = 0;
-  int max_w = 0;
-  for (Pass& pass : passes) {
-    for (const auto& [start, interval_jobs] : pass.intervals) {
-      IntervalScheduleResult interval =
-          schedule_interval(interval_jobs, start, mm, interval_options);
-      if (!interval.feasible) {
-        result.status = interval.status;
-        result.error = std::move(interval.error);
-        return finish();
-      }
-      sum_w += interval.mm_machines;
-      max_w = std::max(max_w, interval.mm_machines);
-      pass.max_w = std::max(pass.max_w, interval.mm_machines);
-      pass.schedules.push_back(std::move(interval));
+  struct IntervalTask {
+    std::size_t pass;
+    Time start;
+    const Instance* jobs;
+  };
+  std::vector<IntervalTask> tasks;
+  for (std::size_t pass = 0; pass < 2; ++pass) {
+    for (const auto& [start, interval_jobs] : passes[pass].intervals) {
+      tasks.push_back({pass, start, &interval_jobs});
     }
   }
+  std::vector<IntervalScheduleResult> interval_results(tasks.size());
+  // deque: TraceContext is neither copyable nor movable.
+  std::deque<TraceContext> scratch_traces;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    scratch_traces.emplace_back("interval_scratch");
+  }
+  const auto run_interval = [&](std::size_t i) {
+    IntervalOptions task_options = interval_options;
+    task_options.trace = &scratch_traces[i];
+    task_options.threads = 1;
+    interval_results[i] =
+        schedule_interval(*tasks[i].jobs, tasks[i].start, mm, task_options);
+  };
+  const std::size_t workers =
+      options.threads == 0
+          ? std::max(1u, std::thread::hardware_concurrency())
+          : static_cast<std::size_t>(std::max(1, options.threads));
+  if (workers > 1 && tasks.size() > 1) {
+    // A pool local to this solve: callers may themselves run on a pool
+    // (the batch driver), and submitting to a shared pool from one of its
+    // own workers would deadlock parallel_for's join.
+    ThreadPool pool(std::min(workers, tasks.size()));
+    parallel_for(pool, tasks.size(), run_interval);
+  } else {
+    for (std::size_t i = 0; i < tasks.size(); ++i) run_interval(i);
+  }
+  for (const TraceContext& scratch : scratch_traces) trace->absorb(scratch);
   intervals_span.stop();
+
+  int sum_w = 0;
+  int max_w = 0;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    IntervalScheduleResult& interval = interval_results[i];
+    if (!interval.feasible) {
+      result.status = interval.status;
+      result.error = std::move(interval.error);
+      return finish();
+    }
+    Pass& pass = passes[tasks[i].pass];
+    sum_w += interval.mm_machines;
+    max_w = std::max(max_w, interval.mm_machines);
+    pass.max_w = std::max(pass.max_w, interval.mm_machines);
+    pass.schedules.push_back(std::move(interval));
+  }
   trace->set("mm.machines.sum", sum_w);
   trace->set("mm.machines.max", max_w);
   trace->set("intervals.pass1",

@@ -111,6 +111,29 @@ bool TraceContext::has_span(std::string_view name) const {
   return false;
 }
 
+void TraceContext::absorb(const TraceContext& other) {
+  for (const auto& [key, value] : other.counters_) add(key, value);
+  for (const auto& [key, value] : other.values_) set_value(key, value);
+  for (const NoteSet& set : other.notes_) {
+    for (const std::string& value : set.values) note(set.key, value);
+  }
+  for (const SpanStat& span : other.spans_) {
+    // record_span would bump count by 1 per call; merge the aggregate.
+    bool merged = false;
+    for (SpanStat& mine : spans_) {
+      if (mine.name != span.name) continue;
+      mine.total_ns += span.total_ns;
+      mine.count += span.count;
+      merged = true;
+      break;
+    }
+    if (!merged) spans_.push_back(span);
+  }
+  for (const auto& other_child : other.children_) {
+    child(other_child->name_).absorb(*other_child);
+  }
+}
+
 TraceContext& TraceContext::child(std::string_view name) {
   for (const auto& existing : children_) {
     if (existing->name_ == name) return *existing;

@@ -19,7 +19,14 @@
 // (the simplex's parallel row elimination happens *inside* a pivot, while
 // counters are touched once per pivot on the caller); concurrent solves
 // must each own a separate context, which is how the bench harness and the
-// batch tests use them.
+// batch tests use them. Fan-out stages that *do* record from worker
+// threads (the parallel short-window interval solve) follow the
+// thread-local-child contract instead: each worker records into a scratch
+// TraceContext it exclusively owns, and after the workers have joined the
+// owner merges the scratch traces into the shared parent with absorb(), in
+// a deterministic order fixed by the work items (never by completion
+// time). That keeps the merged trace — counter values *and* key insertion
+// order — byte-identical at any thread count.
 #pragma once
 
 #include <chrono>
@@ -64,6 +71,17 @@ class TraceContext {
   [[nodiscard]] std::int64_t span_ns(std::string_view name) const;    ///< 0 if absent
   [[nodiscard]] std::int64_t span_count(std::string_view name) const; ///< 0 if absent
   [[nodiscard]] bool has_span(std::string_view name) const;
+
+  // --- merging ---------------------------------------------------------------
+  /// Folds everything recorded in `other` into this context: counters are
+  /// summed, gauges overwritten, notes unioned (insertion order preserved),
+  /// spans merged by summing total_ns and count, and children merged
+  /// recursively by name (created here when absent). `other` is left
+  /// untouched and its name is ignored — only its contents transfer. This is
+  /// the ordered-merge half of the thread-local-child contract above; the
+  /// caller must serialize absorb() calls and fix their order independently
+  /// of thread scheduling.
+  void absorb(const TraceContext& other);
 
   // --- hierarchy -------------------------------------------------------------
   /// Finds or creates the child with `name`; the reference stays valid for

@@ -3,6 +3,7 @@
 // unit tests for the revised engine's presolve reductions.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -445,6 +446,158 @@ TEST(Simplex, IterationLimitReported) {
   options.max_pivots = 1;
   const LpSolution solution = solve_lp(model, options);
   EXPECT_EQ(solution.status, LpStatus::kIterationLimit);
+}
+
+// Random bounded-feasible program in the style of
+// EnginesAgreeOnRandomBoundedPrograms: per-variable caps keep it bounded,
+// the >= mix rows force Phase 1 work.
+LpModel make_random_bounded_program(Rng& rng) {
+  LpModel model;
+  const int vars = 3 + static_cast<int>(rng.index(8));
+  for (int v = 0; v < vars; ++v) {
+    model.add_variable("v" + std::to_string(v), rng.uniform_real(-2.0, 2.0));
+  }
+  for (int v = 0; v < vars; ++v) {
+    const int row = model.add_row("cap" + std::to_string(v), RowSense::kLe,
+                                  rng.uniform_real(1.0, 10.0));
+    model.add_coefficient(row, v, 1.0);
+  }
+  const int mixes = 1 + static_cast<int>(rng.index(4));
+  for (int r = 0; r < mixes; ++r) {
+    const int row = model.add_row("mix" + std::to_string(r),
+                                  r % 2 == 0 ? RowSense::kGe : RowSense::kLe,
+                                  rng.uniform_real(0.2, 2.0));
+    for (int v = 0; v < vars; ++v) {
+      if (rng.index(3) == 0) continue;
+      model.add_coefficient(row, v, rng.uniform_real(0.1, 1.5));
+    }
+  }
+  return model;
+}
+
+TEST(Simplex, WarmStartSkipsPhase1OnResolveAndAgreesWithDense) {
+  Rng rng(777);
+  for (int trial = 0; trial < 20; ++trial) {
+    const LpModel model = make_random_bounded_program(rng);
+    const LpSolution dense =
+        solve_lp(model, engine_options(LpEngine::kDenseTableau));
+
+    WarmStart warm;
+    SimplexWorkspace workspace;
+    SimplexOptions options = engine_options(LpEngine::kRevised);
+    options.warm_start = &warm;
+    options.workspace = &workspace;
+    const LpSolution cold = solve_lp(model, options);
+    ASSERT_EQ(cold.status, dense.status) << "trial " << trial;
+    EXPECT_FALSE(cold.warm_started) << "trial " << trial;
+    if (cold.status != LpStatus::kOptimal) continue;
+    ASSERT_TRUE(warm.valid) << "trial " << trial;
+
+    // Re-solving the same model with the exported basis must skip Phase 1
+    // (and the artificial expulsion) entirely and land on the same optimum.
+    const LpSolution resolved = solve_lp(model, options);
+    ASSERT_EQ(resolved.status, LpStatus::kOptimal) << "trial " << trial;
+    EXPECT_TRUE(resolved.warm_started) << "trial " << trial;
+    EXPECT_EQ(resolved.phase1_pivots, 0) << "trial " << trial;
+    EXPECT_EQ(resolved.expel_pivots, 0) << "trial " << trial;
+    EXPECT_NEAR(resolved.objective, dense.objective, 1e-6) << "trial " << trial;
+    EXPECT_LE(model.max_violation(resolved.values), 1e-6) << "trial " << trial;
+  }
+}
+
+TEST(Simplex, WarmChainedRhsSweepMatchesDenseOracle) {
+  // The mm-feasibility use case: one LP shape re-solved while a capacity
+  // rhs tightens step by step (the m'-descending TISE sweep). Chaining one
+  // WarmStart + SimplexWorkspace through the sweep must agree with the
+  // dense oracle at every step, whether a given basis transfers or not.
+  WarmStart warm;
+  SimplexWorkspace workspace;
+  int accepted = 0;
+  for (int capacity = 12; capacity >= 4; --capacity) {
+    LpModel model;
+    std::vector<int> vars;
+    for (int v = 0; v < 5; ++v) {
+      vars.push_back(
+          model.add_variable("x" + std::to_string(v), -(1.0 + 0.3 * v)));
+    }
+    const int shared =
+        model.add_row("capacity", RowSense::kLe, static_cast<double>(capacity));
+    for (int v = 0; v < 5; ++v) {
+      model.add_coefficient(shared, vars[static_cast<std::size_t>(v)], 1.0);
+      const int cap = model.add_row("cap" + std::to_string(v), RowSense::kLe,
+                                    3.0 + v);
+      model.add_coefficient(cap, vars[static_cast<std::size_t>(v)], 1.0);
+    }
+    const int floor_row = model.add_row("floor", RowSense::kGe, 1.0);
+    model.add_coefficient(floor_row, vars[0], 1.0);
+    model.add_coefficient(floor_row, vars[1], 1.0);
+
+    const LpSolution dense =
+        solve_lp(model, engine_options(LpEngine::kDenseTableau));
+    SimplexOptions options = engine_options(LpEngine::kRevised);
+    options.warm_start = &warm;
+    options.workspace = &workspace;
+    const LpSolution solved = solve_lp(model, options);
+    ASSERT_EQ(solved.status, LpStatus::kOptimal) << "capacity " << capacity;
+    ASSERT_EQ(dense.status, LpStatus::kOptimal) << "capacity " << capacity;
+    EXPECT_NEAR(solved.objective, dense.objective, 1e-6)
+        << "capacity " << capacity;
+    if (solved.warm_started) {
+      ++accepted;
+      EXPECT_EQ(solved.phase1_pivots, 0) << "capacity " << capacity;
+    }
+  }
+  // The basis transfers across at least some of the gentle rhs steps.
+  EXPECT_GE(accepted, 1);
+}
+
+TEST(Simplex, CorruptWarmStartIsRejectedAndSolveStaysCorrect) {
+  Rng rng(31337);
+  const LpModel model = make_random_bounded_program(rng);
+  const LpSolution dense =
+      solve_lp(model, engine_options(LpEngine::kDenseTableau));
+  ASSERT_EQ(dense.status, LpStatus::kOptimal);
+
+  WarmStart warm;
+  SimplexOptions options = engine_options(LpEngine::kRevised);
+  options.warm_start = &warm;
+  ASSERT_EQ(solve_lp(model, options).status, LpStatus::kOptimal);
+  ASSERT_TRUE(warm.valid);
+  ASSERT_GE(warm.basis.size(), 2u);
+
+  // A duplicated basis column can never factorize; the engine must fall
+  // back to the cold path and still reach the oracle's optimum.
+  std::fill(warm.basis.begin(), warm.basis.end(), warm.basis[0]);
+  const LpSolution solved = solve_lp(model, options);
+  ASSERT_EQ(solved.status, LpStatus::kOptimal);
+  EXPECT_FALSE(solved.warm_started);
+  EXPECT_NEAR(solved.objective, dense.objective, 1e-6);
+  // The corrupt basis was replaced by a freshly exported usable one.
+  EXPECT_TRUE(warm.valid);
+  const LpSolution resolved = solve_lp(model, options);
+  EXPECT_TRUE(resolved.warm_started);
+  EXPECT_NEAR(resolved.objective, dense.objective, 1e-6);
+}
+
+TEST(Simplex, WorkspaceReuseAcrossShapesMatchesFreshSolves) {
+  // One workspace carried across programs of different sizes must behave
+  // exactly like a fresh engine every time (build() resets all state), down
+  // to identical pivot counts — the engine is deterministic.
+  Rng rng(4242);
+  SimplexWorkspace workspace;
+  for (int trial = 0; trial < 12; ++trial) {
+    const LpModel model = make_random_bounded_program(rng);
+    SimplexOptions reused = engine_options(LpEngine::kRevised);
+    reused.workspace = &workspace;
+    const LpSolution fresh = solve_lp(model, engine_options(LpEngine::kRevised));
+    const LpSolution shared = solve_lp(model, reused);
+    ASSERT_EQ(fresh.status, shared.status) << "trial " << trial;
+    if (fresh.status != LpStatus::kOptimal) continue;
+    EXPECT_NEAR(fresh.objective, shared.objective, 1e-9) << "trial " << trial;
+    EXPECT_EQ(fresh.phase1_pivots, shared.phase1_pivots) << "trial " << trial;
+    EXPECT_EQ(fresh.phase2_pivots, shared.phase2_pivots) << "trial " << trial;
+    EXPECT_EQ(fresh.expel_pivots, shared.expel_pivots) << "trial " << trial;
+  }
 }
 
 }  // namespace

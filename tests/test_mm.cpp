@@ -1,9 +1,12 @@
 // Tests for the machine-minimization black boxes and their lower bounds.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 
 #include "gen/generators.hpp"
+#include "lp/revised_simplex.hpp"
+#include "runtime/limits.hpp"
 #include "mm/lower_bounds.hpp"
 #include "mm/lp_bound.hpp"
 #include "mm/lp_rounding_mm.hpp"
@@ -277,6 +280,46 @@ TEST(StartTimeLpBound, DominatesPreemptiveBound) {
     EXPECT_LE(std::ceil(*start_lp - 1e-6), exact.schedule.machines)
         << "seed " << seed;
   }
+}
+
+TEST(StartTimeLpBound, HonorsCallerSimplexOptionsAndLimits) {
+  GenParams params;
+  params.seed = 3;
+  params.n = 8;
+  params.T = 8;
+  params.horizon = 32;
+  params.max_proc = 6;
+  const Instance instance = generate_short_window(params);
+
+  // An already-expired deadline inside the caller's SimplexOptions must
+  // abort before the LP build, not be silently dropped.
+  SimplexOptions expired;
+  expired.limits = RunLimits::deadline_after(std::chrono::nanoseconds{0});
+  EXPECT_FALSE(mm_start_time_lp_bound(instance, 2000, expired).has_value());
+
+  // The engine choice is threaded through too: both engines must certify
+  // the same fractional bound.
+  SimplexOptions dense;
+  dense.engine = LpEngine::kDenseTableau;
+  SimplexOptions revised;
+  revised.engine = LpEngine::kRevised;
+  const auto via_dense = mm_start_time_lp_bound(instance, 2000, dense);
+  const auto via_revised = mm_start_time_lp_bound(instance, 2000, revised);
+  ASSERT_TRUE(via_dense.has_value() && via_revised.has_value());
+  EXPECT_NEAR(*via_dense, *via_revised, 1e-6);
+
+  // Repeated bound queries can chain a warm start + workspace through the
+  // options; the certified value must not move.
+  WarmStart warm;
+  SimplexWorkspace workspace;
+  revised.warm_start = &warm;
+  revised.workspace = &workspace;
+  const auto first = mm_start_time_lp_bound(instance, 2000, revised);
+  const auto second = mm_start_time_lp_bound(instance, 2000, revised);
+  ASSERT_TRUE(first.has_value() && second.has_value());
+  EXPECT_TRUE(warm.valid);
+  EXPECT_NEAR(*first, *via_dense, 1e-6);
+  EXPECT_NEAR(*second, *via_dense, 1e-6);
 }
 
 TEST(SpeedupMM, HalvesMachinesOnTightPair) {

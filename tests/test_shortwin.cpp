@@ -3,9 +3,16 @@
 // Theorem 20 bounds against MM telemetry.
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <utility>
+
+#include "core/schedule_io.hpp"
 #include "gen/generators.hpp"
 #include "mm/mm.hpp"
 #include "shortwin/short_pipeline.hpp"
+#include "trace/trace.hpp"
 #include "verify/verify.hpp"
 
 namespace calisched {
@@ -248,6 +255,49 @@ TEST(ShortPipeline, UnitJobsWithUnitBox) {
     const ShortWindowResult result = solve_short_window(instance, mm);
     ASSERT_TRUE(result.feasible) << "seed " << seed << ": " << result.error;
     EXPECT_TRUE(verify_ise(instance, result.schedule).ok()) << "seed " << seed;
+  }
+}
+
+TEST(ShortPipeline, ParallelFanOutMatchesSequentialByteForByte) {
+  // The IntervalOptions::threads contract: any thread count yields the same
+  // schedule bytes and the same telemetry, because interval results and
+  // scratch traces are merged in interval order, never completion order.
+  const GreedyEdfMM mm;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    GenParams params = short_params(seed, 32);
+    params.horizon = 400;  // ~10 disjoint intervals per pass
+    const Instance instance = generate_short_window(params);
+
+    const auto run = [&](int threads) {
+      IntervalOptions options;
+      options.threads = threads;
+      TraceContext trace("shortwin");
+      options.trace = &trace;
+      const ShortWindowResult result = solve_short_window(instance, mm, options);
+      EXPECT_TRUE(result.feasible)
+          << "seed " << seed << " threads " << threads << ": " << result.error;
+      std::ostringstream bytes;
+      write_schedule(bytes, result.schedule);
+      // Span durations are wall-clock and legitimately vary; counters and
+      // notes must not.
+      return std::make_tuple(bytes.str(), result.telemetry,
+                             trace.counter("mm.invocations"),
+                             trace.notes("mm.algorithm"));
+    };
+
+    const auto [seq_bytes, seq_tele, seq_mm, seq_algos] = run(1);
+    for (int threads : {4, 8, 0}) {
+      const auto [bytes, tele, mm_calls, algos] = run(threads);
+      EXPECT_EQ(bytes, seq_bytes) << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(mm_calls, seq_mm) << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(algos, seq_algos) << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(tele.intervals_pass1, seq_tele.intervals_pass1);
+      EXPECT_EQ(tele.intervals_pass2, seq_tele.intervals_pass2);
+      EXPECT_EQ(tele.sum_mm_machines, seq_tele.sum_mm_machines);
+      EXPECT_EQ(tele.max_mm_machines, seq_tele.max_mm_machines);
+      EXPECT_EQ(tele.machines_allotted, seq_tele.machines_allotted);
+      EXPECT_EQ(tele.total_calibrations, seq_tele.total_calibrations);
+    }
   }
 }
 

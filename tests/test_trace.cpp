@@ -4,6 +4,11 @@
 // derives.
 #include <gtest/gtest.h>
 
+#include <deque>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "gen/generators.hpp"
 #include "longwin/long_pipeline.hpp"
 #include "lp/simplex.hpp"
@@ -52,6 +57,84 @@ TEST(Trace, SpansAggregateByName) {
   EXPECT_EQ(trace.span_ns("lp"), 7);
   EXPECT_EQ(trace.span_count("lp"), 1);
   EXPECT_FALSE(trace.has_span("edf"));
+}
+
+TEST(Trace, AbsorbMergesCountersValuesNotesSpansChildren) {
+  TraceContext parent("p");
+  parent.add("pivots", 2);
+  parent.note("algo", "a");
+  parent.record_span("mm", 10);
+  parent.child("lp").add("rows", 3);
+
+  TraceContext other("scratch");
+  other.add("pivots", 5);
+  other.add("fresh", 1);
+  other.set_value("ratio", 0.5);
+  other.note("algo", "a");  // duplicate across contexts: kept once
+  other.note("algo", "b");
+  other.record_span("mm", 32);
+  other.record_span("mm", 8);
+  other.child("lp").add("rows", 4);
+  other.child("edf").note("box", "greedy");
+
+  parent.absorb(other);
+  EXPECT_EQ(parent.counter("pivots"), 7);
+  EXPECT_EQ(parent.counter("fresh"), 1);
+  EXPECT_DOUBLE_EQ(parent.value("ratio"), 0.5);
+  EXPECT_EQ(parent.notes("algo"), (std::vector<std::string>{"a", "b"}));
+  // Span aggregates merge as aggregates: total_ns summed, count summed
+  // (not bumped once per absorb).
+  EXPECT_EQ(parent.span_ns("mm"), 50);
+  EXPECT_EQ(parent.span_count("mm"), 3);
+  ASSERT_NE(parent.find("lp"), nullptr);
+  EXPECT_EQ(parent.find("lp")->counter("rows"), 7);
+  ASSERT_NE(parent.find("edf"), nullptr);
+  EXPECT_EQ(parent.find("edf")->notes("box"),
+            std::vector<std::string>{"greedy"});
+  // The source is read-only throughout.
+  EXPECT_EQ(other.counter("pivots"), 5);
+  EXPECT_EQ(other.span_count("mm"), 2);
+}
+
+TEST(Trace, ConcurrentScratchRecordingMergesDeterministically) {
+  // The thread-local-child contract (trace.hpp): workers record into
+  // exclusively-owned scratch traces concurrently, and the owner absorbs
+  // them in task order after the join. The merged trace must be
+  // byte-identical to a sequential run of the same tasks — and TSan must
+  // see no data races (CI runs this test under the tsan preset).
+  constexpr int kTasks = 16;
+  const auto record = [](TraceContext& scratch, int i) {
+    scratch.add("task.count");
+    scratch.add("work", i);
+    scratch.record_span("interval", 10 + i);
+    scratch.note("box", i % 2 == 0 ? "even" : "odd");
+    scratch.child("mm").add("invocations", 2);
+  };
+
+  // deque: TraceContext is neither copyable nor movable.
+  std::deque<TraceContext> scratch;
+  for (int i = 0; i < kTasks; ++i) scratch.emplace_back("scratch");
+  std::vector<std::thread> threads;
+  threads.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    threads.emplace_back(
+        [&record, &scratch, i] { record(scratch[static_cast<std::size_t>(i)], i); });
+  }
+  for (std::thread& thread : threads) thread.join();
+  TraceContext merged("root");
+  for (const TraceContext& s : scratch) merged.absorb(s);
+
+  TraceContext reference("root");
+  std::deque<TraceContext> sequential;
+  for (int i = 0; i < kTasks; ++i) {
+    sequential.emplace_back("scratch");
+    record(sequential.back(), i);
+    reference.absorb(sequential.back());
+  }
+  EXPECT_EQ(merged.json(), reference.json());
+  EXPECT_EQ(merged.counter("task.count"), kTasks);
+  ASSERT_NE(merged.find("mm"), nullptr);
+  EXPECT_EQ(merged.find("mm")->counter("invocations"), 2 * kTasks);
 }
 
 TEST(Trace, TraceSpanStopIsIdempotentAndNullSafe) {

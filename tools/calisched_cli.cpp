@@ -7,7 +7,8 @@
 // Usage:
 //   calisched <instance-file> [--algo=NAME] [--gantt] [--csv] [--quiet]
 //             [--adaptive-mirror] [--prune-empty] [--relaxed] [--mm=NAME]
-//             [--lp-engine=dense|revised] [--trace-json=FILE]
+//             [--lp-engine=dense|revised] [--solve-threads=N]
+//             [--trace-json=FILE]
 //   calisched --generate=FAMILY --n=N --T=N --machines=N [--seed=N] --out=F
 //   calisched solve-batch [instance-files...] [--algo=NAME] [--threads=N]
 //             [--timeout-ms=N] [--out=FILE] [--no-timing] [--trace]
@@ -27,6 +28,11 @@
 // --lp-engine picks the simplex implementation behind the long-window TISE
 // relaxation: "revised" (default) is the sparse revised simplex, "dense" the
 // reference tableau (see src/lp/simplex.hpp).
+//
+// --solve-threads=N fans the short-window pipeline's per-interval MM solves
+// out over N worker threads (0 = all hardware threads; default 1). The
+// schedule and every counter are byte-identical at any value — results are
+// merged in interval order, never completion order.
 //
 // --trace-json=FILE writes the solve's full stage trace (per-stage spans,
 // counters, LP/MM telemetry, schedule stats) as JSON; FILE of "-" means
@@ -245,6 +251,8 @@ RunOutcome run_algorithm(const Instance& instance, const CliArgs& args,
   short_options.trace = trace;
   short_options.relaxed_calibrations = args.get_bool("relaxed", false);
   short_options.trim_unused_calibrations = args.get_bool("prune-empty", false);
+  short_options.threads =
+      static_cast<int>(args.get_int("solve-threads", 1));
   if (short_options.relaxed_calibrations) {
     outcome.policy = CalibrationPolicy::kOverlapAllowed;
   }

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench --json record against a committed baseline.
+
+Usage:
+    tools/check_bench_regression.py BASELINE.json FRESH.json
+
+Both files follow the bench/harness.hpp record schema. The comparison
+covers the "metrics" and "checks" dicts:
+
+  * A check that was true in the baseline and false in the fresh run is a
+    FAILURE (the bench's own self-check already failed, but this catches it
+    even when the fresh run's exit code was swallowed by a wrapper).
+  * A counted metric (pivot counts, solve counts, accepted steps, ...) that
+    worsens by more than 10% prints a WARNING; more than 25% is a FAILURE.
+    "Worsens" is direction-aware: for names that look like reductions or
+    speedups (higher is better), a drop is the regression; for everything
+    else a rise is.
+  * Timing-flavoured metrics (names mentioning ns/ms/wall/time/speed/
+    throughput) and machine facts (hardware_cores) are ADVISORY only: they
+    are printed when they move but never gate the exit code, because the
+    committed baselines come from whatever container happened to run them.
+
+Exit code: 1 if any FAILURE was recorded, else 0.
+"""
+
+import json
+import sys
+
+# Metric-name fragments that mark a value as wall-clock flavoured (never
+# gating) or as higher-is-better (direction flip). The short unit suffixes
+# match whole name parts only ("ns" must not fire on "instances").
+TIMING_PARTS = ("ns", "ms", "us", "s")
+TIMING_SUBSTRINGS = ("wall", "time", "speed", "throughput")
+ADVISORY_NAMES = {"hardware_cores", "elapsed_ns"}
+HIGHER_IS_BETTER_FRAGMENTS = ("reduction", "speedup", "accepted", "solved",
+                              "throughput")
+
+WARN_RATIO = 0.10
+FAIL_RATIO = 0.25
+
+
+def is_timing(name: str) -> bool:
+    if name in ADVISORY_NAMES:
+        return True
+    lowered = name.lower()
+    if any(fragment in lowered for fragment in TIMING_SUBSTRINGS):
+        return True
+    return any(part in TIMING_PARTS for part in lowered.replace("-", "_").split("_"))
+
+
+def higher_is_better(name: str) -> bool:
+    lowered = name.lower()
+    return any(fragment in lowered for fragment in HIGHER_IS_BETTER_FRAGMENTS)
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip().splitlines()[2].strip(), file=sys.stderr)
+        return 2
+    with open(argv[1], encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    with open(argv[2], encoding="utf-8") as handle:
+        fresh = json.load(handle)
+
+    failures = 0
+    warnings = 0
+
+    base_checks = baseline.get("checks", {})
+    fresh_checks = fresh.get("checks", {})
+    for name, ok in sorted(base_checks.items()):
+        if name not in fresh_checks:
+            print(f"WARNING: check '{name}' missing from fresh run "
+                  "(gating may have skipped it)")
+            warnings += 1
+        elif ok and not fresh_checks[name]:
+            print(f"FAILURE: check '{name}' was true in baseline, "
+                  "false in fresh run")
+            failures += 1
+
+    base_metrics = baseline.get("metrics", {})
+    fresh_metrics = fresh.get("metrics", {})
+    for name, base_value in sorted(base_metrics.items()):
+        if name not in fresh_metrics:
+            print(f"WARNING: metric '{name}' missing from fresh run")
+            warnings += 1
+            continue
+        fresh_value = fresh_metrics[name]
+        if base_value == 0.0:
+            change = 0.0 if fresh_value == 0.0 else float("inf")
+        else:
+            change = (fresh_value - base_value) / abs(base_value)
+        # Positive `worse` always means a regression.
+        worse = -change if higher_is_better(name) else change
+        moved = abs(change) > WARN_RATIO
+        if is_timing(name):
+            if moved:
+                print(f"ADVISORY: timing metric '{name}' moved "
+                      f"{base_value:g} -> {fresh_value:g} "
+                      f"({change:+.1%}); not gating")
+            continue
+        if worse > FAIL_RATIO:
+            print(f"FAILURE: metric '{name}' regressed "
+                  f"{base_value:g} -> {fresh_value:g} ({change:+.1%})")
+            failures += 1
+        elif worse > WARN_RATIO:
+            print(f"WARNING: metric '{name}' regressed "
+                  f"{base_value:g} -> {fresh_value:g} ({change:+.1%})")
+            warnings += 1
+        elif moved:
+            print(f"note: metric '{name}' improved "
+                  f"{base_value:g} -> {fresh_value:g} ({change:+.1%})")
+
+    bench = fresh.get("bench", baseline.get("bench", "?"))
+    print(f"{bench}: {failures} failure(s), {warnings} warning(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,240 @@
+// Experiment E15 — persistent solve service: result cache, backpressure,
+// and response determinism.
+//
+// Three parts, all deterministic in the generator seeds so the counted
+// metrics are baseline-stable across machines:
+//   * Cache payoff: a wave of unique instances (all misses), then the same
+//     wave with every job list permuted — the canonical instance hash makes
+//     each permuted duplicate a cache hit, so hits == the number of
+//     verified first-wave solves, with no algorithm re-run.
+//   * Backpressure: workers paused, a tight queue overfilled — every
+//     submission past capacity is rejected synchronously (born-completed
+//     handle), and the resumed service drains exactly the admitted ones.
+//   * Determinism: one NDJSON script (with duplicates) replayed through the
+//     stdio front end at 1/4/8 worker threads must produce byte-identical
+//     response streams.
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gen/generators.hpp"
+#include "harness.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "service/service.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace calisched;
+
+double elapsed_ms(std::chrono::steady_clock::time_point start) {
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 std::chrono::steady_clock::now() - start)
+                 .count()) /
+         1e6;
+}
+
+GenParams wave_params(std::uint64_t seed, int n) {
+  GenParams params;
+  params.seed = seed;
+  params.n = n;
+  params.T = 8;
+  params.machines = 2;
+  params.horizon = 80;
+  params.max_proc = 7;
+  return params;
+}
+
+ServiceRequest solve_request(Instance instance) {
+  ServiceRequest request;
+  request.type = RequestType::kSolve;
+  request.instance = std::move(instance);
+  return request;
+}
+
+std::string solve_line(const Instance& instance, int id) {
+  JsonValue::Object request;
+  request.emplace_back("type", JsonValue("solve"));
+  request.emplace_back("id", JsonValue(std::int64_t{id}));
+  request.emplace_back("instance", instance_to_json(instance));
+  return JsonValue(std::move(request)).dump(0) + "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchHarness bench("E15",
+                     "solve service: result cache, backpressure, determinism",
+                     argc, argv);
+  const int count = static_cast<int>(bench.args().get_int("count", 32));
+  const int jobs = static_cast<int>(bench.args().get_int("n", 12));
+
+  std::vector<Instance> instances;
+  instances.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    instances.push_back(
+        generate_mixed(wave_params(static_cast<std::uint64_t>(i) + 1, jobs), 0.5));
+  }
+
+  // --- Part A: unique wave, then permuted duplicates --------------------
+  ServiceOptions options;
+  options.threads = 4;
+  options.queue_capacity = static_cast<std::size_t>(count) * 2;
+  options.cache_capacity = static_cast<std::size_t>(count) * 2;
+  SolveService service(AlgorithmRegistry::builtin(), options);
+
+  Table& waves = bench.table(
+      "waves", {"wave", "requests", "hits", "misses", "verified", "wall-ms"});
+
+  auto start = std::chrono::steady_clock::now();
+  std::vector<SolveService::PendingPtr> pending;
+  pending.reserve(instances.size());
+  for (const Instance& instance : instances) {
+    pending.push_back(service.submit(solve_request(instance)));
+  }
+  int verified = 0;
+  for (const auto& handle : pending) {
+    const SolveOutcome& outcome = handle->wait();
+    if (outcome.status == SolveStatus::kOk && outcome.feasible &&
+        outcome.verified) {
+      ++verified;
+    }
+  }
+  const double unique_ms = elapsed_ms(start);
+  ServiceStats after_unique = service.stats();
+  waves.row()
+      .cell(std::string("unique"))
+      .cell(std::int64_t{count})
+      .cell(after_unique.cache_hits)
+      .cell(after_unique.cache_misses)
+      .cell(std::int64_t{verified})
+      .cell(unique_ms, 1);
+
+  Rng rng(2026);
+  start = std::chrono::steady_clock::now();
+  pending.clear();
+  for (Instance instance : instances) {
+    rng.shuffle(instance.jobs);
+    pending.push_back(service.submit(solve_request(std::move(instance))));
+  }
+  for (const auto& handle : pending) (void)handle->wait();
+  const double duplicate_ms = elapsed_ms(start);
+  const ServiceStats after_duplicates = service.stats();
+  waves.row()
+      .cell(std::string("permuted-dup"))
+      .cell(std::int64_t{count})
+      .cell(after_duplicates.cache_hits - after_unique.cache_hits)
+      .cell(after_duplicates.cache_misses - after_unique.cache_misses)
+      .cell(std::int64_t{verified})
+      .cell(duplicate_ms, 1);
+  bench.print_table("waves", "two waves of " + std::to_string(count) +
+                                 " requests, " + std::to_string(jobs) +
+                                 " jobs each, 4 worker threads");
+
+  bench.metric("requests", static_cast<double>(after_duplicates.received));
+  bench.metric("verified_solves", static_cast<double>(verified));
+  bench.metric("cache_hits", static_cast<double>(after_duplicates.cache_hits));
+  bench.metric("cache_misses",
+               static_cast<double>(after_duplicates.cache_misses));
+  bench.metric("unique_wave_ms", unique_ms);
+  bench.metric("duplicate_wave_ms", duplicate_ms);
+  bench.metric("latency_p50_ns",
+               static_cast<double>(after_duplicates.latency_p50_ns));
+  bench.metric("latency_p95_ns",
+               static_cast<double>(after_duplicates.latency_p95_ns));
+  bench.check("first wave solves verify", verified >= count / 2);
+  bench.check("every permuted duplicate hits the cache",
+              after_duplicates.cache_hits - after_unique.cache_hits ==
+                  verified);
+  bench.check("misses only on the unique wave",
+              after_duplicates.cache_misses ==
+                  static_cast<std::int64_t>(count) +
+                      (static_cast<std::int64_t>(count) - verified));
+  service.export_stats(&bench.trace());
+  service.shutdown(/*drain=*/true);
+
+  // --- Part B: bounded queue under overload -----------------------------
+  ServiceOptions tight;
+  tight.threads = 1;
+  tight.queue_capacity = 8;
+  SolveService small(AlgorithmRegistry::builtin(), tight);
+  small.pause();
+  const int flood = static_cast<int>(tight.queue_capacity) + 6;
+  int synchronous_rejects = 0;
+  std::vector<SolveService::PendingPtr> flooded;
+  flooded.reserve(static_cast<std::size_t>(flood));
+  for (int i = 0; i < flood; ++i) {
+    flooded.push_back(small.submit(
+        solve_request(instances[static_cast<std::size_t>(i) % instances.size()])));
+    if (flooded.back()->ready() && flooded.back()->wait().rejected) {
+      ++synchronous_rejects;
+    }
+  }
+  small.resume();
+  for (const auto& handle : flooded) (void)handle->wait();
+  const ServiceStats overload = small.stats();
+  small.shutdown(/*drain=*/true);
+
+  Table& backpressure = bench.table(
+      "backpressure",
+      {"capacity", "submitted", "admitted", "rejected", "completed"});
+  backpressure.row()
+      .cell(static_cast<std::int64_t>(tight.queue_capacity))
+      .cell(std::int64_t{flood})
+      .cell(overload.accepted)
+      .cell(overload.rejected)
+      .cell(overload.completed);
+  bench.print_table("backpressure",
+                    "paused single worker, queue overfilled past capacity");
+
+  bench.metric("overload_submitted", static_cast<double>(flood));
+  bench.metric("overload_rejected", static_cast<double>(overload.rejected));
+  bench.check("overflow rejected synchronously",
+              synchronous_rejects == flood - static_cast<int>(tight.queue_capacity));
+  bench.check("admitted requests all complete",
+              overload.completed == static_cast<std::int64_t>(tight.queue_capacity));
+
+  // --- Part C: stdio determinism across thread counts -------------------
+  std::string script;
+  int id = 0;
+  for (int i = 0; i < count; i += 4) {
+    script += solve_line(instances[static_cast<std::size_t>(i)], id++);
+  }
+  for (int i = 0; i < count; i += 8) {
+    script += solve_line(instances[static_cast<std::size_t>(i)], id++);  // dup
+  }
+  std::string reference;
+  bool identical = true;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
+    ServiceOptions stdio_options;
+    stdio_options.threads = threads;
+    std::istringstream in(script);
+    std::ostringstream out;
+    (void)run_stdio_server(AlgorithmRegistry::builtin(), stdio_options, in, out);
+    if (reference.empty()) {
+      reference = out.str();
+    } else {
+      identical = identical && out.str() == reference;
+    }
+  }
+  bench.metric("stdio_script_lines", static_cast<double>(id));
+  bench.check("stdio responses byte-identical at 1/4/8 threads",
+              identical && !reference.empty());
+
+  bench.note(
+      "the permuted duplicate wave re-submits every instance with its job "
+      "list shuffled; the canonical hash folds per-job hashes commutatively, "
+      "so all " + std::to_string(verified) +
+      " verified first-wave results are served from the LRU cache without "
+      "re-running the solver (wave wall time " +
+      format_double(unique_ms, 1) + " ms -> " +
+      format_double(duplicate_ms, 1) + " ms). With workers paused, the " +
+      std::to_string(tight.queue_capacity) + "-slot queue admits exactly its "
+      "capacity and rejects the overflow synchronously. The stdio front end "
+      "writes responses in request order with no timing fields, so the "
+      "response stream is byte-identical at every worker-thread count.");
+  return bench.finish();
+}

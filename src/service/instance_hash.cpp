@@ -1,0 +1,48 @@
+#include "service/instance_hash.hpp"
+
+#include "util/rng.hpp"
+
+namespace calisched {
+
+namespace {
+
+/// Chains one value into a running splitmix64 state.
+std::uint64_t mix(std::uint64_t state, std::uint64_t value) noexcept {
+  std::uint64_t chained = state ^ (value + 0x9e3779b97f4a7c15ULL);
+  return splitmix64(chained);
+}
+
+}  // namespace
+
+std::uint64_t job_hash(const Job& job) noexcept {
+  std::uint64_t h = 0x243f6a8885a308d3ULL;  // pi digits; arbitrary non-zero
+  h = mix(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(job.id)));
+  h = mix(h, static_cast<std::uint64_t>(job.release));
+  h = mix(h, static_cast<std::uint64_t>(job.deadline));
+  h = mix(h, static_cast<std::uint64_t>(job.proc));
+  return h;
+}
+
+std::uint64_t canonical_instance_hash(const Instance& instance) noexcept {
+  // Order-independent fold: sum and xor of the (already well-diffused)
+  // per-job hashes. Keeping both folds makes "two jobs swapped one unit of
+  // slack" style near-collisions require simultaneous sum- and xor-
+  // cancellation, and the final chained mix separates (sum, xor) pairs
+  // from instances whose scalar facts differ.
+  std::uint64_t sum = 0;
+  std::uint64_t xored = 0;
+  for (const Job& job : instance.jobs) {
+    const std::uint64_t h = job_hash(job);
+    sum += h;
+    xored ^= h;
+  }
+  std::uint64_t state = 0x452821e638d01377ULL;
+  state = mix(state, static_cast<std::uint64_t>(instance.machines));
+  state = mix(state, static_cast<std::uint64_t>(instance.T));
+  state = mix(state, static_cast<std::uint64_t>(instance.jobs.size()));
+  state = mix(state, sum);
+  state = mix(state, xored);
+  return state;
+}
+
+}  // namespace calisched

@@ -1,0 +1,31 @@
+// Canonical instance hashing for the solve service's result cache.
+//
+// Two Instance values that describe the same problem must map to the same
+// 64-bit key even when their job vectors are permuted (clients batch and
+// reorder freely), while near-identical instances — one deadline nudged,
+// one job dropped, a different machine count — must separate. The hash
+// therefore combines an order-independent fold of per-job hashes with the
+// scalar instance facts, all through splitmix64 so single-bit input
+// changes diffuse across the whole word.
+#pragma once
+
+#include <cstdint>
+
+#include "core/instance.hpp"
+
+namespace calisched {
+
+/// 64-bit mix of one job's (id, release, deadline, proc) tuple.
+[[nodiscard]] std::uint64_t job_hash(const Job& job) noexcept;
+
+/// Canonical hash of an instance: invariant under any permutation of
+/// `instance.jobs`, sensitive to machines, T, the job count, and every
+/// job field. Not a cryptographic hash — collisions are possible in
+/// principle, which is why the cache stores verified results only (a
+/// collision serves a wrong-but-verified schedule for a different
+/// instance; with 64 bits and per-job diffusion this is vanishingly
+/// unlikely at service cache sizes).
+[[nodiscard]] std::uint64_t canonical_instance_hash(
+    const Instance& instance) noexcept;
+
+}  // namespace calisched

@@ -1,0 +1,71 @@
+// A small intrusive-list LRU map used by the solve service's result cache.
+//
+// Deliberately minimal: fixed capacity decided at construction, most-
+// recently-used entries at the front, O(1) get/put through an index map.
+// Not internally synchronized — the service guards it with the same mutex
+// that orders its counters, so hit/miss accounting and recency updates
+// stay consistent with each other.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace calisched {
+
+template <typename Key, typename Value>
+class LruCache {
+ public:
+  /// Capacity 0 disables the cache entirely (every get misses, put is a
+  /// no-op) — the service maps `--cache-capacity=0` onto this.
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {}
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Pointer to the cached value (promoted to most-recently-used), or
+  /// nullptr on a miss. The pointer stays valid until the next put().
+  [[nodiscard]] const Value* get(const Key& key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return &it->second->second;
+  }
+
+  /// Inserts or overwrites; the entry becomes most-recently-used and the
+  /// least-recently-used entry is evicted when over capacity.
+  void put(const Key& key, Value value) {
+    if (capacity_ == 0) return;
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      entries_.splice(entries_.begin(), entries_, it->second);
+      return;
+    }
+    entries_.emplace_front(key, std::move(value));
+    index_.emplace(key, entries_.begin());
+    if (entries_.size() > capacity_) {
+      index_.erase(entries_.back().first);
+      entries_.pop_back();
+    }
+  }
+
+  /// Keys in recency order, most recent first (tests pin eviction order
+  /// through this).
+  [[nodiscard]] std::vector<Key> keys_mru_first() const {
+    std::vector<Key> keys;
+    keys.reserve(entries_.size());
+    for (const auto& [key, _] : entries_) keys.push_back(key);
+    return keys;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::list<std::pair<Key, Value>> entries_;
+  std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator>
+      index_;
+};
+
+}  // namespace calisched

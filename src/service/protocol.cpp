@@ -1,0 +1,235 @@
+#include "service/protocol.hpp"
+
+#include <exception>
+#include <utility>
+
+namespace calisched {
+
+namespace {
+
+/// Integer field access with range/shape errors naming the field.
+bool read_int(const JsonValue& object, std::string_view key,
+              std::int64_t* out, std::string* error) {
+  const JsonValue* value = object.find(key);
+  if (value == nullptr || !value->is_int()) {
+    *error = "field '" + std::string(key) + "' must be an integer";
+    return false;
+  }
+  *out = value->as_int();
+  return true;
+}
+
+bool parse_instance(const JsonValue& value, Instance* out, std::string* error) {
+  if (!value.is_object()) {
+    *error = "field 'instance' must be an object";
+    return false;
+  }
+  std::int64_t machines = 0;
+  std::int64_t T = 0;
+  if (!read_int(value, "machines", &machines, error)) return false;
+  if (!read_int(value, "T", &T, error)) return false;
+  out->machines = static_cast<int>(machines);
+  out->T = T;
+  const JsonValue* jobs = value.find("jobs");
+  if (jobs == nullptr || !jobs->is_array()) {
+    *error = "field 'instance.jobs' must be an array";
+    return false;
+  }
+  out->jobs.clear();
+  out->jobs.reserve(jobs->as_array().size());
+  for (const JsonValue& entry : jobs->as_array()) {
+    if (!entry.is_array() || entry.as_array().size() != 4) {
+      *error = "each job must be [id, release, deadline, proc]";
+      return false;
+    }
+    Job job;
+    const JsonValue::Array& fields = entry.as_array();
+    for (const JsonValue& field : fields) {
+      if (!field.is_int()) {
+        *error = "each job must be [id, release, deadline, proc] (integers)";
+        return false;
+      }
+    }
+    job.id = static_cast<JobId>(fields[0].as_int());
+    job.release = fields[1].as_int();
+    job.deadline = fields[2].as_int();
+    job.proc = fields[3].as_int();
+    out->jobs.push_back(job);
+  }
+  if (const auto invalid = out->validate()) {
+    *error = "invalid instance: " + *invalid;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ParsedRequest parse_request(std::string_view line) {
+  ParsedRequest parsed;
+  JsonValue document;
+  try {
+    document = JsonValue::parse(line);
+  } catch (const std::exception& error) {
+    parsed.error = std::string("malformed JSON: ") + error.what();
+    return parsed;
+  }
+  if (!document.is_object()) {
+    parsed.error = "request must be a JSON object";
+    return parsed;
+  }
+  if (const JsonValue* id = document.find("id")) parsed.id = *id;
+
+  const JsonValue* type = document.find("type");
+  if (type == nullptr || !type->is_string()) {
+    parsed.error = "field 'type' must be a string";
+    return parsed;
+  }
+  const std::string& name = type->as_string();
+  ServiceRequest& request = parsed.request;
+  request.id = parsed.id;
+  if (name == "stats") {
+    request.type = RequestType::kStats;
+  } else if (name == "ping") {
+    request.type = RequestType::kPing;
+  } else if (name == "pause") {
+    request.type = RequestType::kPause;
+  } else if (name == "resume") {
+    request.type = RequestType::kResume;
+  } else if (name == "shutdown") {
+    request.type = RequestType::kShutdown;
+  } else if (name == "solve") {
+    request.type = RequestType::kSolve;
+    if (const JsonValue* algo = document.find("algo")) {
+      if (!algo->is_string()) {
+        parsed.error = "field 'algo' must be a string";
+        return parsed;
+      }
+      request.algorithm = algo->as_string();
+    }
+    const JsonValue* instance = document.find("instance");
+    if (instance == nullptr) {
+      parsed.error = "solve request needs an 'instance' object";
+      return parsed;
+    }
+    if (!parse_instance(*instance, &request.instance, &parsed.error)) {
+      return parsed;
+    }
+    if (const JsonValue* timeout = document.find("timeout_ms")) {
+      if (!timeout->is_int() || timeout->as_int() < 0) {
+        parsed.error = "field 'timeout_ms' must be a non-negative integer";
+        return parsed;
+      }
+      request.timeout_ms = timeout->as_int();
+    }
+    if (const JsonValue* schedule = document.find("schedule")) {
+      if (!schedule->is_bool()) {
+        parsed.error = "field 'schedule' must be a boolean";
+        return parsed;
+      }
+      request.want_schedule = schedule->as_bool();
+    }
+  } else {
+    parsed.error = "unknown request type '" + name +
+                   "' (solve|stats|ping|pause|resume|shutdown)";
+    return parsed;
+  }
+  parsed.ok = true;
+  return parsed;
+}
+
+JsonValue instance_to_json(const Instance& instance) {
+  JsonValue::Object object;
+  object.emplace_back("machines", JsonValue(instance.machines));
+  object.emplace_back("T", JsonValue(instance.T));
+  JsonValue::Array jobs;
+  jobs.reserve(instance.jobs.size());
+  for (const Job& job : instance.jobs) {
+    JsonValue::Array fields;
+    fields.reserve(4);
+    fields.emplace_back(static_cast<std::int64_t>(job.id));
+    fields.emplace_back(job.release);
+    fields.emplace_back(job.deadline);
+    fields.emplace_back(job.proc);
+    jobs.emplace_back(std::move(fields));
+  }
+  object.emplace_back("jobs", JsonValue(std::move(jobs)));
+  return JsonValue(std::move(object));
+}
+
+JsonValue schedule_to_json(const Schedule& schedule) {
+  JsonValue::Object object;
+  object.emplace_back("machines", JsonValue(schedule.machines));
+  object.emplace_back("T", JsonValue(schedule.T));
+  object.emplace_back("denominator", JsonValue(schedule.time_denominator));
+  object.emplace_back("speed", JsonValue(schedule.speed));
+  JsonValue::Array calibrations;
+  calibrations.reserve(schedule.calibrations.size());
+  for (const Calibration& cal : schedule.calibrations) {
+    JsonValue::Array fields;
+    fields.emplace_back(cal.machine);
+    fields.emplace_back(cal.start);
+    calibrations.emplace_back(std::move(fields));
+  }
+  object.emplace_back("calibrations", JsonValue(std::move(calibrations)));
+  JsonValue::Array jobs;
+  jobs.reserve(schedule.jobs.size());
+  for (const ScheduledJob& sj : schedule.jobs) {
+    JsonValue::Array fields;
+    fields.emplace_back(static_cast<std::int64_t>(sj.job));
+    fields.emplace_back(sj.machine);
+    fields.emplace_back(sj.start);
+    jobs.emplace_back(std::move(fields));
+  }
+  object.emplace_back("jobs", JsonValue(std::move(jobs)));
+  return JsonValue(std::move(object));
+}
+
+JsonValue make_result_response(const JsonValue& id, const SolveOutcome& outcome,
+                               bool want_schedule) {
+  JsonValue::Object object;
+  object.emplace_back("id", id);
+  object.emplace_back("type", JsonValue("result"));
+  object.emplace_back("status", JsonValue(to_string(outcome.status)));
+  object.emplace_back("feasible", JsonValue(outcome.feasible));
+  object.emplace_back("verified", JsonValue(outcome.verified));
+  object.emplace_back("jobs", JsonValue(outcome.jobs));
+  object.emplace_back("calibrations", JsonValue(outcome.calibrations));
+  object.emplace_back("machines", JsonValue(outcome.machines));
+  object.emplace_back("speed", JsonValue(outcome.speed));
+  object.emplace_back("error", JsonValue(outcome.error));
+  if (want_schedule && outcome.feasible) {
+    object.emplace_back("schedule", schedule_to_json(outcome.schedule));
+  }
+  return JsonValue(std::move(object));
+}
+
+JsonValue make_error_response(const JsonValue& id, std::string_view error) {
+  JsonValue::Object object;
+  object.emplace_back("id", id);
+  object.emplace_back("type", JsonValue("error"));
+  object.emplace_back("error", JsonValue(error));
+  return JsonValue(std::move(object));
+}
+
+JsonValue make_reject_response(const JsonValue& id, std::string_view error) {
+  JsonValue::Object object;
+  object.emplace_back("id", id);
+  object.emplace_back("type", JsonValue("reject"));
+  object.emplace_back("error", JsonValue(error));
+  return JsonValue(std::move(object));
+}
+
+JsonValue make_ack_response(const JsonValue& id, std::string_view op) {
+  JsonValue::Object object;
+  object.emplace_back("id", id);
+  object.emplace_back("type", JsonValue("ack"));
+  object.emplace_back("op", JsonValue(op));
+  return JsonValue(std::move(object));
+}
+
+std::string dump_response(const JsonValue& response) {
+  return response.dump(0);
+}
+
+}  // namespace calisched

@@ -1,0 +1,98 @@
+// Wire protocol of the persistent solve service: newline-delimited JSON,
+// one request object in, one response object out, always in request order.
+//
+// Request shapes (one per line; `id` is optional and echoed verbatim):
+//   {"type":"solve","id":R,"algo":"combined",
+//    "instance":{"machines":M,"T":T,"jobs":[[id,release,deadline,proc],...]},
+//    "timeout_ms":N,"schedule":false}
+//   {"type":"stats","id":R}      counters + latency percentiles snapshot
+//   {"type":"ping","id":R}       liveness probe
+//   {"type":"pause","id":R}      hold workers (queued requests wait)
+//   {"type":"resume","id":R}     release paused workers
+//   {"type":"shutdown","id":R}   drain in-flight solves, then exit
+//
+// Response shapes:
+//   {"id":R,"type":"result","status":"ok","feasible":true,...}
+//   {"id":R,"type":"reject","error":"..."}     bounded queue was full
+//   {"id":R,"type":"error","error":"..."}      malformed / unknown request
+//   {"id":R,"type":"ack","op":"pause"}         ping/pause/resume/shutdown
+//   {"id":R,"type":"stats","stats":{...}}
+//
+// Every malformed line gets an "error" response, never a crash or a dropped
+// line — the parser catches everything and reports the offending field.
+// Solve responses contain no timing and no served-from-cache marker, so a
+// response stream is byte-identical for any worker-thread count and any
+// cache state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+#include "runtime/status.hpp"
+#include "trace/json.hpp"
+
+namespace calisched {
+
+enum class RequestType { kSolve, kStats, kPing, kPause, kResume, kShutdown };
+
+/// One decoded request line.
+struct ServiceRequest {
+  RequestType type = RequestType::kSolve;
+  JsonValue id;  ///< echoed verbatim; null when the client sent none
+  // Solve-only fields:
+  std::string algorithm = "combined";
+  Instance instance;
+  std::int64_t timeout_ms = 0;  ///< per-request deadline; 0 means none
+  bool want_schedule = false;   ///< attach the full schedule to the result
+};
+
+/// parse_request outcome: `ok` selects between `request` and `error`;
+/// `id` is recovered best-effort either way so error responses can still
+/// be correlated by the client.
+struct ParsedRequest {
+  bool ok = false;
+  ServiceRequest request;
+  std::string error;
+  JsonValue id;
+};
+
+/// Decodes one NDJSON line. Never throws: malformed JSON, a missing or
+/// unknown "type", and every instance-shape violation come back as
+/// `ok == false` with a message naming the offending field.
+[[nodiscard]] ParsedRequest parse_request(std::string_view line);
+
+/// The solve payload responses and the cache both carry.
+struct SolveOutcome {
+  SolveStatus status = SolveStatus::kOk;
+  bool feasible = false;
+  bool verified = false;
+  std::size_t jobs = 0;
+  std::size_t calibrations = 0;
+  int machines = 0;
+  std::int64_t speed = 1;
+  std::string error;
+  Schedule schedule;     ///< valid when feasible and the algorithm emits one
+  bool rejected = false; ///< bounded queue was full; nothing was run
+};
+
+// --- JSON builders (field order is fixed; serialization is deterministic) --
+[[nodiscard]] JsonValue instance_to_json(const Instance& instance);
+[[nodiscard]] JsonValue schedule_to_json(const Schedule& schedule);
+
+[[nodiscard]] JsonValue make_result_response(const JsonValue& id,
+                                             const SolveOutcome& outcome,
+                                             bool want_schedule);
+[[nodiscard]] JsonValue make_error_response(const JsonValue& id,
+                                            std::string_view error);
+[[nodiscard]] JsonValue make_reject_response(const JsonValue& id,
+                                             std::string_view error);
+[[nodiscard]] JsonValue make_ack_response(const JsonValue& id,
+                                          std::string_view op);
+
+/// One compact line (no trailing newline).
+[[nodiscard]] std::string dump_response(const JsonValue& response);
+
+}  // namespace calisched

@@ -1,0 +1,309 @@
+#include "service/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace calisched {
+
+namespace {
+
+/// FIFO of response thunks. The reader pushes one thunk per request line;
+/// the writer thread pops in order, runs the thunk (which may block on a
+/// Pending), and writes the line. This is the whole ordering mechanism.
+class ResponseQueue {
+ public:
+  void push(std::function<std::string()> thunk) {
+    {
+      std::scoped_lock lock(mutex_);
+      thunks_.push_back(std::move(thunk));
+    }
+    cv_.notify_one();
+  }
+
+  void close() {
+    {
+      std::scoped_lock lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  void drain(std::ostream& out) {
+    for (;;) {
+      std::function<std::string()> thunk;
+      {
+        std::unique_lock lock(mutex_);
+        cv_.wait(lock, [this] { return closed_ || !thunks_.empty(); });
+        if (thunks_.empty()) return;
+        thunk = std::move(thunks_.front());
+        thunks_.pop_front();
+      }
+      out << thunk() << '\n';
+      out.flush();
+    }
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<std::string()>> thunks_;
+  bool closed_ = false;
+};
+
+JsonValue make_stats_response(const JsonValue& id, const ServiceStats& stats,
+                              std::int64_t lines, std::int64_t malformed) {
+  JsonValue::Object body;
+  body.emplace_back("requests", JsonValue(stats.received));
+  body.emplace_back("accepted", JsonValue(stats.accepted));
+  body.emplace_back("rejected", JsonValue(stats.rejected));
+  body.emplace_back("errors", JsonValue(stats.errors));
+  body.emplace_back("completed", JsonValue(stats.completed));
+  body.emplace_back("outstanding", JsonValue(stats.outstanding));
+  body.emplace_back("cache_hits", JsonValue(stats.cache_hits));
+  body.emplace_back("cache_misses", JsonValue(stats.cache_misses));
+  body.emplace_back("cache_size", JsonValue(stats.cache_size));
+  body.emplace_back("paused", JsonValue(stats.paused));
+  body.emplace_back("latency_p50_ns", JsonValue(stats.latency_p50_ns));
+  body.emplace_back("latency_p95_ns", JsonValue(stats.latency_p95_ns));
+  body.emplace_back("latency_samples", JsonValue(stats.latency_samples));
+  body.emplace_back("lines", JsonValue(lines));
+  body.emplace_back("malformed", JsonValue(malformed));
+  JsonValue::Object object;
+  object.emplace_back("id", id);
+  object.emplace_back("type", JsonValue("stats"));
+  object.emplace_back("stats", JsonValue(std::move(body)));
+  return JsonValue(std::move(object));
+}
+
+bool is_blank(const std::string& line) {
+  for (const char c : line) {
+    if (c != ' ' && c != '\t' && c != '\r') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ServeReport serve_connection(SolveService& service, std::istream& in,
+                             std::ostream& out) {
+  ServeReport report;
+  ResponseQueue queue;
+  std::thread writer([&queue, &out] { queue.drain(out); });
+
+  std::string line;
+  while (!report.shutdown_requested && std::getline(in, line)) {
+    if (is_blank(line)) continue;
+    ++report.lines;
+    const ParsedRequest parsed = parse_request(line);
+    if (!parsed.ok) {
+      ++report.malformed;
+      std::string text =
+          dump_response(make_error_response(parsed.id, parsed.error));
+      queue.push([text] { return text; });
+      continue;
+    }
+    const ServiceRequest& request = parsed.request;
+    const JsonValue id = parsed.id;
+    switch (request.type) {
+      case RequestType::kPing: {
+        std::string text = dump_response(make_ack_response(id, "ping"));
+        queue.push([text] { return text; });
+        break;
+      }
+      case RequestType::kPause: {
+        service.pause();
+        std::string text = dump_response(make_ack_response(id, "pause"));
+        queue.push([text] { return text; });
+        break;
+      }
+      case RequestType::kResume: {
+        service.resume();
+        std::string text = dump_response(make_ack_response(id, "resume"));
+        queue.push([text] { return text; });
+        break;
+      }
+      case RequestType::kStats: {
+        // Counters seen so far are captured at read time; the service
+        // snapshot is taken at write time, after every earlier request
+        // has completed and been answered.
+        const std::int64_t lines_seen = report.lines;
+        const std::int64_t malformed_seen = report.malformed;
+        queue.push([&service, id, lines_seen, malformed_seen] {
+          return dump_response(make_stats_response(
+              id, service.stats(), lines_seen, malformed_seen));
+        });
+        break;
+      }
+      case RequestType::kShutdown: {
+        report.shutdown_requested = true;
+        std::string text = dump_response(make_ack_response(id, "shutdown"));
+        queue.push([text] { return text; });
+        break;
+      }
+      case RequestType::kSolve: {
+        SolveService::PendingPtr pending = service.submit(request);
+        const bool want_schedule = request.want_schedule;
+        queue.push([pending, id, want_schedule] {
+          const SolveOutcome& outcome = pending->wait();
+          if (outcome.rejected) {
+            return dump_response(make_reject_response(id, outcome.error));
+          }
+          return dump_response(make_result_response(id, outcome, want_schedule));
+        });
+        break;
+      }
+    }
+  }
+
+  // An abandoned pause (EOF without resume) must not leave solve thunks —
+  // and therefore the writer — blocked forever.
+  service.resume();
+  queue.close();
+  writer.join();
+  return report;
+}
+
+int run_stdio_server(const AlgorithmRegistry& registry,
+                     const ServiceOptions& options, std::istream& in,
+                     std::ostream& out, ServeReport* report) {
+  SolveService service(registry, options);
+  const ServeReport seen = serve_connection(service, in, out);
+  service.shutdown(/*drain=*/true);
+  if (report != nullptr) *report = seen;
+  return 0;
+}
+
+// -------------------------------------------------------------- TCP layer --
+
+namespace {
+
+class FdInBuf : public std::streambuf {
+ public:
+  explicit FdInBuf(int fd) : fd_(fd) { setg(buffer_, buffer_, buffer_); }
+
+ protected:
+  int_type underflow() override {
+    if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+    ssize_t count;
+    do {
+      count = ::read(fd_, buffer_, sizeof buffer_);
+    } while (count < 0 && errno == EINTR);
+    if (count <= 0) return traits_type::eof();
+    setg(buffer_, buffer_, buffer_ + count);
+    return traits_type::to_int_type(*gptr());
+  }
+
+ private:
+  int fd_;
+  char buffer_[4096];
+};
+
+class FdOutBuf : public std::streambuf {
+ public:
+  explicit FdOutBuf(int fd) : fd_(fd) {}
+
+ protected:
+  int_type overflow(int_type ch) override {
+    if (traits_type::eq_int_type(ch, traits_type::eof())) return 0;
+    const char c = traits_type::to_char_type(ch);
+    return write_all(&c, 1) ? ch : traits_type::eof();
+  }
+
+  std::streamsize xsputn(const char* data, std::streamsize count) override {
+    return write_all(data, static_cast<std::size_t>(count)) ? count : 0;
+  }
+
+ private:
+  bool write_all(const char* data, std::size_t count) {
+    while (count > 0) {
+      const ssize_t written = ::write(fd_, data, count);
+      if (written < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      data += written;
+      count -= static_cast<std::size_t>(written);
+    }
+    return true;
+  }
+
+  int fd_;
+};
+
+}  // namespace
+
+TcpServer::~TcpServer() { stop(); }
+
+int TcpServer::start(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&address),
+             sizeof address) != 0 ||
+      ::listen(fd, 16) != 0) {
+    ::close(fd);
+    throw std::runtime_error("cannot listen on 127.0.0.1:" +
+                             std::to_string(port));
+  }
+  socklen_t length = sizeof address;
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&address), &length);
+  port_ = ntohs(address.sin_port);
+  listen_fd_ = fd;
+  return port_;
+}
+
+void TcpServer::serve() {
+  std::vector<std::thread> connections;
+  for (;;) {
+    const int fd = listen_fd_.load(std::memory_order_acquire);
+    if (fd < 0) break;
+    int client;
+    do {
+      client = ::accept(fd, nullptr, nullptr);
+    } while (client < 0 && errno == EINTR);
+    if (client < 0) break;  // stop() shut the listening socket down
+    connections.emplace_back([this, client] {
+      FdInBuf in_buffer(client);
+      FdOutBuf out_buffer(client);
+      std::istream in(&in_buffer);
+      std::ostream out(&out_buffer);
+      const ServeReport report = serve_connection(*service_, in, out);
+      ::shutdown(client, SHUT_RDWR);
+      ::close(client);
+      if (report.shutdown_requested) stop();
+    });
+  }
+  for (std::thread& connection : connections) connection.join();
+}
+
+void TcpServer::stop() {
+  // Atomic swap: exactly one caller observes the live fd and closes it.
+  const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+}
+
+}  // namespace calisched

@@ -1,0 +1,73 @@
+// Front ends of the solve service: one NDJSON connection loop shared by
+// the --stdio pipe mode and the TCP server.
+//
+// Ordering contract: responses are written in request-arrival order, one
+// line each, regardless of the worker-thread count — a dedicated writer
+// thread drains a FIFO of response thunks while the reader keeps
+// admitting. Because solve responses carry no timing and no cache marker,
+// a response stream is byte-identical for any `--threads` value. A
+// "stats" thunk runs only when the writer reaches it, i.e. after every
+// earlier request has completed and been written, so its counters are
+// reproducible for sequential scripts.
+//
+// Control requests (pause/resume) take effect when the *reader* sees
+// them — their acks are still emitted in order, but a paused service never
+// deadlocks the writer, and connection teardown always resumes the
+// service so an abandoned pause cannot wedge it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+
+#include "service/service.hpp"
+
+namespace calisched {
+
+/// What one connection loop saw; the CLI summary and the tests read this.
+struct ServeReport {
+  std::int64_t lines = 0;      ///< non-empty request lines consumed
+  std::int64_t malformed = 0;  ///< lines answered with an "error" response
+  bool shutdown_requested = false;
+};
+
+/// Runs one NDJSON request/response conversation over the pair of streams
+/// until EOF or a "shutdown" request. Leaves the service running (the TCP
+/// server reuses one service across connections); callers own shutdown().
+ServeReport serve_connection(SolveService& service, std::istream& in,
+                             std::ostream& out);
+
+/// The `calisched serve --stdio` body: one service, one conversation on
+/// (in, out), then a draining shutdown. Returns the process exit code.
+int run_stdio_server(const AlgorithmRegistry& registry,
+                     const ServiceOptions& options, std::istream& in,
+                     std::ostream& out, ServeReport* report = nullptr);
+
+/// Minimal loopback TCP front end: accept loop, one thread per
+/// connection, each running serve_connection on the shared service.
+class TcpServer {
+ public:
+  explicit TcpServer(SolveService& service) : service_(&service) {}
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds and listens on 127.0.0.1:`port` (0 picks an ephemeral port);
+  /// throws std::runtime_error on failure. Returns the bound port.
+  int start(int port);
+  /// Blocks accepting connections until stop() or a client "shutdown"
+  /// request; all connection threads are joined before returning.
+  void serve();
+  /// Unblocks serve() from any thread. Idempotent.
+  void stop();
+
+  [[nodiscard]] int port() const noexcept { return port_; }
+
+ private:
+  SolveService* service_;
+  std::atomic<int> listen_fd_{-1};
+  int port_ = 0;
+};
+
+}  // namespace calisched

@@ -1,0 +1,254 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "service/instance_hash.hpp"
+#include "trace/trace.hpp"
+
+namespace calisched {
+
+namespace {
+
+constexpr std::size_t kLatencyWindow = 512;
+
+/// Cache key: algorithm name + canonical instance hash. The algorithm is
+/// part of the key because different algorithms legitimately return
+/// different (all verified) schedules for one instance.
+std::string cache_key(const std::string& algorithm, const Instance& instance) {
+  char hex[17];
+  std::uint64_t hash = canonical_instance_hash(instance);
+  for (int i = 15; i >= 0; --i) {
+    hex[i] = "0123456789abcdef"[hash & 0xf];
+    hash >>= 4;
+  }
+  hex[16] = '\0';
+  return algorithm + '#' + hex;
+}
+
+std::int64_t percentile(std::vector<std::int64_t> samples, double q) {
+  if (samples.empty()) return 0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(samples.size() - 1) + 0.5);
+  std::nth_element(samples.begin(), samples.begin() + rank, samples.end());
+  return samples[rank];
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Pending --
+
+const SolveOutcome& SolveService::Pending::wait() const {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [this] { return ready_; });
+  return outcome_;
+}
+
+bool SolveService::Pending::ready() const {
+  std::scoped_lock lock(mutex_);
+  return ready_;
+}
+
+void SolveService::Pending::complete(SolveOutcome outcome) {
+  {
+    std::scoped_lock lock(mutex_);
+    outcome_ = std::move(outcome);
+    ready_ = true;
+  }
+  cv_.notify_all();
+}
+
+// ----------------------------------------------------------- SolveService --
+
+SolveService::SolveService(const AlgorithmRegistry& registry,
+                           ServiceOptions options)
+    : registry_(&registry),
+      options_(options),
+      cache_(options.cache_capacity),
+      pool_(options.threads) {
+  latency_window_.reserve(kLatencyWindow);
+}
+
+SolveService::~SolveService() { shutdown(/*drain=*/true); }
+
+SolveService::PendingPtr SolveService::completed(SolveOutcome outcome) {
+  auto pending = std::make_shared<Pending>();
+  pending->complete(std::move(outcome));
+  return pending;
+}
+
+SolveService::PendingPtr SolveService::submit(const ServiceRequest& request) {
+  // Deadline stamped at admission: time spent waiting in the queue burns
+  // the request's budget, so a flooded server fails queued requests fast
+  // instead of solving stale ones.
+  RunLimits limits;
+  if (request.timeout_ms > 0) {
+    limits = RunLimits::deadline_after(std::chrono::milliseconds(request.timeout_ms));
+  }
+  limits.cancel = &abort_;
+
+  {
+    std::scoped_lock lock(mutex_);
+    ++received_;
+    SolveOutcome bounced;
+    bounced.rejected = true;
+    bounced.jobs = request.instance.size();
+    if (!accepting_) {
+      ++rejected_;
+      fail_result(bounced, SolveStatus::kCancelled, "service is shutting down",
+                  "service");
+      return completed(std::move(bounced));
+    }
+    if (static_cast<std::size_t>(outstanding_) >= options_.queue_capacity) {
+      ++rejected_;
+      fail_result(bounced, SolveStatus::kLimitExceeded,
+                  "queue full (capacity " +
+                      std::to_string(options_.queue_capacity) + ")",
+                  "service");
+      return completed(std::move(bounced));
+    }
+    if (registry_->find(request.algorithm) == nullptr) {
+      ++errors_;
+      bounced.rejected = false;  // a client error, not backpressure
+      fail_result(bounced, SolveStatus::kInfeasible,
+                  "unknown algorithm '" + request.algorithm + "'", "service");
+      return completed(std::move(bounced));
+    }
+    ++outstanding_;
+  }
+
+  auto pending = std::make_shared<Pending>();
+  pool_.submit([this, pending, request, limits] {
+    execute(pending, request, limits);
+  });
+  return pending;
+}
+
+void SolveService::execute(const std::shared_ptr<Pending>& pending,
+                           ServiceRequest request, RunLimits limits) {
+  {
+    // Pause gate: held workers park here; shutdown() clears the flag.
+    std::unique_lock lock(mutex_);
+    pause_cv_.wait(lock, [this] { return !paused_; });
+  }
+  const auto started = std::chrono::steady_clock::now();
+  const std::string key = cache_key(request.algorithm, request.instance);
+
+  SolveOutcome outcome;
+  bool hit = false;
+  {
+    std::scoped_lock lock(mutex_);
+    if (const SolveOutcome* cached = cache_.get(key)) {
+      outcome = *cached;
+      hit = true;
+      ++cache_hits_;
+    } else {
+      ++cache_misses_;
+    }
+  }
+
+  if (!hit) {
+    const Algorithm* algorithm = registry_->find(request.algorithm);
+    const RunResult result = algorithm->run(request.instance, limits, nullptr);
+    outcome.status = result.status;
+    outcome.feasible = result.feasible;
+    outcome.verified = result.verified;
+    outcome.jobs = request.instance.size();
+    outcome.calibrations = result.calibrations;
+    outcome.machines = result.machines;
+    outcome.speed = result.speed;
+    outcome.error = result.error;
+    outcome.schedule = result.schedule;
+  }
+
+  const std::int64_t elapsed_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - started)
+          .count();
+  {
+    std::scoped_lock lock(mutex_);
+    // Only verified feasible results are cached: a limit-stopped or
+    // infeasible outcome may be transient (tighter deadline, cancelled
+    // batch) and must not shadow a future honest solve.
+    if (!hit && outcome.status == SolveStatus::kOk && outcome.feasible &&
+        outcome.verified) {
+      cache_.put(key, outcome);
+    }
+    --outstanding_;
+    ++completed_;
+    if (latency_window_.size() < kLatencyWindow) {
+      latency_window_.push_back(elapsed_ns);
+    } else {
+      latency_window_[latency_next_] = elapsed_ns;
+    }
+    latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+    latency_total_ += elapsed_ns;
+  }
+  pending->complete(std::move(outcome));
+}
+
+void SolveService::pause() {
+  std::scoped_lock lock(mutex_);
+  paused_ = true;
+}
+
+void SolveService::resume() {
+  {
+    std::scoped_lock lock(mutex_);
+    paused_ = false;
+  }
+  pause_cv_.notify_all();
+}
+
+void SolveService::shutdown(bool drain) {
+  {
+    std::scoped_lock lock(mutex_);
+    accepting_ = false;
+    paused_ = false;
+    if (!drain) abort_.cancel();
+  }
+  pause_cv_.notify_all();
+  pool_.wait_idle();
+}
+
+ServiceStats SolveService::stats() const {
+  ServiceStats stats;
+  std::vector<std::int64_t> window;
+  {
+    std::scoped_lock lock(mutex_);
+    stats.received = received_;
+    stats.rejected = rejected_;
+    stats.errors = errors_;
+    stats.accepted = received_ - rejected_ - errors_;
+    stats.completed = completed_;
+    stats.outstanding = outstanding_;
+    stats.cache_hits = cache_hits_;
+    stats.cache_misses = cache_misses_;
+    stats.cache_size = static_cast<std::int64_t>(cache_.size());
+    stats.paused = paused_;
+    window = latency_window_;
+  }
+  stats.latency_samples = static_cast<std::int64_t>(window.size());
+  stats.latency_p50_ns = percentile(window, 0.50);
+  stats.latency_p95_ns = percentile(std::move(window), 0.95);
+  return stats;
+}
+
+void SolveService::export_stats(TraceContext* trace) const {
+  if (trace == nullptr) return;
+  const ServiceStats stats = this->stats();
+  trace->set("service.requests", stats.received);
+  trace->set("service.accepted", stats.accepted);
+  trace->set("service.rejected", stats.rejected);
+  trace->set("service.errors", stats.errors);
+  trace->set("service.completed", stats.completed);
+  trace->set("service.outstanding", stats.outstanding);
+  trace->set("service.cache.hits", stats.cache_hits);
+  trace->set("service.cache.misses", stats.cache_misses);
+  trace->set("service.cache.size", stats.cache_size);
+  trace->set("service.latency.p50_ns", stats.latency_p50_ns);
+  trace->set("service.latency.p95_ns", stats.latency_p95_ns);
+  trace->set("service.latency.samples", stats.latency_samples);
+}
+
+}  // namespace calisched

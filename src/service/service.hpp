@@ -1,0 +1,164 @@
+// The persistent solve service: a bounded, cache-fronted, deadline-aware
+// request executor built on AlgorithmRegistry + ThreadPool.
+//
+// Lifecycle of one request:
+//   submit() — admission control. A request beyond `queue_capacity`
+//     outstanding (admitted but unfinished) requests is rejected
+//     *immediately* with a completed `rejected` outcome; the queue can
+//     never grow without bound. Admitted requests get their wall-clock
+//     deadline stamped here (queue wait burns budget, as a real server
+//     must account it) and a Pending handle the caller can wait on.
+//   worker — after the pause gate, the canonical instance hash is looked
+//     up in the LRU result cache (hits return the stored verified outcome
+//     without running anything); misses run the algorithm under
+//     RunLimits{deadline, service CancelToken} and insert the outcome into
+//     the cache iff it is ok+feasible+verified.
+//   shutdown(drain=true) — stop admitting, release any pause, and wait
+//     for every outstanding request to finish (in-flight solves are
+//     drained, never abandoned). drain=false additionally fires the
+//     CancelToken so in-flight solves stop at their next limit poll.
+//
+// Counters (requests, accepted, rejects, cache hits/misses, completions,
+// p50/p95 solve latency) are snapshot via stats() and exportable into the
+// trace layer via export_stats(); the NDJSON front end maps them onto the
+// "stats" request type.
+//
+// Thread-safety: submit/pause/resume/stats/shutdown may be called from any
+// thread. One mutex orders admission, the cache, and the counters, so a
+// stats() snapshot is always internally consistent.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runtime/registry.hpp"
+#include "service/lru_cache.hpp"
+#include "service/protocol.hpp"
+#include "util/thread_pool.hpp"
+
+namespace calisched {
+
+class TraceContext;
+
+struct ServiceOptions {
+  /// Worker threads; 0 means hardware concurrency.
+  std::size_t threads = 1;
+  /// Maximum admitted-but-unfinished requests; submissions beyond it are
+  /// rejected immediately (explicit backpressure, never unbounded growth).
+  std::size_t queue_capacity = 64;
+  /// LRU result-cache entries; 0 disables caching.
+  std::size_t cache_capacity = 128;
+};
+
+/// Consistent snapshot of the per-server counters.
+struct ServiceStats {
+  std::int64_t received = 0;     ///< submit() calls
+  std::int64_t accepted = 0;     ///< admitted past backpressure
+  std::int64_t rejected = 0;     ///< bounced: full queue or shutting down
+  std::int64_t errors = 0;       ///< refused at admission (unknown algorithm)
+  std::int64_t completed = 0;    ///< finished (cache hit or solved)
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+  std::int64_t cache_size = 0;
+  std::int64_t outstanding = 0;  ///< admitted, not yet completed
+  bool paused = false;
+  std::int64_t latency_p50_ns = 0;  ///< over the recent-completion window
+  std::int64_t latency_p95_ns = 0;
+  std::int64_t latency_samples = 0; ///< samples currently in the window
+};
+
+class SolveService {
+ public:
+  /// Completed-or-pending result slot for one admitted (or rejected)
+  /// request. Rejections are born completed.
+  class Pending {
+   public:
+    /// Blocks until the outcome is ready; the reference stays valid for
+    /// the Pending's lifetime.
+    [[nodiscard]] const SolveOutcome& wait() const;
+    [[nodiscard]] bool ready() const;
+
+   private:
+    friend class SolveService;
+    void complete(SolveOutcome outcome);
+
+    mutable std::mutex mutex_;
+    mutable std::condition_variable cv_;
+    bool ready_ = false;
+    SolveOutcome outcome_;
+  };
+  using PendingPtr = std::shared_ptr<Pending>;
+
+  /// The registry must outlive the service.
+  SolveService(const AlgorithmRegistry& registry, ServiceOptions options);
+  /// Graceful: equivalent to shutdown(/*drain=*/true).
+  ~SolveService();
+
+  SolveService(const SolveService&) = delete;
+  SolveService& operator=(const SolveService&) = delete;
+
+  /// Never blocks. The returned handle is already completed when the
+  /// request was rejected (full queue, shutdown in progress, unknown
+  /// algorithm); otherwise it completes when a worker finishes.
+  [[nodiscard]] PendingPtr submit(const ServiceRequest& request);
+
+  /// Holds workers before they pick up their next request (admission and
+  /// the bounded queue keep operating — this is how backpressure is
+  /// exercised deterministically). resume() releases them.
+  void pause();
+  void resume();
+
+  /// Stops admission and waits for all outstanding requests to finish.
+  /// With drain=false the service CancelToken fires first, so in-flight
+  /// solves stop at their next poll instead of running to completion.
+  /// Idempotent; implicitly resumes a paused service.
+  void shutdown(bool drain = true);
+
+  [[nodiscard]] ServiceStats stats() const;
+  /// Writes the stats() snapshot as "service.*" counters on `trace`
+  /// (null-safe).
+  void export_stats(TraceContext* trace) const;
+
+  [[nodiscard]] const AlgorithmRegistry& registry() const noexcept {
+    return *registry_;
+  }
+  [[nodiscard]] const ServiceOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  void execute(const std::shared_ptr<Pending>& pending, ServiceRequest request,
+               RunLimits limits);
+  [[nodiscard]] static PendingPtr completed(SolveOutcome outcome);
+
+  const AlgorithmRegistry* registry_;
+  ServiceOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable pause_cv_;
+  bool paused_ = false;
+  bool accepting_ = true;
+  std::int64_t received_ = 0;
+  std::int64_t rejected_ = 0;
+  std::int64_t errors_ = 0;
+  std::int64_t completed_ = 0;
+  std::int64_t outstanding_ = 0;
+  std::int64_t cache_hits_ = 0;
+  std::int64_t cache_misses_ = 0;
+  /// Ring of recent completion latencies feeding the percentile snapshot.
+  std::vector<std::int64_t> latency_window_;
+  std::size_t latency_next_ = 0;
+  std::int64_t latency_total_ = 0;
+  LruCache<std::string, SolveOutcome> cache_;
+
+  CancelToken abort_;
+  /// Last member: workers touch everything above, so they must die first.
+  ThreadPool pool_;
+};
+
+}  // namespace calisched

@@ -1,8 +1,24 @@
 #include "util/cli.hpp"
 
+#include <cctype>
+#include <charconv>
 #include <stdexcept>
 
 namespace calisched {
+
+namespace {
+
+/// "flag --name expects a <kind>, got 'value'" — every numeric/boolean
+/// parse failure reports through this so the offending flag is always
+/// named (a raw std::stoll "stoll: invalid_argument" names nothing).
+[[noreturn]] void bad_flag_value(const std::string& name,
+                                 const std::string& value,
+                                 const char* expected) {
+  throw std::invalid_argument("flag --" + name + " expects " + expected +
+                              ", got '" + value + "'");
+}
+
+}  // namespace
 
 CliArgs::CliArgs(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
@@ -39,21 +55,44 @@ std::int64_t CliArgs::get_int(const std::string& name, std::int64_t fallback) co
   queried_[name] = true;
   const auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;
-  return std::stoll(it->second);
+  // Full-string parse: "8abc" and "" are errors, not 8 and an uncaught
+  // std::invalid_argument from std::stoll.
+  const std::string& text = it->second;
+  std::int64_t value = 0;
+  const auto [end, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || end != text.data() + text.size()) {
+    bad_flag_value(name, text, "an integer");
+  }
+  return value;
 }
 
 double CliArgs::get_double(const std::string& name, double fallback) const {
   queried_[name] = true;
   const auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;
-  return std::stod(it->second);
+  const std::string& text = it->second;
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &consumed);
+  } catch (const std::exception&) {
+    bad_flag_value(name, text, "a number");
+  }
+  if (consumed != text.size()) bad_flag_value(name, text, "a number");
+  return value;
 }
 
 bool CliArgs::get_bool(const std::string& name, bool fallback) const {
   queried_[name] = true;
   const auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;
-  return it->second == "true" || it->second == "1" || it->second == "yes";
+  std::string text = it->second;
+  for (char& c : text) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (text == "true" || text == "1" || text == "yes") return true;
+  if (text == "false" || text == "0" || text == "no") return false;
+  // "--verify=ture" used to silently mean false; now it is an error.
+  bad_flag_value(name, it->second, "true/false/1/0/yes/no");
 }
 
 std::vector<std::string> CliArgs::unused() const {

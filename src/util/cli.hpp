@@ -20,6 +20,10 @@ class CliArgs {
   [[nodiscard]] bool has(const std::string& name) const;
   [[nodiscard]] std::string get(const std::string& name,
                                 const std::string& fallback) const;
+  /// Typed accessors require the *entire* value to parse ("8abc" is an
+  /// error, not 8; "ture" is an error, not false) and throw
+  /// std::invalid_argument naming the flag and the offending value.
+  /// get_bool accepts true/false/1/0/yes/no, case-insensitively.
   [[nodiscard]] std::int64_t get_int(const std::string& name,
                                      std::int64_t fallback) const;
   [[nodiscard]] double get_double(const std::string& name, double fallback) const;

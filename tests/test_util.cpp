@@ -250,5 +250,73 @@ TEST(Cli, TracksUnusedFlags) {
   EXPECT_EQ(unused[0], "typo");
 }
 
+// Regression: std::stoll("8abc") used to yield 8 silently, and garbage
+// values raised a bare std::invalid_argument ("stoll") naming nothing.
+// Typed accessors now require the entire value to parse and name the flag.
+TEST(Cli, GetIntRejectsTrailingGarbage) {
+  const char* argv[] = {"prog", "--n=8abc", "--empty=", "--spaced= 7"};
+  CliArgs args(4, argv);
+  try {
+    (void)args.get_int("n", 0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("--n"), std::string::npos) << what;
+    EXPECT_NE(what.find("8abc"), std::string::npos) << what;
+  }
+  EXPECT_THROW((void)args.get_int("empty", 0), std::invalid_argument);
+  EXPECT_THROW((void)args.get_int("spaced", 0), std::invalid_argument);
+}
+
+TEST(Cli, GetIntStillParsesWholeValues) {
+  const char* argv[] = {"prog", "--n=-42", "--big=123456789012"};
+  CliArgs args(3, argv);
+  EXPECT_EQ(args.get_int("n", 0), -42);
+  EXPECT_EQ(args.get_int("big", 0), 123456789012LL);
+}
+
+TEST(Cli, GetDoubleRejectsTrailingGarbage) {
+  const char* argv[] = {"prog", "--x=1.5extra", "--y=nope", "--ok=2.5e-1"};
+  CliArgs args(4, argv);
+  try {
+    (void)args.get_double("x", 0.0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("--x"), std::string::npos) << what;
+    EXPECT_NE(what.find("1.5extra"), std::string::npos) << what;
+  }
+  EXPECT_THROW((void)args.get_double("y", 0.0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(args.get_double("ok", 0.0), 0.25);
+}
+
+// Regression: get_bool treated everything that was not exactly "true"/"1"
+// as false, so "--verify=ture" silently disabled verification.
+TEST(Cli, GetBoolRejectsTypos) {
+  const char* argv[] = {"prog", "--verify=ture", "--flag=2"};
+  CliArgs args(3, argv);
+  try {
+    (void)args.get_bool("verify", true);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("--verify"), std::string::npos) << what;
+    EXPECT_NE(what.find("ture"), std::string::npos) << what;
+  }
+  EXPECT_THROW((void)args.get_bool("flag", false), std::invalid_argument);
+}
+
+TEST(Cli, GetBoolAcceptsCanonicalSpellings) {
+  const char* argv[] = {"prog", "--a=true", "--b=FALSE", "--c=1",
+                        "--d=0",  "--e=Yes",  "--f=no"};
+  CliArgs args(7, argv);
+  EXPECT_TRUE(args.get_bool("a", false));
+  EXPECT_FALSE(args.get_bool("b", true));
+  EXPECT_TRUE(args.get_bool("c", false));
+  EXPECT_FALSE(args.get_bool("d", true));
+  EXPECT_TRUE(args.get_bool("e", false));
+  EXPECT_FALSE(args.get_bool("f", true));
+}
+
 }  // namespace
 }  // namespace calisched

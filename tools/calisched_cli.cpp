@@ -13,6 +13,22 @@
 //   calisched solve-batch [instance-files...] [--algo=NAME] [--threads=N]
 //             [--timeout-ms=N] [--out=FILE] [--no-timing] [--trace]
 //             [--family=F --count=N --seed=N --n=N --T=N --machines=N ...]
+//   calisched serve (--stdio | --port=P) [--threads=N] [--queue-capacity=N]
+//             [--cache-capacity=N]
+//
+// serve starts the persistent solve service (see src/service/): newline-
+// delimited JSON requests in, one response line per request, in request
+// order. --stdio speaks over stdin/stdout (the response stream is byte-
+// identical for any --threads value); --port=P listens on 127.0.0.1:P
+// (0 picks a free port, printed to stderr). The service runs every request
+// through the algorithm registry behind a bounded queue (--queue-capacity,
+// full queue => "reject" response, never unbounded growth) and an LRU
+// result cache (--cache-capacity entries) keyed by a canonical instance
+// hash, so permuted copies of one instance hit the same entry. Request
+// deadlines (timeout_ms) map onto RunLimits; a "stats" request reports
+// requests/rejects/cache hits/latency percentiles; "shutdown" drains
+// in-flight solves and exits cleanly. See DESIGN.md section 11 for the
+// protocol.
 //
 // solve-batch runs one registered algorithm over many instances concurrently
 // and writes one JSON record per instance (JSONL). Instances come from the
@@ -67,6 +83,7 @@
 #include "report/ascii_gantt.hpp"
 #include "report/stats.hpp"
 #include "runtime/batch.hpp"
+#include "service/server.hpp"
 #include "shortwin/short_pipeline.hpp"
 #include "solver/ise_solver.hpp"
 #include "trace/trace.hpp"
@@ -212,6 +229,56 @@ int solve_batch_mode(const CliArgs& args) {
   return 0;
 }
 
+int serve_mode(const CliArgs& args) {
+  ServiceOptions options;
+  options.threads = static_cast<std::size_t>(args.get_int("threads", 1));
+  options.queue_capacity =
+      static_cast<std::size_t>(args.get_int("queue-capacity", 64));
+  options.cache_capacity =
+      static_cast<std::size_t>(args.get_int("cache-capacity", 128));
+  const bool stdio = args.get_bool("stdio", false);
+  const std::int64_t port = args.get_int("port", -1);
+  if (!stdio && port < 0) {
+    std::cerr << "serve needs --stdio or --port=P\n";
+    return 2;
+  }
+  for (const std::string& flag : args.unused()) {
+    std::cerr << "warning: unused flag --" << flag << '\n';
+  }
+
+  if (stdio) {
+    ServeReport report;
+    const int code = run_stdio_server(AlgorithmRegistry::builtin(), options,
+                                      std::cin, std::cout, &report);
+    std::cerr << "serve: " << report.lines << " request(s), "
+              << report.malformed << " malformed, "
+              << (report.shutdown_requested ? "shutdown requested"
+                                            : "input closed")
+              << '\n';
+    return code;
+  }
+
+  SolveService service(AlgorithmRegistry::builtin(), options);
+  TcpServer server(service);
+  try {
+    server.start(static_cast<int>(port));
+  } catch (const std::exception& error) {
+    std::cerr << error.what() << '\n';
+    return 2;
+  }
+  std::cerr << "serve: listening on 127.0.0.1:" << server.port() << " ("
+            << options.threads << " worker thread(s), queue "
+            << options.queue_capacity << ", cache " << options.cache_capacity
+            << ")\n";
+  server.serve();
+  service.shutdown(/*drain=*/true);
+  const ServiceStats stats = service.stats();
+  std::cerr << "serve: " << stats.received << " request(s), "
+            << stats.cache_hits << " cache hit(s), " << stats.rejected
+            << " reject(s)\n";
+  return 0;
+}
+
 std::shared_ptr<const MachineMinimizer> make_mm(const std::string& name,
                                                 std::int64_t speed) {
   std::shared_ptr<const MachineMinimizer> box;
@@ -318,20 +385,22 @@ RunOutcome run_algorithm(const Instance& instance, const CliArgs& args,
   return outcome;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int run_cli(int argc, char** argv) {
   const CliArgs args(argc, argv);
   if (args.has("generate")) return generate_mode(args);
   if (!args.positional().empty() && args.positional()[0] == "solve-batch") {
     return solve_batch_mode(args);
+  }
+  if (!args.positional().empty() && args.positional()[0] == "serve") {
+    return serve_mode(args);
   }
 
   if (args.positional().empty()) {
     std::cerr << "usage: calisched <instance-file> [--algo=NAME] [--gantt] "
                  "[--csv]\n       calisched --generate=FAMILY --out=FILE\n"
                  "       calisched solve-batch [files...] [--algo=NAME] "
-                 "[--threads=N] [--timeout-ms=N]\n";
+                 "[--threads=N] [--timeout-ms=N]\n"
+                 "       calisched serve (--stdio | --port=P) [--threads=N]\n";
     return 2;
   }
   std::ifstream file(args.positional()[0]);
@@ -431,4 +500,17 @@ int main(int argc, char** argv) {
     std::cerr << "warning: unused flag --" << flag << '\n';
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Flag errors (malformed values, bare '--') are user errors, not crashes:
+  // CliArgs accessors throw std::invalid_argument naming the flag and value.
+  try {
+    return run_cli(argc, argv);
+  } catch (const std::invalid_argument& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 2;
+  }
 }

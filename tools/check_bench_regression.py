@@ -3,6 +3,7 @@
 
 Usage:
     tools/check_bench_regression.py BASELINE.json FRESH.json
+    tools/check_bench_regression.py --self-test
 
 Both files follow the bench/harness.hpp record schema. The comparison
 covers the "metrics" and "checks" dicts:
@@ -19,8 +20,13 @@ covers the "metrics" and "checks" dicts:
     throughput) and machine facts (hardware_cores) are ADVISORY only: they
     are printed when they move but never gate the exit code, because the
     committed baselines come from whatever container happened to run them.
+  * One-sided entries never gate and never crash: a name present only in
+    the baseline is a WARNING (coverage shrank), a name present only in
+    the fresh run is an ADVISORY (a renamed or new counter — refresh the
+    baseline when intentional). Non-numeric metric values are ADVISORY.
 
-Exit code: 1 if any FAILURE was recorded, else 0.
+Exit code: 1 if any FAILURE was recorded, else 0. `--self-test` runs the
+embedded fixture suite and exits 0/1 on its own verdict.
 """
 
 import json
@@ -53,38 +59,49 @@ def higher_is_better(name: str) -> bool:
     return any(fragment in lowered for fragment in HIGHER_IS_BETTER_FRAGMENTS)
 
 
-def main(argv):
-    if len(argv) != 3:
-        print(__doc__.strip().splitlines()[2].strip(), file=sys.stderr)
-        return 2
-    with open(argv[1], encoding="utf-8") as handle:
-        baseline = json.load(handle)
-    with open(argv[2], encoding="utf-8") as handle:
-        fresh = json.load(handle)
+def is_number(value) -> bool:
+    # bool is an int subclass; a true/false smuggled into "metrics" is a
+    # schema drift we surface rather than average.
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
 
+
+def compare(baseline: dict, fresh: dict):
+    """Returns (failures, warnings, lines) for one baseline/fresh pair.
+
+    Pure: never raises on shape drift (one-sided names, non-numeric
+    values, missing sections) — every oddity becomes a reported line.
+    """
     failures = 0
     warnings = 0
+    lines = []
 
-    base_checks = baseline.get("checks", {})
-    fresh_checks = fresh.get("checks", {})
+    base_checks = baseline.get("checks") or {}
+    fresh_checks = fresh.get("checks") or {}
     for name, ok in sorted(base_checks.items()):
         if name not in fresh_checks:
-            print(f"WARNING: check '{name}' missing from fresh run "
-                  "(gating may have skipped it)")
+            lines.append(f"WARNING: check '{name}' missing from fresh run "
+                         "(gating may have skipped it)")
             warnings += 1
         elif ok and not fresh_checks[name]:
-            print(f"FAILURE: check '{name}' was true in baseline, "
-                  "false in fresh run")
+            lines.append(f"FAILURE: check '{name}' was true in baseline, "
+                         "false in fresh run")
             failures += 1
+    for name in sorted(set(fresh_checks) - set(base_checks)):
+        lines.append(f"ADVISORY: check '{name}' is new in the fresh run; "
+                     "refresh the baseline to start gating it")
 
-    base_metrics = baseline.get("metrics", {})
-    fresh_metrics = fresh.get("metrics", {})
+    base_metrics = baseline.get("metrics") or {}
+    fresh_metrics = fresh.get("metrics") or {}
     for name, base_value in sorted(base_metrics.items()):
         if name not in fresh_metrics:
-            print(f"WARNING: metric '{name}' missing from fresh run")
+            lines.append(f"WARNING: metric '{name}' missing from fresh run")
             warnings += 1
             continue
         fresh_value = fresh_metrics[name]
+        if not is_number(base_value) or not is_number(fresh_value):
+            lines.append(f"ADVISORY: metric '{name}' is not numeric "
+                         f"({base_value!r} -> {fresh_value!r}); not gating")
+            continue
         if base_value == 0.0:
             change = 0.0 if fresh_value == 0.0 else float("inf")
         else:
@@ -94,22 +111,115 @@ def main(argv):
         moved = abs(change) > WARN_RATIO
         if is_timing(name):
             if moved:
-                print(f"ADVISORY: timing metric '{name}' moved "
-                      f"{base_value:g} -> {fresh_value:g} "
-                      f"({change:+.1%}); not gating")
+                lines.append(f"ADVISORY: timing metric '{name}' moved "
+                             f"{base_value:g} -> {fresh_value:g} "
+                             f"({change:+.1%}); not gating")
             continue
         if worse > FAIL_RATIO:
-            print(f"FAILURE: metric '{name}' regressed "
-                  f"{base_value:g} -> {fresh_value:g} ({change:+.1%})")
+            lines.append(f"FAILURE: metric '{name}' regressed "
+                         f"{base_value:g} -> {fresh_value:g} ({change:+.1%})")
             failures += 1
         elif worse > WARN_RATIO:
-            print(f"WARNING: metric '{name}' regressed "
-                  f"{base_value:g} -> {fresh_value:g} ({change:+.1%})")
+            lines.append(f"WARNING: metric '{name}' regressed "
+                         f"{base_value:g} -> {fresh_value:g} ({change:+.1%})")
             warnings += 1
         elif moved:
-            print(f"note: metric '{name}' improved "
-                  f"{base_value:g} -> {fresh_value:g} ({change:+.1%})")
+            lines.append(f"note: metric '{name}' improved "
+                         f"{base_value:g} -> {fresh_value:g} ({change:+.1%})")
+    for name in sorted(set(fresh_metrics) - set(base_metrics)):
+        lines.append(f"ADVISORY: metric '{name}' is new in the fresh run; "
+                     "refresh the baseline to start tracking it")
 
+    return failures, warnings, lines
+
+
+# --------------------------------------------------------------- self-test --
+
+# Each fixture: (name, baseline, fresh, expected_failures, expected_warnings,
+# substrings that must appear in the report).
+SELF_TEST_FIXTURES = [
+    ("identical",
+     {"checks": {"ok": True}, "metrics": {"pivots": 100}},
+     {"checks": {"ok": True}, "metrics": {"pivots": 100}},
+     0, 0, []),
+    ("check_flips_false",
+     {"checks": {"verified": True}}, {"checks": {"verified": False}},
+     1, 0, ["FAILURE: check 'verified'"]),
+    ("metric_regresses",
+     {"metrics": {"pivots": 100}}, {"metrics": {"pivots": 130}},
+     1, 0, ["FAILURE: metric 'pivots'"]),
+    ("metric_warns",
+     {"metrics": {"pivots": 100}}, {"metrics": {"pivots": 115}},
+     0, 1, ["WARNING: metric 'pivots'"]),
+    ("higher_is_better_flips_direction",
+     {"metrics": {"solved": 100}}, {"metrics": {"solved": 70}},
+     1, 0, ["FAILURE: metric 'solved'"]),
+    ("timing_never_gates",
+     {"metrics": {"solve_wall_ns": 100}}, {"metrics": {"solve_wall_ns": 900}},
+     0, 0, ["ADVISORY: timing metric 'solve_wall_ns'"]),
+    ("baseline_only_metric_warns",
+     {"metrics": {"gone": 5}}, {"metrics": {}},
+     0, 1, ["WARNING: metric 'gone' missing"]),
+    ("fresh_only_metric_is_advisory",
+     {"metrics": {}}, {"metrics": {"brand_new": 5}},
+     0, 0, ["ADVISORY: metric 'brand_new' is new"]),
+    ("fresh_only_check_is_advisory",
+     {"checks": {}}, {"checks": {"extra": True}},
+     0, 0, ["ADVISORY: check 'extra' is new"]),
+    ("non_numeric_does_not_crash",
+     {"metrics": {"label": "fast", "count": 3}},
+     {"metrics": {"label": 7, "count": True}},
+     0, 0, ["ADVISORY: metric 'count' is not numeric",
+            "ADVISORY: metric 'label' is not numeric"]),
+    ("missing_sections_do_not_crash",
+     {}, {"checks": None, "metrics": None},
+     0, 0, []),
+    ("zero_baseline_growth_fails",
+     {"metrics": {"rejects": 0}}, {"metrics": {"rejects": 4}},
+     1, 0, ["FAILURE: metric 'rejects'"]),
+]
+
+
+def self_test() -> int:
+    bad = 0
+    for name, baseline, fresh, want_failures, want_warnings, needles in \
+            SELF_TEST_FIXTURES:
+        failures, warnings, lines = compare(baseline, fresh)
+        report = "\n".join(lines)
+        problems = []
+        if failures != want_failures:
+            problems.append(f"failures {failures} != {want_failures}")
+        if warnings != want_warnings:
+            problems.append(f"warnings {warnings} != {want_warnings}")
+        for needle in needles:
+            if needle not in report:
+                problems.append(f"missing line {needle!r}")
+        if problems:
+            bad += 1
+            print(f"self-test FAIL [{name}]: {'; '.join(problems)}")
+            for line in lines:
+                print(f"    {line}")
+        else:
+            print(f"self-test ok   [{name}]")
+    print(f"self-test: {len(SELF_TEST_FIXTURES) - bad}/"
+          f"{len(SELF_TEST_FIXTURES)} fixtures passed")
+    return 1 if bad else 0
+
+
+def main(argv):
+    if len(argv) == 2 and argv[1] == "--self-test":
+        return self_test()
+    if len(argv) != 3:
+        print(__doc__.strip().splitlines()[2].strip(), file=sys.stderr)
+        return 2
+    with open(argv[1], encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    with open(argv[2], encoding="utf-8") as handle:
+        fresh = json.load(handle)
+
+    failures, warnings, lines = compare(baseline, fresh)
+    for line in lines:
+        print(line)
     bench = fresh.get("bench", baseline.get("bench", "?"))
     print(f"{bench}: {failures} failure(s), {warnings} warning(s)")
     return 1 if failures else 0

@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for `calisched serve --stdio`.
+
+Usage:
+    tools/serve_smoke.py PATH/TO/calisched
+
+Drives the service over its NDJSON pipe with a mixed script — valid
+solves, permuted duplicates, malformed lines, an unknown algorithm, a
+pause/overfill/resume backpressure probe, stats, and a clean shutdown —
+and asserts the observable contracts:
+
+  * one response line per request line, in request order, never a crash;
+  * malformed lines answered with {"type":"error",...};
+  * permuted duplicates served from the cache (stats cache_hits > 0);
+  * with workers paused, submissions past --queue-capacity answered with
+    {"type":"reject",...} mentioning the full queue;
+  * "shutdown" acknowledged, process exits 0;
+  * the response stream (stats-free script) is byte-identical for
+    --threads=1/4/8.
+
+Exit code: 0 when every assertion holds, 1 otherwise.
+"""
+
+import json
+import subprocess
+import sys
+
+# A small fixed instance and a job-permuted copy of it. The canonical
+# instance hash must map both onto the same cache entry.
+INSTANCE = {"machines": 2, "T": 8,
+            "jobs": [[0, 0, 20, 4], [1, 2, 30, 6], [2, 5, 40, 3],
+                     [3, 1, 25, 5], [4, 8, 50, 7]]}
+PERMUTED = {"machines": 2, "T": 8,
+            "jobs": [INSTANCE["jobs"][i] for i in (3, 0, 4, 2, 1)]}
+OTHER = {"machines": 2, "T": 8,
+         "jobs": [[0, 0, 18, 3], [1, 4, 36, 8], [2, 2, 28, 5]]}
+
+FAILED = 0
+
+
+def check(name, ok, detail=""):
+    global FAILED
+    if ok:
+        print(f"ok   {name}")
+    else:
+        FAILED += 1
+        print(f"FAIL {name}{': ' + detail if detail else ''}")
+
+
+def run_serve(binary, script, extra_flags=()):
+    """Feeds `script` to one serve --stdio process; returns (stdout, rc)."""
+    proc = subprocess.run(
+        [binary, "serve", "--stdio", *extra_flags],
+        input=script, capture_output=True, text=True, timeout=120)
+    return proc.stdout, proc.returncode
+
+
+def line(obj):
+    return json.dumps(obj, separators=(",", ":")) + "\n"
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__.strip().splitlines()[2].strip(), file=sys.stderr)
+        return 2
+    binary = argv[1]
+
+    # --- run A: cache + malformed + unknown algorithm ---------------------
+    # Single worker: the thread pool serves solves in submission order, so
+    # id 1 is solved (and cached) before the duplicates are picked up —
+    # cache_hits is exactly 2, deterministically.
+    script = (
+        line({"type": "ping", "id": "alive"}) +
+        line({"type": "solve", "id": 1, "instance": INSTANCE}) +
+        "this is not json\n" +
+        line({"type": "solve", "id": 2, "instance": PERMUTED}) +   # dup
+        line({"type": "solve", "id": 3, "instance": OTHER}) +
+        line({"type": "solve", "id": 4, "instance": INSTANCE}) +   # dup
+        line({"type": "solve", "id": 5}) +                         # no instance
+        line({"type": "solve", "id": 6, "algo": "no-such-algo",
+              "instance": OTHER}) +
+        line({"type": "stats", "id": "s"}) +
+        line({"type": "shutdown", "id": "bye"})
+    )
+    stdout, rc = run_serve(binary, script, ("--threads=1",))
+    check("serve exits 0", rc == 0, f"rc={rc}")
+    responses = [json.loads(l) for l in stdout.splitlines() if l.strip()]
+    expected = script.count("\n")
+    check("one response per request", len(responses) == expected,
+          f"{len(responses)} != {expected}")
+    by_id = {str(r.get("id")): r for r in responses}
+
+    check("ping acked", by_id.get("alive", {}).get("op") == "ping")
+    for rid in ("1", "3"):
+        check(f"solve {rid} feasible+verified",
+              by_id.get(rid, {}).get("feasible") is True and
+              by_id.get(rid, {}).get("verified") is True, str(by_id.get(rid)))
+    for rid in ("2", "4"):
+        check(f"duplicate {rid} matches original payload",
+              {k: v for k, v in by_id.get(rid, {}).items() if k != "id"} ==
+              {k: v for k, v in by_id.get("1", {}).items() if k != "id"})
+    malformed = [r for r in responses if r.get("type") == "error"]
+    check("malformed + missing-instance got error responses",
+          len(malformed) == 2, str(malformed))
+    check("unknown algorithm is a structured result",
+          by_id.get("6", {}).get("type") == "result" and
+          "unknown algorithm" in by_id.get("6", {}).get("error", ""))
+    stats = by_id.get("s", {}).get("stats", {})
+    check("stats reports cache hits for the duplicates",
+          stats.get("cache_hits") == 2, str(stats))
+    check("shutdown acked", by_id.get("bye", {}).get("op") == "shutdown")
+
+    # --- run B: backpressure under a paused worker ------------------------
+    # pause arrives before any solve, so the 2-slot queue fills in request
+    # order: ids 1 and 2 admitted, id 3 bounced — deterministically.
+    script = (
+        line({"type": "pause", "id": "hold"}) +
+        line({"type": "solve", "id": 1, "instance": INSTANCE}) +
+        line({"type": "solve", "id": 2, "instance": OTHER}) +
+        line({"type": "solve", "id": 3, "instance": INSTANCE}) +   # bounced
+        line({"type": "resume", "id": "go"}) +
+        line({"type": "stats", "id": "s"}) +
+        line({"type": "shutdown", "id": "bye"})
+    )
+    stdout, rc = run_serve(binary, script,
+                           ("--threads=1", "--queue-capacity=2"))
+    check("backpressure serve exits 0", rc == 0, f"rc={rc}")
+    responses = [json.loads(l) for l in stdout.splitlines() if l.strip()]
+    check("backpressure: one response per request",
+          len(responses) == script.count("\n"),
+          f"{len(responses)} != {script.count(chr(10))}")
+    by_id = {str(r.get("id")): r for r in responses}
+    check("paused overflow rejected",
+          by_id.get("3", {}).get("type") == "reject" and
+          "queue full" in by_id.get("3", {}).get("error", ""),
+          str(by_id.get("3")))
+    for rid in ("1", "2"):
+        check(f"admitted request {rid} completed after resume",
+              by_id.get(rid, {}).get("type") == "result")
+    stats = by_id.get("s", {}).get("stats", {})
+    check("stats reports the reject", stats.get("rejected") == 1, str(stats))
+
+    # --- byte-identity across worker-thread counts ------------------------
+    det_script = (
+        line({"type": "solve", "id": 1, "instance": INSTANCE}) +
+        line({"type": "solve", "id": 2, "instance": OTHER}) +
+        line({"type": "solve", "id": 3, "instance": PERMUTED}) +
+        "still not json\n" +
+        line({"type": "solve", "id": 4, "instance": INSTANCE}) +
+        line({"type": "shutdown", "id": 5})
+    )
+    outputs = {}
+    for threads in (1, 4, 8):
+        stdout, rc = run_serve(binary, det_script, (f"--threads={threads}",))
+        check(f"threads={threads} run exits 0", rc == 0, f"rc={rc}")
+        outputs[threads] = stdout
+    check("responses byte-identical at 1/4/8 threads",
+          outputs[1] == outputs[4] == outputs[8] and outputs[1] != "")
+
+    print(f"serve_smoke: {'FAILED' if FAILED else 'passed'} "
+          f"({FAILED} failing assertion(s))")
+    return 1 if FAILED else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,34 @@
+// Lazy EDF greedy for the calibration-cost model — the practical
+// multi-machine heuristic the cost experiments compare against the
+// exact solvers.
+//
+// Policy (the cost-model analogue of GreedyLazyIse): process jobs
+// most-urgent-first; reuse the earliest feasible gap inside an open
+// calibration's availability window; otherwise open a new calibration with
+// the cheapest type that can host the job (ties broken toward longer
+// length — more room to share), started as late as the urgent work due by
+// d_j allows. No approximation guarantee; fails honestly when its choices
+// paint it into a corner.
+#pragma once
+
+#include <string>
+
+#include "core/schedule.hpp"
+#include "runtime/limits.hpp"
+#include "runtime/status.hpp"
+
+namespace calisched {
+
+struct GreedyCostResult {
+  bool feasible = false;
+  /// kInfeasible when the greedy gave up (honest failure),
+  /// kDeadlineExceeded / kCancelled when `limits` fired.
+  SolveStatus status = SolveStatus::kOk;
+  Schedule schedule;  ///< verifier-clean ISE schedule when feasible
+  std::string error;
+};
+
+[[nodiscard]] GreedyCostResult solve_greedy_cost(
+    const Instance& instance, const RunLimits& limits = RunLimits::none());
+
+}  // namespace calisched

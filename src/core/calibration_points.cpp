@@ -1,17 +1,52 @@
 #include "core/calibration_points.hpp"
 
 #include <algorithm>
+#include <set>
 
 namespace calisched {
+namespace {
+
+/// All sums of at most `max_count` spans drawn (with repetition) from
+/// `spans`, strictly below `limit`. Always contains 0. For a single span T
+/// this is {0, T, 2T, ..., kT} — the Lemma 3 offsets.
+std::vector<Time> span_sums(std::vector<Time> spans, std::size_t max_count,
+                            Time limit) {
+  std::sort(spans.begin(), spans.end());
+  spans.erase(std::unique(spans.begin(), spans.end()), spans.end());
+  std::set<Time> sums{0};
+  std::vector<Time> frontier{0};
+  for (std::size_t round = 0; round < max_count && !frontier.empty(); ++round) {
+    std::vector<Time> next;
+    for (const Time base : frontier) {
+      for (const Time span : spans) {
+        const Time sum = base + span;
+        if (sum >= limit) break;  // spans sorted: larger ones only overshoot
+        if (sums.insert(sum).second) next.push_back(sum);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return {sums.begin(), sums.end()};
+}
+
+}  // namespace
 
 std::vector<Time> canonical_calibration_points(const Instance& instance) {
   std::vector<Time> points;
+  if (instance.empty()) return points;
   const Time horizon = instance.max_deadline();
-  const auto n = static_cast<Time>(instance.size());
-  points.reserve(instance.size() * (instance.size() + 1));
+  const CalibrationModel model = instance.effective_model();
+  std::vector<Time> spans;
+  spans.reserve(model.size());
+  for (const CalibrationType& type : model.types) spans.push_back(type.span());
+  // Offsets below horizon - min_release cover every job: r_j + s < horizon
+  // forces s < horizon - r_j <= horizon - min_release.
+  const std::vector<Time> sums =
+      span_sums(std::move(spans), instance.size(), horizon - instance.min_release());
+  points.reserve(instance.size() * sums.size());
   for (const Job& job : instance.jobs) {
-    for (Time k = 0; k <= n; ++k) {
-      const Time t = job.release + k * instance.T;
+    for (const Time sum : sums) {
+      const Time t = job.release + sum;
       if (t >= horizon) break;  // a calibration starting after every deadline is useless
       points.push_back(t);
     }
@@ -31,6 +66,25 @@ std::vector<Time> tise_calibration_points(const Instance& instance) {
   };
   std::erase_if(points, [&](Time t) { return !feasible_for_some_job(t); });
   return points;
+}
+
+std::vector<std::vector<Time>> typed_tise_calibration_points(
+    const Instance& instance) {
+  const std::vector<Time> canonical = canonical_calibration_points(instance);
+  const CalibrationModel model = instance.effective_model();
+  std::vector<std::vector<Time>> typed(model.size());
+  for (std::size_t k = 0; k < model.size(); ++k) {
+    const CalibrationType& type = model.types[k];
+    typed[k] = canonical;
+    std::erase_if(typed[k], [&](Time t) {
+      return std::none_of(instance.jobs.begin(), instance.jobs.end(),
+                          [&](const Job& job) {
+                            return job.release <= t + type.activation_delay &&
+                                   t + type.span() <= job.deadline;
+                          });
+    });
+  }
+  return typed;
 }
 
 }  // namespace calisched

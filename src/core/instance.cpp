@@ -37,7 +37,21 @@ Time Instance::total_work() const noexcept {
 
 std::optional<std::string> Instance::validate() const {
   if (machines < 1) return "machine count must be >= 1";
-  if (T < 2) return "calibration length T must be >= 2";
+  if (cal.empty()) {
+    if (T < 2) return "calibration length T must be >= 2";
+  } else {
+    if (auto error = cal.validate()) return *error;
+    // A table that *is* the classic model must agree with T, so the unit
+    // algorithms and the explicit one-type table see the same instance.
+    if (cal.size() == 1 && cal.types.front().cost == 1 &&
+        cal.types.front().activation_delay == 0 &&
+        cal.types.front().length != T) {
+      return "one-type unit table length " +
+             std::to_string(cal.types.front().length) +
+             " disagrees with T " + std::to_string(T);
+    }
+  }
+  const Time max_len = max_calibration_length();
   std::vector<bool> seen;
   for (const Job& job : jobs) {
     if (job.id < 0) return "job id must be non-negative";
@@ -51,8 +65,10 @@ std::optional<std::string> Instance::validate() const {
     if (job.proc < 1) {
       return "job " + std::to_string(job.id) + ": processing time must be >= 1";
     }
-    if (job.proc > T) {
-      return "job " + std::to_string(job.id) + ": p_j must be <= T";
+    if (job.proc > max_len) {
+      return "job " + std::to_string(job.id) +
+             (cal.empty() ? ": p_j must be <= T"
+                          : ": p_j must fit the longest calibration type");
     }
     if (job.deadline < job.release + job.proc) {
       return "job " + std::to_string(job.id) + ": window too small for p_j";
@@ -72,8 +88,10 @@ WindowSplit split_by_window(const Instance& instance) {
   WindowSplit split;
   split.long_jobs.machines = instance.machines;
   split.long_jobs.T = instance.T;
+  split.long_jobs.cal = instance.cal;
   split.short_jobs.machines = instance.machines;
   split.short_jobs.T = instance.T;
+  split.short_jobs.cal = instance.cal;
   for (const Job& job : instance.jobs) {
     (job.is_long(instance.T) ? split.long_jobs : split.short_jobs)
         .jobs.push_back(job);
@@ -84,6 +102,10 @@ WindowSplit split_by_window(const Instance& instance) {
 void write_instance(std::ostream& out, const Instance& instance) {
   out << "machines " << instance.machines << '\n';
   out << "T " << instance.T << '\n';
+  for (const CalibrationType& type : instance.cal.types) {
+    out << "caltype " << type.length << ' ' << type.cost << ' '
+        << type.activation_delay << '\n';
+  }
   for (const Job& job : instance.jobs) {
     out << "job " << job.id << ' ' << job.release << ' ' << job.deadline << ' '
         << job.proc << '\n';
@@ -108,6 +130,12 @@ Instance read_instance(std::istream& in) {
       if (!(fields >> instance.machines)) fail("expected machine count");
     } else if (keyword == "T") {
       if (!(fields >> instance.T)) fail("expected calibration length");
+    } else if (keyword == "caltype") {
+      CalibrationType type;
+      if (!(fields >> type.length >> type.cost >> type.activation_delay)) {
+        fail("expected: caltype <length> <cost> <activation_delay>");
+      }
+      instance.cal.types.push_back(type);
     } else if (keyword == "job") {
       Job job;
       if (!(fields >> job.id >> job.release >> job.deadline >> job.proc)) {

@@ -1,4 +1,4 @@
-// ISE problem instance: jobs + machine count + calibration length.
+// ISE problem instance: jobs + machine count + calibration model.
 #pragma once
 
 #include <iosfwd>
@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "core/calibration.hpp"
 #include "core/job.hpp"
 
 namespace calisched {
@@ -13,13 +14,41 @@ namespace calisched {
 /// A complete ISE instance (Bender et al. / Fineman-Sheridan formulation):
 /// `machines` identical machines, calibration length `T >= 2`, and jobs with
 /// p_j <= T, d_j >= r_j + p_j.
+///
+/// The generalized cost model (Angel et al.) replaces the single length T
+/// with a table of calibration types. An empty `cal.types` means the unit
+/// model of length T — the degenerate one-type table — so classic call
+/// sites that only ever touch `T` keep their exact semantics; an explicit
+/// table makes this a cost-model instance (see is_unit_model()), and jobs
+/// are then constrained by the longest type length instead of T.
 struct Instance {
   std::vector<Job> jobs;
   int machines = 1;
   Time T = 2;
+  /// Calibration-type table; empty means the implicit unit model unit(T).
+  CalibrationModel cal;
 
   [[nodiscard]] std::size_t size() const noexcept { return jobs.size(); }
   [[nodiscard]] bool empty() const noexcept { return jobs.empty(); }
+
+  /// The table with the implicit unit model resolved: unit(T) when `cal`
+  /// is empty, `cal` itself otherwise.
+  [[nodiscard]] CalibrationModel effective_model() const {
+    return cal.empty() ? CalibrationModel::unit(T) : cal;
+  }
+
+  /// True when the effective model is the classic one: a single type of
+  /// length T, cost 1, and no activation delay. Every algorithm predating
+  /// the cost model requires this (the registry gates on it).
+  [[nodiscard]] bool is_unit_model() const noexcept {
+    return cal.empty() || cal.is_unit(T);
+  }
+
+  /// Longest usable calibration window: T under the unit model, the
+  /// longest type length otherwise. Upper bound for every p_j.
+  [[nodiscard]] Time max_calibration_length() const noexcept {
+    return cal.empty() ? T : cal.max_length();
+  }
 
   /// Earliest release over all jobs (0 when empty).
   [[nodiscard]] Time min_release() const noexcept;
@@ -47,7 +76,10 @@ struct WindowSplit {
 /// Serialises to a small line-oriented text format:
 ///   machines <m>
 ///   T <T>
+///   caltype <length> <cost> <activation_delay>   (one per explicit type)
 ///   job <id> <release> <deadline> <proc>
+/// `caltype` lines appear only for explicit tables; unit-model instances
+/// keep the original single-T format byte for byte.
 void write_instance(std::ostream& out, const Instance& instance);
 
 /// Parses the format produced by write_instance; throws std::runtime_error

@@ -11,13 +11,41 @@ Time Schedule::job_duration_ticks(Time proc) const noexcept {
   return scaled / speed;
 }
 
+CalibrationType Schedule::type_info(int type) const noexcept {
+  if (cal.empty()) {
+    assert(type == 0 && "unit model has a single type");
+    return CalibrationType{T, 1, 0};
+  }
+  assert(type >= 0 && static_cast<std::size_t>(type) < cal.types.size());
+  return cal.types[static_cast<std::size_t>(type)];
+}
+
+Time Schedule::available_start_ticks(const Calibration& c) const noexcept {
+  return c.start + type_info(c.type).activation_delay * time_denominator;
+}
+
+Time Schedule::available_end_ticks(const Calibration& c) const noexcept {
+  const CalibrationType type = type_info(c.type);
+  return c.start + type.span() * time_denominator;
+}
+
+Time Schedule::occupied_end_ticks(const Calibration& c) const noexcept {
+  return c.start + type_info(c.type).span() * time_denominator;
+}
+
+std::int64_t Schedule::total_cost() const noexcept {
+  std::int64_t total = 0;
+  for (const Calibration& c : calibrations) total += type_info(c.type).cost;
+  return total;
+}
+
 int Schedule::machines_used() const {
   std::vector<bool> used(static_cast<std::size_t>(machines), false);
   auto mark = [&](int machine) {
     assert(machine >= 0 && machine < machines);
     used[static_cast<std::size_t>(machine)] = true;
   };
-  for (const Calibration& cal : calibrations) mark(cal.machine);
+  for (const Calibration& c : calibrations) mark(c.machine);
   for (const ScheduledJob& job : jobs) mark(job.machine);
   return static_cast<int>(std::count(used.begin(), used.end(), true));
 }
@@ -25,8 +53,9 @@ int Schedule::machines_used() const {
 void Schedule::normalize() {
   std::sort(calibrations.begin(), calibrations.end(),
             [](const Calibration& a, const Calibration& b) {
-              return a.machine != b.machine ? a.machine < b.machine
-                                            : a.start < b.start;
+              if (a.machine != b.machine) return a.machine < b.machine;
+              if (a.start != b.start) return a.start < b.start;
+              return a.type < b.type;
             });
   std::sort(jobs.begin(), jobs.end(),
             [](const ScheduledJob& a, const ScheduledJob& b) {
@@ -38,14 +67,15 @@ void Schedule::normalize() {
 
 void Schedule::append_disjoint(const Schedule& other, int machine_offset) {
   assert(T == other.T);
+  assert(effective_model() == other.effective_model());
   assert(time_denominator == other.time_denominator);
   assert(speed == other.speed);
   assert(machine_offset >= 0);
   machines = std::max(machines, machine_offset + other.machines);
   calibrations.reserve(calibrations.size() + other.calibrations.size());
-  for (Calibration cal : other.calibrations) {
-    cal.machine += machine_offset;
-    calibrations.push_back(cal);
+  for (Calibration c : other.calibrations) {
+    c.machine += machine_offset;
+    calibrations.push_back(c);
   }
   jobs.reserve(jobs.size() + other.jobs.size());
   for (ScheduledJob job : other.jobs) {
@@ -57,7 +87,7 @@ void Schedule::append_disjoint(const Schedule& other, int machine_offset) {
 void Schedule::scale_denominator(std::int64_t factor) {
   assert(factor >= 1);
   time_denominator *= factor;
-  for (Calibration& cal : calibrations) cal.start *= factor;
+  for (Calibration& c : calibrations) c.start *= factor;
   for (ScheduledJob& sj : jobs) sj.start *= factor;
 }
 
@@ -67,12 +97,13 @@ void Schedule::scale_speed(std::int64_t factor) {
 }
 
 std::size_t Schedule::prune_empty_calibrations(const Instance& instance) {
-  const Time cal_len = calibration_ticks();
-  const auto hosts_a_job = [&](const Calibration& cal) {
+  const auto hosts_a_job = [&](const Calibration& c) {
+    const Time lo = available_start_ticks(c);
+    const Time hi = available_end_ticks(c);
     for (const ScheduledJob& sj : jobs) {
-      if (sj.machine != cal.machine) continue;
+      if (sj.machine != c.machine) continue;
       const Time duration = job_duration_ticks(instance.job_by_id(sj.job).proc);
-      if (cal.start <= sj.start && sj.start + duration <= cal.start + cal_len) {
+      if (lo <= sj.start && sj.start + duration <= hi) {
         return true;
       }
     }
@@ -80,7 +111,7 @@ std::size_t Schedule::prune_empty_calibrations(const Instance& instance) {
   };
   const std::size_t before = calibrations.size();
   std::erase_if(calibrations,
-                [&](const Calibration& cal) { return !hosts_a_job(cal); });
+                [&](const Calibration& c) { return !hosts_a_job(c); });
   return before - calibrations.size();
 }
 
@@ -88,6 +119,7 @@ Schedule Schedule::empty_like(const Instance& instance, int machines) {
   Schedule schedule;
   schedule.machines = machines;
   schedule.T = instance.T;
+  schedule.cal = instance.cal;
   return schedule;
 }
 

@@ -17,10 +17,16 @@
 
 namespace calisched {
 
-/// One calibration: machine usable for [start, start + T*D) ticks.
+/// One calibration. Under the unit model (type 0 of an empty table) the
+/// machine is usable for [start, start + T*D) ticks. Under an explicit
+/// table, `type` indexes the schedule's CalibrationModel: the machine is
+/// *occupied* for [start, start + span*D) ticks but only usable for the
+/// trailing [start + delay*D, start + (delay+length)*D) availability
+/// window.
 struct Calibration {
   int machine = 0;
   Time start = 0;  // ticks
+  int type = 0;    // index into the schedule's calibration-type table
 
   friend constexpr bool operator==(const Calibration&, const Calibration&) noexcept =
       default;
@@ -41,13 +47,42 @@ struct Schedule {
   Time T = 2;                           ///< calibration length, real units
   std::int64_t time_denominator = 1;    ///< ticks per real time unit
   std::int64_t speed = 1;               ///< uniform machine speed
+  /// Calibration-type table; empty means the implicit unit model unit(T).
+  CalibrationModel cal;
   std::vector<Calibration> calibrations;
   std::vector<ScheduledJob> jobs;
 
-  /// Calibration length in ticks.
+  /// Unit-model calibration length in ticks. Classic algorithms only; the
+  /// generalized per-calibration quantities are below.
   [[nodiscard]] Time calibration_ticks() const noexcept {
     return T * time_denominator;
   }
+
+  /// True when the effective model is the classic single-type one.
+  [[nodiscard]] bool is_unit_model() const noexcept {
+    return cal.empty() || cal.is_unit(T);
+  }
+
+  /// The table with the implicit unit model resolved.
+  [[nodiscard]] CalibrationModel effective_model() const {
+    return cal.empty() ? CalibrationModel::unit(T) : cal;
+  }
+
+  /// Type record for a type id, resolving the implicit unit model.
+  /// Precondition: the id indexes the effective table.
+  [[nodiscard]] CalibrationType type_info(int type) const noexcept;
+
+  /// First usable tick of a calibration: start + activation_delay * D.
+  [[nodiscard]] Time available_start_ticks(const Calibration& c) const noexcept;
+  /// One past the last usable tick: available start + length * D.
+  [[nodiscard]] Time available_end_ticks(const Calibration& c) const noexcept;
+  /// One past the last *occupied* tick: start + span * D. Two calibrations
+  /// on one machine must not overlap in occupancy (strict policy).
+  [[nodiscard]] Time occupied_end_ticks(const Calibration& c) const noexcept;
+
+  /// Sum of type costs over all calibrations; equals num_calibrations()
+  /// under the unit model.
+  [[nodiscard]] std::int64_t total_cost() const noexcept;
 
   /// Duration in ticks of a job with processing time `proc`.
   /// Asserts exact divisibility (the verifier re-checks it).
@@ -64,7 +99,7 @@ struct Schedule {
   void normalize();
 
   /// Splices `other` onto machines [offset, offset + other.machines).
-  /// Requires matching T, denominator, and speed.
+  /// Requires matching T, calibration model, denominator, and speed.
   void append_disjoint(const Schedule& other, int machine_offset);
 
   /// Refines the tick resolution: multiplies time_denominator and every

@@ -13,8 +13,16 @@ void write_schedule(std::ostream& out, const Schedule& schedule) {
   out << "T " << schedule.T << '\n';
   out << "denominator " << schedule.time_denominator << '\n';
   out << "speed " << schedule.speed << '\n';
+  for (const CalibrationType& type : schedule.cal.types) {
+    out << "caltype " << type.length << ' ' << type.cost << ' '
+        << type.activation_delay << '\n';
+  }
+  // The type id is emitted only for explicit tables; unit-model schedules
+  // keep the original two-field format byte for byte.
   for (const Calibration& cal : schedule.calibrations) {
-    out << "calibration " << cal.machine << ' ' << cal.start << '\n';
+    out << "calibration " << cal.machine << ' ' << cal.start;
+    if (!schedule.cal.empty()) out << ' ' << cal.type;
+    out << '\n';
   }
   for (const ScheduledJob& sj : schedule.jobs) {
     out << "job " << sj.job << ' ' << sj.machine << ' ' << sj.start << '\n';
@@ -43,11 +51,18 @@ Schedule read_schedule(std::istream& in) {
       if (!(fields >> schedule.time_denominator)) fail("expected denominator");
     } else if (keyword == "speed") {
       if (!(fields >> schedule.speed)) fail("expected speed");
+    } else if (keyword == "caltype") {
+      CalibrationType type;
+      if (!(fields >> type.length >> type.cost >> type.activation_delay)) {
+        fail("expected: caltype <length> <cost> <activation_delay>");
+      }
+      schedule.cal.types.push_back(type);
     } else if (keyword == "calibration") {
       Calibration cal;
       if (!(fields >> cal.machine >> cal.start)) {
-        fail("expected: calibration <machine> <start>");
+        fail("expected: calibration <machine> <start> [type]");
       }
+      fields >> cal.type;  // optional third field; absent means type 0
       schedule.calibrations.push_back(cal);
     } else if (keyword == "job") {
       ScheduledJob sj;

@@ -140,4 +140,41 @@ Instance generate_clustered(const GenParams& params, int bursts, Time burst_span
   return instance;
 }
 
+CalibrationModel calib_table(CalibTableRegime regime, Time base_length) {
+  assert(base_length >= 2);
+  const Time base = base_length;
+  CalibrationModel model;
+  switch (regime) {
+    case CalibTableRegime::kCheapShort:
+      model.types = {CalibrationType{base, 2, 0},
+                     CalibrationType{2 * base, 5, 0}};
+      break;
+    case CalibTableRegime::kExpensiveLong:
+      model.types = {CalibrationType{base, 1, 0},
+                     CalibrationType{3 * base, 10, 0}};
+      break;
+    case CalibTableRegime::kDelayed:
+      model.types = {CalibrationType{base, 2, 0},
+                     CalibrationType{2 * base, 3, std::max<Time>(1, base / 2)}};
+      break;
+  }
+  assert(!model.validate().has_value());
+  return model;
+}
+
+Instance generate_calib_cost(const GenParams& params, CalibTableRegime regime) {
+  Rng rng(params.seed);
+  Instance instance = shell(params);
+  instance.cal = calib_table(regime, params.T);
+  for (int j = 0; j < params.n; ++j) {
+    // draw_proc clamps to [1, T], so every job fits the base-length type.
+    const Time proc = draw_proc(rng, params);
+    const Time window = proc + rng.uniform_int(0, 2 * params.T);
+    const Time latest_release = std::max<Time>(0, params.horizon - window);
+    const Time release = rng.uniform_int(0, latest_release);
+    instance.jobs.push_back(make_job(j, release, window, proc));
+  }
+  return instance;
+}
+
 }  // namespace calisched

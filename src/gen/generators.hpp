@@ -53,4 +53,25 @@ struct GenParams {
 [[nodiscard]] Instance generate_clustered(const GenParams& params, int bursts,
                                           Time burst_span, bool long_windows);
 
+/// Calibration-type-table shapes for the generalized cost model (Angel et
+/// al.). Each regime stresses a different cost trade-off:
+///   kCheapShort    — a cheap short type against a pricier double-length
+///                    type; sharing must pay for the upgrade;
+///   kExpensiveLong — a unit-cost short type against a superlinearly
+///                    priced triple-length type; long is rarely worth it;
+///   kDelayed       — the longer type activates late, so its nominal
+///                    capacity shrinks near deadlines.
+enum class CalibTableRegime { kCheapShort, kExpensiveLong, kDelayed };
+
+/// The two-type table for `regime`, scaled to `base_length` (>= 2).
+[[nodiscard]] CalibrationModel calib_table(CalibTableRegime regime,
+                                           Time base_length);
+
+/// Jobs drawn as in generate_mixed but attached to calib_table(regime,
+/// params.T): processing times fit the base type, windows range from tight
+/// (lone job, cheap type suffices) to several spans wide (clusters where a
+/// longer calibration amortizes its cost).
+[[nodiscard]] Instance generate_calib_cost(const GenParams& params,
+                                           CalibTableRegime regime);
+
 }  // namespace calisched

@@ -53,13 +53,12 @@ std::string render_schedule(const Instance& instance, const Schedule& schedule,
   if (schedule.calibrations.empty() && schedule.jobs.empty()) {
     return "(empty schedule)\n";
   }
-  // Determine span in ticks.
+  // Determine span in ticks (full machine occupancy, delay included).
   Time lo = std::numeric_limits<Time>::max();
   Time hi = std::numeric_limits<Time>::min();
-  const Time cal_len = schedule.calibration_ticks();
   for (const Calibration& cal : schedule.calibrations) {
     lo = std::min(lo, cal.start);
-    hi = std::max(hi, cal.start + cal_len);
+    hi = std::max(hi, schedule.occupied_end_ticks(cal));
   }
   for (const ScheduledJob& sj : schedule.jobs) {
     lo = std::min(lo, sj.start);
@@ -85,10 +84,13 @@ std::string render_schedule(const Instance& instance, const Schedule& schedule,
     for (const Calibration& cal : schedule.calibrations) {
       if (cal.machine != machine) continue;
       machine_used = true;
+      // '~' marks the activation warm-up (absent under the unit model),
+      // '=' the usable availability window.
       const int a = column(cal.start, lo, scale);
-      const int b = column(cal.start + cal_len, lo, scale);
+      const int usable = column(schedule.available_start_ticks(cal), lo, scale);
+      const int b = column(schedule.occupied_end_ticks(cal), lo, scale);
       for (int c = a; c < b && c < static_cast<int>(width); ++c) {
-        cal_row[static_cast<std::size_t>(c)] = '=';
+        cal_row[static_cast<std::size_t>(c)] = c < usable ? '~' : '=';
       }
       cal_row[static_cast<std::size_t>(a)] = '[';
     }

@@ -24,8 +24,12 @@ ScheduleStats compute_stats(const Instance& instance, const Schedule& schedule) 
   ScheduleStats stats;
   stats.calibrations = schedule.num_calibrations();
   stats.machines_used = schedule.machines_used();
-  const Time cal_len = schedule.calibration_ticks();
-  stats.calibrated_ticks = static_cast<Time>(schedule.calibrations.size()) * cal_len;
+  // Usable (availability-window) ticks per calibration; under the unit
+  // model every window is exactly T * denominator, as before.
+  for (const Calibration& cal : schedule.calibrations) {
+    stats.calibrated_ticks += schedule.available_end_ticks(cal) -
+                              schedule.available_start_ticks(cal);
+  }
   for (const ScheduledJob& sj : schedule.jobs) {
     stats.busy_ticks +=
         schedule.job_duration_ticks(instance.job_by_id(sj.job).proc);
@@ -40,7 +44,7 @@ ScheduleStats compute_stats(const Instance& instance, const Schedule& schedule) 
     std::map<int, std::size_t> per_machine;
     for (const Calibration& cal : schedule.calibrations) {
       lo = std::min(lo, cal.start);
-      hi = std::max(hi, cal.start + cal_len);
+      hi = std::max(hi, schedule.occupied_end_ticks(cal));
       ++per_machine[cal.machine];
     }
     stats.span_ticks = hi - lo;

@@ -44,10 +44,20 @@ std::vector<Instance> generate_batch(const BatchSpec& spec,
       const Time burst_span = spec.burst_span > 0 ? spec.burst_span : params.T;
       instances.push_back(generate_clustered(params, spec.bursts, burst_span,
                                              spec.long_windows));
+    } else if (spec.family == "calib-cheap-short") {
+      instances.push_back(
+          generate_calib_cost(params, CalibTableRegime::kCheapShort));
+    } else if (spec.family == "calib-expensive-long") {
+      instances.push_back(
+          generate_calib_cost(params, CalibTableRegime::kExpensiveLong));
+    } else if (spec.family == "calib-delayed") {
+      instances.push_back(
+          generate_calib_cost(params, CalibTableRegime::kDelayed));
     } else {
       throw std::invalid_argument(
           "unknown batch family '" + spec.family +
-          "' (mixed|long|short|unit|clustered)");
+          "' (mixed|long|short|unit|clustered|calib-cheap-short|"
+          "calib-expensive-long|calib-delayed)");
     }
   }
   return instances;
@@ -86,6 +96,7 @@ std::vector<BatchRecord> BatchRunner::run(const std::vector<Instance>& instances
     record.calibrations = result.calibrations;
     record.machines = result.machines;
     record.speed = result.speed;
+    record.total_cost = result.total_cost;
     record.error = result.error;
     if (options.collect_traces) record.trace = trace.to_json();
   });
@@ -105,6 +116,7 @@ JsonValue batch_record_json(const BatchRecord& record, bool include_timing) {
   object.emplace_back("calibrations", JsonValue(record.calibrations));
   object.emplace_back("machines", JsonValue(record.machines));
   object.emplace_back("speed", JsonValue(record.speed));
+  object.emplace_back("total_cost", JsonValue(record.total_cost));
   object.emplace_back("error", JsonValue(record.error));
   if (include_timing) {
     object.emplace_back("elapsed_ns", JsonValue(record.elapsed_ns));

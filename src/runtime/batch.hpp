@@ -31,7 +31,10 @@ namespace calisched {
 /// A generator-backed batch: `count` instances of one family, instance i
 /// generated with seed derive_instance_seed(params.seed, i).
 struct BatchSpec {
-  std::string family = "mixed";  ///< mixed|long|short|unit|clustered
+  /// mixed|long|short|unit|clustered, or a calibration-cost family over an
+  /// explicit type table: calib-cheap-short|calib-expensive-long|
+  /// calib-delayed (see CalibTableRegime).
+  std::string family = "mixed";
   std::size_t count = 8;
   GenParams params;              ///< params.seed is the *base* seed
   double long_fraction = 0.5;    ///< mixed family
@@ -58,6 +61,8 @@ struct BatchRecord {
   std::size_t calibrations = 0;
   int machines = 0;
   std::int64_t speed = 1;
+  /// Total calibration cost (equals `calibrations` under the unit model).
+  std::int64_t total_cost = 0;
   std::string error;
   std::int64_t elapsed_ns = 0;  ///< timing; dropped when timing is excluded
   JsonValue trace;              ///< per-instance trace (null unless collected)

@@ -7,6 +7,9 @@
 #include "baselines/baseline.hpp"
 #include "baselines/exact_ise.hpp"
 #include "baselines/gap_min.hpp"
+#include "calib/cost_dp.hpp"
+#include "calib/exact_cost.hpp"
+#include "calib/greedy_cost.hpp"
 #include "longwin/long_pipeline.hpp"
 #include "mm/lp_rounding_mm.hpp"
 #include "mm/mm.hpp"
@@ -56,6 +59,13 @@ class AdapterBase : public Algorithm {
       return result;
     }
     // Guarantee (2): capability mismatches fail structurally, not via assert.
+    // The model gate comes first: a type-table instance is a different
+    // problem variant, and that diagnosis beats any job-shape complaint.
+    if (!caps_.supports_calibration_model && !instance.is_unit_model()) {
+      return std::move(fail_result(result, SolveStatus::kInfeasible,
+                                   "requires the unit calibration model",
+                                   name_));
+    }
     if (caps_.requires_all_long && !all_long(instance)) {
       return std::move(fail_result(result, SolveStatus::kInfeasible,
                                    "requires an all-long instance", name_));
@@ -67,6 +77,10 @@ class AdapterBase : public Algorithm {
     if (caps_.requires_unit_jobs && !all_unit(instance)) {
       return std::move(fail_result(result, SolveStatus::kInfeasible,
                                    "requires unit processing times", name_));
+    }
+    if (caps_.requires_single_machine && instance.machines != 1) {
+      return std::move(fail_result(result, SolveStatus::kInfeasible,
+                                   "requires a single machine", name_));
     }
     solve(instance, limits, trace, result);
     // Guarantee (3): never report an unverified ISE schedule as feasible.
@@ -81,6 +95,7 @@ class AdapterBase : public Algorithm {
       result.calibrations = result.schedule.num_calibrations();
       result.machines = result.schedule.machines;
       result.speed = result.schedule.speed;
+      result.total_cost = result.schedule.total_cost();
     }
     return result;
   }
@@ -283,6 +298,72 @@ class GapMinAlgorithm final : public AdapterBase {
   }
 };
 
+/// Exact minimum-cost oracle under a calibration-type table.
+class ExactCalibCostAlgorithm final : public AdapterBase {
+ public:
+  ExactCalibCostAlgorithm()
+      : AdapterBase("exact-calib-cost",
+                    AlgorithmCapabilities{.supports_calibration_model = true,
+                                          .exact = true}) {}
+
+ protected:
+  void solve(const Instance& instance, const RunLimits& limits,
+             TraceContext* /*trace*/, RunResult& result) const override {
+    CalibCostOptions options;
+    options.limits = limits;
+    const CalibCostResult solved = solve_exact_calib_cost(instance, options);
+    if (solved.solved && solved.feasible) {
+      result.feasible = true;
+      result.schedule = solved.schedule;
+      return;
+    }
+    fail_result(result, failure_status(solved.status), {}, name());
+  }
+};
+
+/// Single-machine subset DP: exact minimum cost for non-unit jobs.
+class CostDpAlgorithm final : public AdapterBase {
+ public:
+  CostDpAlgorithm()
+      : AdapterBase("dp-calib-cost",
+                    AlgorithmCapabilities{.requires_single_machine = true,
+                                          .supports_calibration_model = true,
+                                          .exact = true}) {}
+
+ protected:
+  void solve(const Instance& instance, const RunLimits& limits,
+             TraceContext* /*trace*/, RunResult& result) const override {
+    CostDpOptions options;
+    options.limits = limits;
+    const CostDpResult solved = solve_cost_dp(instance, options);
+    if (solved.solved && solved.feasible) {
+      result.feasible = true;
+      result.schedule = solved.schedule;
+      return;
+    }
+    fail_result(result, failure_status(solved.status), {}, name());
+  }
+};
+
+/// Lazy EDF greedy over the type table (cheapest hosting type, lazy start).
+class GreedyCalibCostAlgorithm final : public AdapterBase {
+ public:
+  GreedyCalibCostAlgorithm()
+      : AdapterBase("greedy-calib-cost",
+                    AlgorithmCapabilities{.supports_calibration_model = true}) {}
+
+ protected:
+  void solve(const Instance& instance, const RunLimits& limits,
+             TraceContext* /*trace*/, RunResult& result) const override {
+    GreedyCostResult solved = solve_greedy_cost(instance, limits);
+    result.feasible = solved.feasible;
+    result.status = solved.feasible ? SolveStatus::kOk
+                                    : failure_status(solved.status);
+    result.error = std::move(solved.error);
+    result.schedule = std::move(solved.schedule);
+  }
+};
+
 AlgorithmCapabilities mm_caps(bool requires_unit = false, bool exact = false) {
   AlgorithmCapabilities caps;
   caps.requires_unit_jobs = requires_unit;
@@ -343,6 +424,9 @@ const AlgorithmRegistry& AlgorithmRegistry::builtin() {
     built.add(std::make_shared<MmBoxAlgorithm>(
         "mm-lp-rounding", std::make_shared<LpRoundingMM>(), mm_caps()));
     built.add(std::make_shared<GapMinAlgorithm>());
+    built.add(std::make_shared<ExactCalibCostAlgorithm>());
+    built.add(std::make_shared<CostDpAlgorithm>());
+    built.add(std::make_shared<GreedyCalibCostAlgorithm>());
     return built;
   }();
   return registry;

@@ -40,6 +40,13 @@ struct AlgorithmCapabilities {
   bool requires_all_long = false;   ///< every job long (Definition 1)
   bool requires_all_short = false;  ///< every window <= 2T
   bool requires_unit_jobs = false;  ///< every p_j = 1
+  /// Only single-machine instances (the calibration-cost DP).
+  bool requires_single_machine = false;
+  /// Understands explicit calibration-type tables (arbitrary lengths,
+  /// per-type costs, activation delays). Algorithms predating the cost
+  /// model leave this false and report capability-mismatch infeasible on
+  /// non-unit instances instead of silently ignoring the table.
+  bool supports_calibration_model = false;
   bool exact = false;               ///< exponential search; tiny instances only
   /// False for MM boxes and the gap minimizer: they report a machine /
   /// block count, and RunResult::schedule stays empty.
@@ -61,6 +68,9 @@ struct RunResult {
   std::size_t calibrations = 0;
   int machines = 0;
   std::int64_t speed = 1;
+  /// Total calibration cost under the instance's type table; equals
+  /// `calibrations` under the unit model (every type costs 1).
+  std::int64_t total_cost = 0;
   bool verified = false;  ///< independent verifier re-checked the result
 };
 
@@ -110,6 +120,8 @@ class AlgorithmRegistry {
   ///   greedy-lazy, per-job, saturate, bender-lazy, exact-ise (baselines)
   ///   mm-greedy, mm-exact, mm-unit, mm-lp-rounding          (MM boxes)
   ///   gap-min                                   (related problem, Sec. 5)
+  ///   exact-calib-cost, dp-calib-cost, greedy-calib-cost (cost model,
+  ///                                              Angel et al. 2015)
   [[nodiscard]] static const AlgorithmRegistry& builtin();
 
  private:

@@ -39,6 +39,18 @@ std::uint64_t canonical_instance_hash(const Instance& instance) noexcept {
   std::uint64_t state = 0x452821e638d01377ULL;
   state = mix(state, static_cast<std::uint64_t>(instance.machines));
   state = mix(state, static_cast<std::uint64_t>(instance.T));
+  // Fold the *effective* calibration model, in table order (type ids are
+  // semantic, so the table is ordered, unlike the job set). Hashing the
+  // resolved model makes an implicit unit table and an explicit {T, 1, 0}
+  // table — which are interchangeable everywhere else — share cache
+  // entries, while a changed cost or activation delay separates them.
+  const CalibrationModel model = instance.effective_model();
+  state = mix(state, static_cast<std::uint64_t>(model.size()));
+  for (const CalibrationType& type : model.types) {
+    state = mix(state, static_cast<std::uint64_t>(type.length));
+    state = mix(state, static_cast<std::uint64_t>(type.cost));
+    state = mix(state, static_cast<std::uint64_t>(type.activation_delay));
+  }
   state = mix(state, static_cast<std::uint64_t>(instance.jobs.size()));
   state = mix(state, sum);
   state = mix(state, xored);

@@ -56,6 +56,24 @@ bool parse_instance(const JsonValue& value, Instance* out, std::string* error) {
     job.proc = fields[3].as_int();
     out->jobs.push_back(job);
   }
+  out->cal.types.clear();
+  if (const JsonValue* caltypes = value.find("caltypes")) {
+    if (!caltypes->is_array()) {
+      *error = "field 'instance.caltypes' must be an array";
+      return false;
+    }
+    for (const JsonValue& entry : caltypes->as_array()) {
+      if (!entry.is_array() || entry.as_array().size() != 3 ||
+          !entry.as_array()[0].is_int() || !entry.as_array()[1].is_int() ||
+          !entry.as_array()[2].is_int()) {
+        *error = "each caltype must be [length, cost, delay] (integers)";
+        return false;
+      }
+      const JsonValue::Array& fields = entry.as_array();
+      out->cal.types.push_back(CalibrationType{
+          fields[0].as_int(), fields[1].as_int(), fields[2].as_int()});
+    }
+  }
   if (const auto invalid = out->validate()) {
     *error = "invalid instance: " + *invalid;
     return false;
@@ -154,6 +172,19 @@ JsonValue instance_to_json(const Instance& instance) {
     jobs.emplace_back(std::move(fields));
   }
   object.emplace_back("jobs", JsonValue(std::move(jobs)));
+  if (!instance.cal.empty()) {
+    JsonValue::Array caltypes;
+    caltypes.reserve(instance.cal.size());
+    for (const CalibrationType& type : instance.cal.types) {
+      JsonValue::Array fields;
+      fields.reserve(3);
+      fields.emplace_back(type.length);
+      fields.emplace_back(type.cost);
+      fields.emplace_back(type.activation_delay);
+      caltypes.emplace_back(std::move(fields));
+    }
+    object.emplace_back("caltypes", JsonValue(std::move(caltypes)));
+  }
   return JsonValue(std::move(object));
 }
 
@@ -165,10 +196,13 @@ JsonValue schedule_to_json(const Schedule& schedule) {
   object.emplace_back("speed", JsonValue(schedule.speed));
   JsonValue::Array calibrations;
   calibrations.reserve(schedule.calibrations.size());
+  // Unit-model schedules keep the historical two-field shape; an explicit
+  // type table adds the type id (mirrors the text format's third column).
   for (const Calibration& cal : schedule.calibrations) {
     JsonValue::Array fields;
     fields.emplace_back(cal.machine);
     fields.emplace_back(cal.start);
+    if (!schedule.cal.empty()) fields.emplace_back(cal.type);
     calibrations.emplace_back(std::move(fields));
   }
   object.emplace_back("calibrations", JsonValue(std::move(calibrations)));
@@ -197,6 +231,7 @@ JsonValue make_result_response(const JsonValue& id, const SolveOutcome& outcome,
   object.emplace_back("calibrations", JsonValue(outcome.calibrations));
   object.emplace_back("machines", JsonValue(outcome.machines));
   object.emplace_back("speed", JsonValue(outcome.speed));
+  object.emplace_back("total_cost", JsonValue(outcome.total_cost));
   object.emplace_back("error", JsonValue(outcome.error));
   if (want_schedule && outcome.feasible) {
     object.emplace_back("schedule", schedule_to_json(outcome.schedule));

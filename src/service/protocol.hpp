@@ -3,8 +3,11 @@
 //
 // Request shapes (one per line; `id` is optional and echoed verbatim):
 //   {"type":"solve","id":R,"algo":"combined",
-//    "instance":{"machines":M,"T":T,"jobs":[[id,release,deadline,proc],...]},
+//    "instance":{"machines":M,"T":T,"jobs":[[id,release,deadline,proc],...],
+//                "caltypes":[[length,cost,delay],...]},
 //    "timeout_ms":N,"schedule":false}
+// "caltypes" is optional: absent or empty means the classic unit model
+// (one type of length T, cost 1, no activation delay).
 //   {"type":"stats","id":R}      counters + latency percentiles snapshot
 //   {"type":"ping","id":R}       liveness probe
 //   {"type":"pause","id":R}      hold workers (queued requests wait)
@@ -73,6 +76,9 @@ struct SolveOutcome {
   std::size_t calibrations = 0;
   int machines = 0;
   std::int64_t speed = 1;
+  /// Total calibration cost under the instance's type table (equals the
+  /// calibration count under the unit model).
+  std::int64_t total_cost = 0;
   std::string error;
   Schedule schedule;     ///< valid when feasible and the algorithm emits one
   bool rejected = false; ///< bounded queue was full; nothing was run

@@ -157,6 +157,7 @@ void SolveService::execute(const std::shared_ptr<Pending>& pending,
     outcome.calibrations = result.calibrations;
     outcome.machines = result.machines;
     outcome.speed = result.speed;
+    outcome.total_cost = result.total_cost;
     outcome.error = result.error;
     outcome.schedule = result.schedule;
   }

@@ -52,11 +52,30 @@ VerifyResult verify_ise(const Instance& instance, const Schedule& schedule,
         "time_denominator and speed must be >= 1");
     return result;
   }
-  const Time cal_len = schedule.T * D;
   if (schedule.T != instance.T) {
     add(result, Violation::Kind::kStructural,
         "schedule T does not match instance T");
   }
+  const CalibrationModel model = instance.effective_model();
+  if (schedule.effective_model() != model) {
+    add(result, Violation::Kind::kStructural,
+        "schedule calibration-type table does not match the instance's");
+  }
+  const auto type_count = static_cast<int>(model.size());
+  const auto type_ok = [&](const Calibration& cal) {
+    return cal.type >= 0 && cal.type < type_count;
+  };
+  // Per-calibration windows in ticks, from the *instance's* table (the
+  // schedule's table was just checked to agree).
+  const auto type_of = [&](const Calibration& cal) -> const CalibrationType& {
+    return model.types[static_cast<std::size_t>(cal.type)];
+  };
+  const auto avail_start = [&](const Calibration& cal) {
+    return cal.start + type_of(cal).activation_delay * D;
+  };
+  const auto avail_end = [&](const Calibration& cal) {
+    return cal.start + type_of(cal).span() * D;
+  };
 
   // --- structural checks on machines and job multiplicity -----------------
   std::map<JobId, const Job*> by_id;
@@ -89,6 +108,20 @@ VerifyResult verify_ise(const Instance& instance, const Schedule& schedule,
           "calibration at tick " + std::to_string(cal.start) +
               ": machine index out of range");
     }
+    if (!type_ok(cal)) {
+      add(result, Violation::Kind::kStructural,
+          "calibration at tick " + std::to_string(cal.start) + ": type id " +
+              std::to_string(cal.type) + " out of range [0, " +
+              std::to_string(type_count) + ")");
+    }
+  }
+  result.calibrations = schedule.calibrations.size();
+  for (const Calibration& cal : schedule.calibrations) {
+    if (type_ok(cal)) result.total_cost += type_of(cal).cost;
+  }
+  if (std::any_of(schedule.calibrations.begin(), schedule.calibrations.end(),
+                  [&](const Calibration& cal) { return !type_ok(cal); })) {
+    return result;  // windows below would index out of the table
   }
 
   // --- per-job checks: arithmetic, window, calibration containment --------
@@ -112,11 +145,11 @@ VerifyResult verify_ise(const Instance& instance, const Schedule& schedule,
           << job.deadline * D << ")";
       add(result, Violation::Kind::kWindow, msg.str());
     }
-    // Find a covering calibration on the same machine.
+    // Find a calibration whose availability window covers the run.
     const Calibration* cover = nullptr;
     for (const Calibration& cal : schedule.calibrations) {
-      if (cal.machine == sj.machine && cal.start <= start &&
-          finish <= cal.start + cal_len) {
+      if (cal.machine == sj.machine && avail_start(cal) <= start &&
+          finish <= avail_end(cal)) {
         cover = &cal;
         break;
       }
@@ -125,14 +158,14 @@ VerifyResult verify_ise(const Instance& instance, const Schedule& schedule,
       add(result, Violation::Kind::kCalibrationCover,
           job_tag(job.id) + " at tick " + std::to_string(start) +
               " on machine " + std::to_string(sj.machine) +
-              " is not contained in any calibration");
+              " is not contained in any calibration's availability window");
     } else if (require_tise) {
-      // TISE restriction: r_j <= t and t + T <= d_j, in ticks.
-      if (cover->start < job.release * D ||
-          cover->start + cal_len > job.deadline * D) {
+      // TISE restriction: the availability window nests in the job window.
+      if (avail_start(*cover) < job.release * D ||
+          avail_end(*cover) > job.deadline * D) {
         std::ostringstream msg;
-        msg << job_tag(job.id) << ": containing calibration [" << cover->start
-            << ", " << cover->start + cal_len
+        msg << job_tag(job.id) << ": containing calibration ["
+            << avail_start(*cover) << ", " << avail_end(*cover)
             << ") ticks is not inside the job window [" << job.release * D
             << ", " << job.deadline * D << ")";
         add(result, Violation::Kind::kTise, msg.str());
@@ -153,9 +186,10 @@ VerifyResult verify_ise(const Instance& instance, const Schedule& schedule,
     check_disjoint(result, Violation::Kind::kJobOverlap, spans, machine, "jobs");
   }
   if (policy == CalibrationPolicy::kStrict) {
+    // Occupancy spans: the activation delay occupies the machine too.
     std::map<int, std::vector<std::pair<Time, Time>>> cal_spans;
     for (const Calibration& cal : schedule.calibrations) {
-      cal_spans[cal.machine].emplace_back(cal.start, cal.start + cal_len);
+      cal_spans[cal.machine].emplace_back(cal.start, avail_end(cal));
     }
     for (auto& [machine, spans] : cal_spans) {
       check_disjoint(result, Violation::Kind::kCalibrationOverlap, spans,

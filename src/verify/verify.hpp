@@ -6,12 +6,18 @@
 // not against any algorithm's internal representation:
 //
 //   (1) every job runs nonpreemptively within its window,
-//   (2) every job lies completely inside one calibrated interval on its
-//       machine,
+//   (2) every job lies completely inside one calibration's *availability*
+//       window on its machine (post-activation, pre-expiry; under the unit
+//       model that is the whole [start, start + T) interval),
 //   (3) jobs on a machine do not overlap,
-//   (4) calibrations on a machine do not overlap (footnote 3: calibrations
-//       on one machine must be at least T apart),
-//   (5) [TISE only] the containing calibration lies inside the job window.
+//   (4) calibrations on a machine do not overlap in machine *occupancy*
+//       (activation delay included; footnote 3's strict variant),
+//   (5) [TISE only] the containing availability window lies inside the job
+//       window.
+//
+// Under an explicit calibration-type table (Angel et al.) the checks are
+// type-aware — each calibration's windows come from its type record — and
+// the result carries the total calibration cost alongside the count.
 #pragma once
 
 #include <string>
@@ -49,6 +55,11 @@ struct Violation {
 
 struct VerifyResult {
   std::vector<Violation> violations;
+  /// Objective summary, filled by verify_ise regardless of outcome:
+  /// calibration count and total calibration cost (the generalized
+  /// objective; equals the count under the unit model).
+  std::size_t calibrations = 0;
+  std::int64_t total_cost = 0;
 
   [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
   /// Human-readable multi-line report ("ok" when clean).

@@ -1,0 +1,340 @@
+// Tests for the generalized calibration-cost model (src/calib/ and the
+// registry plumbing around it):
+//   * the unit model is exactly the degenerate one-type table — every
+//     registered algorithm produces a byte-identical outcome whether the
+//     table is implicit (empty) or the explicit {T, 1, 0};
+//   * algorithms predating the cost model refuse type-table instances with
+//     a capability-mismatch infeasible, never a wrong schedule;
+//   * the subset DP agrees with the independent branch-and-bound oracle on
+//     feasibility and optimal cost across a multi-type differential sweep;
+//   * the greedy heuristic is verifier-clean and never beats the optimum;
+//   * the type-aware verifier rejects activation-delay, occupancy, and
+//     type-id violations it alone can see.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "calib/cost_dp.hpp"
+#include "calib/exact_cost.hpp"
+#include "calib/greedy_cost.hpp"
+#include "gen/generators.hpp"
+#include "runtime/registry.hpp"
+#include "verify/verify.hpp"
+
+namespace calisched {
+namespace {
+
+// The checked-in data/sample_caltypes.txt instance, inline: one machine,
+// a {6, 2, 0} base type and a {12, 5, 1} double-length delayed type.
+Instance sample_caltypes() {
+  Instance instance;
+  instance.machines = 1;
+  instance.T = 6;
+  instance.cal.types = {{6, 2, 0}, {12, 5, 1}};
+  instance.jobs = {
+      {0, 0, 10, 4}, {1, 2, 14, 3}, {2, 8, 20, 5}, {3, 15, 24, 2},
+      {4, 16, 30, 6},
+  };
+  return instance;
+}
+
+Instance typed_small(CalibTableRegime regime, std::uint64_t seed,
+                     int machines = 1) {
+  GenParams params;
+  params.seed = seed;
+  params.n = 4;
+  params.T = 5;
+  params.machines = machines;
+  params.horizon = 20;
+  params.max_proc = 4;
+  return generate_calib_cost(params, regime);
+}
+
+// ------------------------------------------------- unit-model equivalence --
+
+// An implicit unit table and the explicit CalibrationModel::unit(T) are the
+// same instance; every algorithm must not be able to tell them apart. This
+// is the refactor's central no-regression guarantee: total schedule
+// equality (not just equal objective) pins the classic code paths down to
+// tie-breaking.
+TEST(UnitModelEquivalence, EveryAlgorithmIsByteIdentical) {
+  GenParams params;
+  params.seed = 1234;
+  params.n = 8;
+  params.T = 6;
+  params.machines = 2;
+  params.horizon = 60;
+  params.max_proc = 5;
+  std::vector<Instance> shapes;
+  shapes.push_back(generate_mixed(params, 0.5));
+  shapes.push_back(generate_unit(params, /*max_window=*/2 * params.T - 1));
+  params.machines = 1;
+  params.n = 4;
+  shapes.push_back(generate_short_window(params));
+
+  for (const Instance& implicit : shapes) {
+    ASSERT_TRUE(implicit.cal.empty());
+    Instance explicit_unit = implicit;
+    explicit_unit.cal = CalibrationModel::unit(implicit.T);
+    ASSERT_TRUE(explicit_unit.is_unit_model());
+
+    for (const auto& algorithm : AlgorithmRegistry::builtin().all()) {
+      const RunResult a = algorithm->run(implicit);
+      const RunResult b = algorithm->run(explicit_unit);
+      const std::string tag = algorithm->name();
+      EXPECT_EQ(a.status, b.status) << tag;
+      EXPECT_EQ(a.feasible, b.feasible) << tag;
+      EXPECT_EQ(a.error, b.error) << tag;
+      EXPECT_EQ(a.calibrations, b.calibrations) << tag;
+      EXPECT_EQ(a.machines, b.machines) << tag;
+      EXPECT_EQ(a.speed, b.speed) << tag;
+      EXPECT_EQ(a.total_cost, b.total_cost) << tag;
+      // The schedules themselves: identical placements, tick for tick.
+      // (Schedule::cal mirrors the instance's table, so it legitimately
+      // differs between the two runs — everything else must not.)
+      EXPECT_EQ(a.schedule.machines, b.schedule.machines) << tag;
+      EXPECT_EQ(a.schedule.T, b.schedule.T) << tag;
+      EXPECT_EQ(a.schedule.time_denominator, b.schedule.time_denominator)
+          << tag;
+      EXPECT_EQ(a.schedule.speed, b.schedule.speed) << tag;
+      EXPECT_EQ(a.schedule.calibrations, b.schedule.calibrations) << tag;
+      EXPECT_EQ(a.schedule.jobs, b.schedule.jobs) << tag;
+      // A feasible unit-model result's cost is its calibration count.
+      if (a.feasible && algorithm->capabilities().produces_ise_schedule) {
+        EXPECT_EQ(a.total_cost, static_cast<std::int64_t>(a.calibrations))
+            << tag;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------- capability gates --
+
+TEST(CapabilityGate, ClassicAlgorithmsRefuseTypeTables) {
+  const Instance typed = typed_small(CalibTableRegime::kCheapShort, 7);
+  ASSERT_FALSE(typed.is_unit_model());
+  for (const auto& algorithm : AlgorithmRegistry::builtin().all()) {
+    if (algorithm->capabilities().supports_calibration_model) continue;
+    const RunResult result = algorithm->run(typed);
+    EXPECT_EQ(result.status, SolveStatus::kInfeasible) << algorithm->name();
+    EXPECT_FALSE(result.feasible) << algorithm->name();
+    EXPECT_NE(result.error.find("requires the unit calibration model"),
+              std::string::npos)
+        << algorithm->name() << ": " << result.error;
+  }
+}
+
+TEST(CapabilityGate, CostDpRefusesMultipleMachines) {
+  const Instance typed =
+      typed_small(CalibTableRegime::kCheapShort, 7, /*machines=*/2);
+  const Algorithm* dp = AlgorithmRegistry::builtin().find("dp-calib-cost");
+  ASSERT_NE(dp, nullptr);
+  const RunResult result = dp->run(typed);
+  EXPECT_EQ(result.status, SolveStatus::kInfeasible);
+  EXPECT_NE(result.error.find("requires a single machine"), std::string::npos)
+      << result.error;
+}
+
+TEST(CapabilityGate, CostAlgorithmsAcceptUnitModelInstances) {
+  // The cost solvers are strictly more general: they must handle classic
+  // instances too, and there agree with the exact unit-model optimum
+  // (every calibration costs 1, so cost minimization = count minimization).
+  GenParams params;
+  params.seed = 42;
+  params.n = 4;
+  params.T = 5;
+  params.machines = 1;
+  params.horizon = 25;
+  params.max_proc = 4;
+  const Instance unit = generate_mixed(params, 0.5);
+  ASSERT_TRUE(unit.is_unit_model());
+  const AlgorithmRegistry& registry = AlgorithmRegistry::builtin();
+  const RunResult exact_unit = registry.find("exact-ise")->run(unit);
+  const RunResult dp = registry.find("dp-calib-cost")->run(unit);
+  ASSERT_TRUE(exact_unit.feasible) << exact_unit.error;
+  ASSERT_TRUE(dp.feasible) << dp.error;
+  EXPECT_EQ(dp.total_cost,
+            static_cast<std::int64_t>(exact_unit.calibrations));
+}
+
+// ------------------------------------------------------------ exact + DP --
+
+TEST(CostSolvers, SampleInstanceOptimum) {
+  const Instance instance = sample_caltypes();
+  const CostDpResult dp = solve_cost_dp(instance);
+  const CalibCostResult oracle = solve_exact_calib_cost(instance);
+  ASSERT_TRUE(dp.solved);
+  ASSERT_TRUE(oracle.solved);
+  ASSERT_TRUE(dp.feasible);
+  ASSERT_TRUE(oracle.feasible);
+  EXPECT_EQ(dp.total_cost, 9);
+  EXPECT_EQ(oracle.total_cost, 9);
+  for (const Schedule* schedule : {&dp.schedule, &oracle.schedule}) {
+    const VerifyResult check = verify_ise(instance, *schedule);
+    EXPECT_TRUE(check.ok()) << check.to_string();
+    EXPECT_EQ(check.total_cost, 9);
+  }
+}
+
+// The differential contract the bench also enforces, pinned as a ctest:
+// two independently implemented exact solvers must agree on feasibility
+// and on the optimal total cost for every small multi-type instance.
+TEST(CostSolvers, DpMatchesOracleAcrossRegimes) {
+  constexpr CalibTableRegime kRegimes[] = {CalibTableRegime::kCheapShort,
+                                           CalibTableRegime::kExpensiveLong,
+                                           CalibTableRegime::kDelayed};
+  std::size_t compared = 0;
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    const Instance instance =
+        typed_small(kRegimes[seed % 3], 0xD1F0 + seed * 977);
+    const CostDpResult dp = solve_cost_dp(instance);
+    const CalibCostResult oracle = solve_exact_calib_cost(instance);
+    if (!dp.solved || !oracle.solved) continue;  // budget-limited; skip
+    ++compared;
+    EXPECT_EQ(dp.feasible, oracle.feasible) << "seed " << seed;
+    if (dp.feasible && oracle.feasible) {
+      EXPECT_EQ(dp.total_cost, oracle.total_cost) << "seed " << seed;
+      const VerifyResult check = verify_ise(instance, dp.schedule);
+      EXPECT_TRUE(check.ok()) << "seed " << seed << "\n" << check.to_string();
+      EXPECT_EQ(check.total_cost, dp.total_cost) << "seed " << seed;
+    }
+  }
+  EXPECT_GE(compared, 8u);  // the sweep must mostly complete to mean much
+}
+
+TEST(CostSolvers, GreedyIsCleanAndNeverBeatsOptimum) {
+  constexpr CalibTableRegime kRegimes[] = {CalibTableRegime::kCheapShort,
+                                           CalibTableRegime::kExpensiveLong,
+                                           CalibTableRegime::kDelayed};
+  std::size_t solved = 0;
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    const Instance instance =
+        typed_small(kRegimes[seed % 3], 0x6EE0 + seed * 131);
+    const GreedyCostResult greedy = solve_greedy_cost(instance);
+    if (!greedy.feasible) continue;  // honest failure is allowed
+    ++solved;
+    const VerifyResult check = verify_ise(instance, greedy.schedule);
+    ASSERT_TRUE(check.ok()) << "seed " << seed << "\n" << check.to_string();
+    const CostDpResult dp = solve_cost_dp(instance);
+    if (dp.solved && dp.feasible) {
+      EXPECT_GE(check.total_cost, dp.total_cost) << "seed " << seed;
+    }
+  }
+  EXPECT_GE(solved, 3u);
+}
+
+TEST(CostSolvers, DelayedTypeMayStartBeforeTimeZero) {
+  // Only type: length 4 with a 3-tick activation delay, and a job whose
+  // window [0, 6) is shorter than delay + proc. The schedule is still
+  // feasible — nothing forbids calibrating *before* the first release, so
+  // the warm-up can elapse at negative times and the usable window lands
+  // on [r_j, r_j + 4). Both exact solvers must find it.
+  Instance instance;
+  instance.machines = 1;
+  instance.T = 4;
+  instance.cal.types = {{4, 1, 3}};
+  instance.jobs = {{0, 0, 6, 4}};
+  ASSERT_FALSE(instance.validate().has_value());
+  const CostDpResult dp = solve_cost_dp(instance);
+  const CalibCostResult oracle = solve_exact_calib_cost(instance);
+  ASSERT_TRUE(dp.feasible);
+  ASSERT_TRUE(oracle.feasible);
+  for (const Schedule* schedule : {&dp.schedule, &oracle.schedule}) {
+    ASSERT_EQ(schedule->calibrations.size(), 1u);
+    EXPECT_LT(schedule->calibrations[0].start, 0);
+    const VerifyResult check = verify_ise(instance, *schedule);
+    EXPECT_TRUE(check.ok()) << check.to_string();
+    EXPECT_EQ(check.total_cost, 1);
+  }
+}
+
+TEST(CostSolvers, InfeasibleWhenOneMachineCannotCarryTheLoad) {
+  // Two 3-tick jobs due by 4 on one machine: 6 units of work in a 4-unit
+  // horizon. No type table helps; both solvers must prove infeasibility.
+  Instance instance;
+  instance.machines = 1;
+  instance.T = 4;
+  instance.cal.types = {{4, 1, 0}, {8, 2, 1}};
+  instance.jobs = {{0, 0, 4, 3}, {1, 0, 4, 3}};
+  ASSERT_FALSE(instance.validate().has_value());
+  const CostDpResult dp = solve_cost_dp(instance);
+  EXPECT_TRUE(dp.solved);
+  EXPECT_FALSE(dp.feasible);
+  const CalibCostResult oracle = solve_exact_calib_cost(instance);
+  EXPECT_TRUE(oracle.solved);
+  EXPECT_FALSE(oracle.feasible);
+}
+
+// ----------------------------------------------------- type-aware verify --
+
+TEST(TypedVerify, AcceptsDelayAwarePlacementAndCountsCost) {
+  Instance instance;
+  instance.machines = 1;
+  instance.T = 4;
+  instance.cal.types = {{4, 2, 0}, {8, 3, 2}};
+  instance.jobs = {{0, 0, 20, 6}};
+  Schedule schedule = Schedule::empty_like(instance, 1);
+  schedule.calibrations = {{0, 0, 1}};  // occupied [0,10), usable [2,10)
+  schedule.jobs = {{0, 0, 2}};
+  const VerifyResult check = verify_ise(instance, schedule);
+  EXPECT_TRUE(check.ok()) << check.to_string();
+  EXPECT_EQ(check.calibrations, 1u);
+  EXPECT_EQ(check.total_cost, 3);
+}
+
+TEST(TypedVerify, RejectsJobInsideActivationDelay) {
+  Instance instance;
+  instance.machines = 1;
+  instance.T = 4;
+  instance.cal.types = {{8, 3, 2}};
+  instance.jobs = {{0, 0, 20, 6}};
+  Schedule schedule = Schedule::empty_like(instance, 1);
+  schedule.calibrations = {{0, 0, 0}};
+  schedule.jobs = {{0, 0, 1}};  // [1, 7) starts during the [0, 2) warm-up
+  const VerifyResult check = verify_ise(instance, schedule);
+  ASSERT_FALSE(check.ok());
+  EXPECT_EQ(check.violations[0].kind, Violation::Kind::kCalibrationCover);
+}
+
+TEST(TypedVerify, RejectsOccupancyOverlapEvenWhenWindowsAreDisjoint) {
+  // Second calibration starts inside the first one's activation span:
+  // availability windows [2,10) and [12,20) are disjoint, but occupancy
+  // [0,10) and [9,20) overlap — the strict policy forbids it.
+  Instance instance;
+  instance.machines = 1;
+  instance.T = 4;
+  instance.cal.types = {{8, 3, 2}};
+  instance.jobs = {{0, 0, 24, 6}};
+  Schedule schedule = Schedule::empty_like(instance, 1);
+  schedule.calibrations = {{0, 0, 0}, {0, 9, 0}};
+  schedule.jobs = {{0, 0, 2}};
+  const VerifyResult check = verify_ise(instance, schedule);
+  ASSERT_FALSE(check.ok());
+  EXPECT_EQ(check.violations[0].kind, Violation::Kind::kCalibrationOverlap);
+}
+
+TEST(TypedVerify, RejectsUnknownTypeIdAndModelMismatch) {
+  Instance instance;
+  instance.machines = 1;
+  instance.T = 4;
+  instance.cal.types = {{4, 2, 0}};
+  instance.jobs = {{0, 0, 10, 3}};
+  Schedule schedule = Schedule::empty_like(instance, 1);
+  schedule.calibrations = {{0, 0, 1}};  // type 1 of a one-type table
+  schedule.jobs = {{0, 0, 0}};
+  const VerifyResult bad_type = verify_ise(instance, schedule);
+  ASSERT_FALSE(bad_type.ok());
+  EXPECT_EQ(bad_type.violations[0].kind, Violation::Kind::kStructural);
+
+  // A schedule carrying a different table than the instance's is rejected
+  // up front — costs under the wrong table would be meaningless.
+  schedule.calibrations = {{0, 0, 0}};
+  schedule.cal.types = {{4, 7, 0}};
+  const VerifyResult mismatch = verify_ise(instance, schedule);
+  ASSERT_FALSE(mismatch.ok());
+  EXPECT_NE(mismatch.to_string().find("does not match"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace calisched

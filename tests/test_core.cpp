@@ -6,6 +6,7 @@
 
 #include "core/calibration_points.hpp"
 #include "core/schedule.hpp"
+#include "core/schedule_io.hpp"
 #include "gen/generators.hpp"
 #include "verify/verify.hpp"
 
@@ -210,6 +211,128 @@ TEST(Schedule, PruneEmptyCalibrationsIsSpeedAware) {
   EXPECT_EQ(schedule.prune_empty_calibrations(instance), 1u);
   ASSERT_EQ(schedule.calibrations.size(), 1u);
   EXPECT_EQ(schedule.calibrations[0].start, 40);
+}
+
+TEST(CalibrationModel, UnitTableIsTheDegenerateCase) {
+  Instance instance = small_instance();
+  EXPECT_TRUE(instance.is_unit_model());
+  EXPECT_EQ(instance.effective_model(), CalibrationModel::unit(instance.T));
+  EXPECT_EQ(instance.max_calibration_length(), instance.T);
+  // The explicit {T, 1, 0} table is extensionally the same model.
+  instance.cal = CalibrationModel::unit(instance.T);
+  EXPECT_TRUE(instance.is_unit_model());
+  EXPECT_FALSE(instance.validate().has_value());
+  // Any other table is not.
+  instance.cal.types.push_back({5, 3, 1});
+  EXPECT_FALSE(instance.is_unit_model());
+  EXPECT_EQ(instance.effective_model().max_span(), 10);
+  EXPECT_EQ(instance.effective_model().min_cost(), 1);
+}
+
+TEST(CalibrationModel, ValidateRejectsBadTables) {
+  Instance instance = small_instance();  // T = 10
+  // A one-type unit-shaped table must agree with T.
+  instance.cal.types = {{9, 1, 0}};
+  ASSERT_TRUE(instance.validate().has_value());
+  EXPECT_NE(instance.validate()->find("disagrees with T"), std::string::npos);
+
+  instance.cal.types = {{10, 0, 0}};  // cost < 1
+  EXPECT_TRUE(instance.validate().has_value());
+  instance.cal.types = {{0, 1, 0}};  // length < 1
+  EXPECT_TRUE(instance.validate().has_value());
+  instance.cal.types = {{10, 1, -1}};  // negative delay
+  EXPECT_TRUE(instance.validate().has_value());
+
+  // p_j is bounded by the longest type length, not by T: jobs here have
+  // p up to 10, so a table whose longest type is 5 rejects the instance.
+  instance.cal.types = {{5, 2, 0}};
+  ASSERT_TRUE(instance.validate().has_value());
+  EXPECT_NE(instance.validate()->find("longest calibration type"),
+            std::string::npos);
+  // ...while a longer type than T accepts it.
+  instance.cal.types = {{5, 2, 0}, {12, 4, 1}};
+  EXPECT_FALSE(instance.validate().has_value());
+}
+
+TEST(Instance, CaltypeIoRoundTrip) {
+  Instance instance = small_instance();
+  instance.cal.types = {{10, 2, 0}, {20, 5, 3}};
+  std::stringstream buffer;
+  write_instance(buffer, instance);
+  EXPECT_NE(buffer.str().find("caltype 10 2 0\n"), std::string::npos);
+  EXPECT_NE(buffer.str().find("caltype 20 5 3\n"), std::string::npos);
+  const Instance parsed = read_instance(buffer);
+  EXPECT_EQ(parsed.cal, instance.cal);
+  EXPECT_EQ(parsed.jobs.size(), instance.jobs.size());
+}
+
+TEST(Instance, UnitModelOutputHasNoCaltypeLines) {
+  // The pre-cost-model text format is preserved byte for byte: implicit
+  // unit instances never emit caltype lines, and old files (which have
+  // none) parse to an empty table.
+  std::stringstream buffer;
+  write_instance(buffer, small_instance());
+  EXPECT_EQ(buffer.str().find("caltype"), std::string::npos);
+  const Instance parsed = read_instance(buffer);
+  EXPECT_TRUE(parsed.cal.empty());
+}
+
+TEST(Instance, IoRejectsMalformedCaltype) {
+  std::stringstream buffer("machines 1\nT 5\ncaltype 5 two 0\njob 0 0 9 2\n");
+  EXPECT_THROW(read_instance(buffer), std::runtime_error);
+  std::stringstream truncated("machines 1\nT 5\ncaltype 5\njob 0 0 9 2\n");
+  EXPECT_THROW(read_instance(truncated), std::runtime_error);
+}
+
+TEST(Schedule, CaltypeIoRoundTrip) {
+  Instance instance = small_instance();
+  instance.cal.types = {{10, 2, 0}, {20, 5, 3}};
+  Schedule schedule = Schedule::empty_like(instance, 2);
+  schedule.calibrations = {{0, 0, 0}, {1, 4, 1}};
+  schedule.jobs = {{0, 0, 1}, {1, 1, 7}};
+  std::stringstream buffer;
+  write_schedule(buffer, schedule);
+  const Schedule parsed = read_schedule(buffer);
+  EXPECT_EQ(parsed.cal, schedule.cal);
+  EXPECT_EQ(parsed.calibrations, schedule.calibrations);
+  EXPECT_EQ(parsed.jobs, schedule.jobs);
+  // Unit-model schedules keep the original two-field calibration lines.
+  Schedule unit = Schedule::empty_like(small_instance(), 1);
+  unit.calibrations = {{0, 3}};
+  std::stringstream unit_buffer;
+  write_schedule(unit_buffer, unit);
+  EXPECT_NE(unit_buffer.str().find("calibration 0 3\n"), std::string::npos);
+  EXPECT_EQ(read_schedule(unit_buffer).calibrations, unit.calibrations);
+}
+
+TEST(Schedule, TypedTickAccessors) {
+  Instance instance = small_instance();
+  instance.cal.types = {{10, 2, 0}, {20, 5, 3}};
+  Schedule schedule = Schedule::empty_like(instance, 1);
+  schedule.scale_denominator(2);
+  const Calibration delayed{0, 8, 1};
+  EXPECT_EQ(schedule.available_start_ticks(delayed), 8 + 3 * 2);
+  EXPECT_EQ(schedule.available_end_ticks(delayed), 8 + (3 + 20) * 2);
+  EXPECT_EQ(schedule.occupied_end_ticks(delayed), 8 + 23 * 2);
+  schedule.calibrations = {{0, 0, 0}, delayed};
+  EXPECT_EQ(schedule.total_cost(), 7);
+}
+
+TEST(CalibrationPoints, GeneralizedGridUsesSpanSums) {
+  Instance instance;
+  instance.machines = 1;
+  instance.T = 4;
+  instance.cal.types = {{4, 1, 0}, {5, 2, 1}};  // spans 4 and 6
+  instance.jobs = {{0, 0, 30, 3}, {1, 7, 29, 4}};
+  const std::vector<Time> points = canonical_calibration_points(instance);
+  EXPECT_TRUE(std::is_sorted(points.begin(), points.end()));
+  // Releases plus span sums: 0+4, 0+6, 0+4+6, 7+4, ... must all appear.
+  for (const Time t : {Time{0}, Time{4}, Time{6}, Time{10}, Time{7}, Time{11},
+                       Time{13}}) {
+    EXPECT_TRUE(std::binary_search(points.begin(), points.end(), t)) << t;
+  }
+  // Nothing at or past the last deadline.
+  EXPECT_TRUE(points.back() < instance.max_deadline());
 }
 
 TEST(CalibrationPoints, ContainsReleasesAndChains) {

@@ -7,12 +7,16 @@
 //   P3  Lemma 5 / Corollary 6 witness invariants;
 //   P4  Theorem 12 machine budget and the internal 2x-LP rounding chain;
 //   P5  Theorem 20 calibration budget in MM-machine units;
-//   P6  the speed transform never increases calibrations and stays exact.
+//   P6  the speed transform never increases calibrations and stays exact;
+//   P8  the per-type calibration grids collapse to the classic Lemma 3
+//       grid on unit-model instances (the cost-model generalization is
+//       conservative).
 #include <gtest/gtest.h>
 
 #include <tuple>
 
 #include "baselines/calibration_bounds.hpp"
+#include "core/calibration_points.hpp"
 #include "gen/generators.hpp"
 #include "longwin/fractional_witness.hpp"
 #include "longwin/long_pipeline.hpp"
@@ -244,6 +248,35 @@ TEST_P(SpeedSweep, SpeedAugmentedShortPipeline) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, SpeedSweep, testing::ValuesIn(sweep_cases()),
                          case_name);
+
+class GridCollapseSweep : public testing::TestWithParam<SweepCase> {};
+
+TEST_P(GridCollapseSweep, TypedGridsCollapseToLemma3OnUnitModel) {
+  // P8: for an implicit-unit instance and for the same instance with the
+  // explicit {T, 1, 0} table, typed_tise_calibration_points must have
+  // exactly one per-type grid, equal to the classic tise grid — the
+  // generalized machinery is a strict extension, not a reinterpretation.
+  for (Instance instance :
+       {generate_long_window(to_params(GetParam())),
+        generate_mixed(to_params(GetParam()), 0.5)}) {
+    const std::vector<Time> classic = tise_calibration_points(instance);
+    for (int pass = 0; pass < 2; ++pass) {
+      const auto typed = typed_tise_calibration_points(instance);
+      ASSERT_EQ(typed.size(), 1u);
+      EXPECT_EQ(typed[0], classic);
+      // Second pass: the explicit one-type unit table.
+      instance.cal = CalibrationModel::unit(instance.T);
+    }
+    // The canonical superset relation survives the generalization too.
+    const auto all = canonical_calibration_points(instance);
+    for (const Time t : classic) {
+      EXPECT_TRUE(std::binary_search(all.begin(), all.end(), t));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GridCollapseSweep,
+                         testing::ValuesIn(sweep_cases()), case_name);
 
 }  // namespace
 }  // namespace calisched

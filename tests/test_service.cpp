@@ -97,6 +97,38 @@ TEST(InstanceHash, SeparatesNearIdenticalInstances) {
   EXPECT_NE(canonical_instance_hash(tweaked), reference) << "duplicated job";
 }
 
+TEST(InstanceHash, FoldsTheEffectiveCalibrationModel) {
+  // The cache key hashes the *resolved* model: the implicit unit table and
+  // the explicit {T, 1, 0} table are interchangeable everywhere else, so
+  // they must share cache entries — while any substantive change to a type
+  // (cost, delay, length, or an extra type) must separate.
+  const Instance base = generate_mixed(small_params(6, 12), 0.5);
+  const std::uint64_t reference = canonical_instance_hash(base);
+
+  Instance tweaked = base;
+  tweaked.cal = CalibrationModel::unit(base.T);
+  EXPECT_EQ(canonical_instance_hash(tweaked), reference) << "explicit unit";
+
+  tweaked.cal.types[0].cost = 2;
+  EXPECT_NE(canonical_instance_hash(tweaked), reference) << "cost nudge";
+
+  tweaked = base;
+  tweaked.cal = CalibrationModel::unit(base.T);
+  tweaked.cal.types[0].activation_delay = 1;
+  EXPECT_NE(canonical_instance_hash(tweaked), reference) << "delay nudge";
+
+  tweaked = base;
+  tweaked.cal = CalibrationModel::unit(base.T);
+  tweaked.cal.types.push_back({2 * base.T, 3, 0});
+  const std::uint64_t two_types = canonical_instance_hash(tweaked);
+  EXPECT_NE(two_types, reference) << "extra type";
+
+  // The table is ordered (type ids are semantic): swapping entries is a
+  // different instance.
+  std::swap(tweaked.cal.types[0], tweaked.cal.types[1]);
+  EXPECT_NE(canonical_instance_hash(tweaked), two_types) << "type order";
+}
+
 TEST(InstanceHash, DistinctAcrossGeneratedFamily) {
   // 64 generated instances; any hash collision here would be a red flag
   // for the fold's diffusion.
@@ -189,6 +221,43 @@ TEST(SolveService, PermutedDuplicateServedFromCache) {
   EXPECT_EQ(stats.cache_hits, 1);
   EXPECT_EQ(stats.cache_misses, 1);
   EXPECT_EQ(stats.cache_size, 1);
+}
+
+TEST(SolveService, CalibrationModelDiscriminatesCacheEntries) {
+  // Implicit unit table and explicit unit(T) hash alike, so the second
+  // submit is a cache hit; a changed type cost is a different instance
+  // and must miss. The cost-model solver path also threads total_cost
+  // through the outcome.
+  ServiceOptions options;
+  options.threads = 1;
+  SolveService service(AlgorithmRegistry::builtin(), options);
+  GenParams params = small_params(10, 6);
+  params.machines = 1;
+  params.T = 5;
+  params.max_proc = 4;
+  params.horizon = 40;
+  Instance instance = generate_mixed(params, 0.5);
+  const SolveOutcome implicit_unit =
+      service.submit(solve_request(instance, "dp-calib-cost"))->wait();
+  ASSERT_TRUE(implicit_unit.feasible) << implicit_unit.error;
+  EXPECT_EQ(implicit_unit.total_cost,
+            static_cast<std::int64_t>(implicit_unit.calibrations));
+
+  instance.cal = CalibrationModel::unit(instance.T);
+  const SolveOutcome explicit_unit =
+      service.submit(solve_request(instance, "dp-calib-cost"))->wait();
+  EXPECT_EQ(explicit_unit.total_cost, implicit_unit.total_cost);
+  EXPECT_EQ(service.stats().cache_hits, 1);
+
+  // Tripling the type cost is a different instance (cache miss), and the
+  // exact DP's optimum simply scales: same calibrations, triple the cost.
+  instance.cal.types[0].cost = 3;
+  const SolveOutcome pricier =
+      service.submit(solve_request(instance, "dp-calib-cost"))->wait();
+  EXPECT_EQ(service.stats().cache_hits, 1);
+  EXPECT_EQ(service.stats().cache_misses, 2);
+  ASSERT_TRUE(pricier.feasible) << pricier.error;
+  EXPECT_EQ(pricier.total_cost, 3 * implicit_unit.total_cost);
 }
 
 TEST(SolveService, DifferentAlgorithmMissesCache) {
@@ -339,6 +408,32 @@ TEST(ServiceProtocol, InstanceJsonRoundTripsThroughParse) {
   ASSERT_EQ(parsed.request.instance.jobs.size(), instance.jobs.size());
   EXPECT_EQ(canonical_instance_hash(parsed.request.instance),
             canonical_instance_hash(instance));
+}
+
+TEST(ServiceProtocol, CaltypesRoundTripAndRejectMalformed) {
+  Instance instance = generate_mixed(small_params(23, 8), 0.5);
+  instance.cal.types = {{instance.T, 2, 0}, {2 * instance.T, 5, 1}};
+  JsonValue::Object request;
+  request.emplace_back("type", JsonValue("solve"));
+  request.emplace_back("instance", instance_to_json(instance));
+  const std::string line = JsonValue(request).dump(0);
+  EXPECT_NE(line.find("\"caltypes\""), std::string::npos);
+  const ParsedRequest parsed = parse_request(line);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.request.instance.cal, instance.cal);
+  EXPECT_EQ(canonical_instance_hash(parsed.request.instance),
+            canonical_instance_hash(instance));
+
+  // Unit-model instances emit no caltypes field at all (wire compat).
+  instance.cal.types.clear();
+  EXPECT_EQ(instance_to_json(instance).dump(0).find("caltypes"),
+            std::string::npos);
+
+  const ParsedRequest bad = parse_request(
+      "{\"type\":\"solve\",\"instance\":{\"machines\":1,\"T\":4,"
+      "\"caltypes\":[[4,1]],\"jobs\":[[0,0,8,2]]}}");
+  EXPECT_FALSE(bad.ok);
+  EXPECT_NE(bad.error.find("caltype"), std::string::npos);
 }
 
 // ----------------------------------------------------------- stdio serve --

@@ -66,6 +66,9 @@
 //   saturate     always-calibrated grid baseline
 //   bender       lazy binning (unit jobs only)
 //   exact        exact minimum calibrations (tiny instances only)
+//   exact-calib-cost   exact minimum cost under a caltype table (tiny)
+//   dp-calib-cost      single-machine cost DP (exact, tiny)
+//   greedy-calib-cost  lazy greedy over the caltype table
 // MM boxes (--mm): greedy (default), exact, unit, lp-rounding.
 #include <fstream>
 #include <iostream>
@@ -75,6 +78,9 @@
 #include "core/schedule_io.hpp"
 #include "baselines/calibration_bounds.hpp"
 #include "baselines/exact_ise.hpp"
+#include "calib/cost_dp.hpp"
+#include "calib/exact_cost.hpp"
+#include "calib/greedy_cost.hpp"
 #include "gen/generators.hpp"
 #include "longwin/long_pipeline.hpp"
 #include "lp/simplex.hpp"
@@ -118,9 +124,16 @@ int generate_mode(const CliArgs& args) {
                                   static_cast<int>(args.get_int("bursts", 3)),
                                   args.get_int("burst-span", params.T),
                                   args.get_bool("long-windows", false));
+  } else if (family == "calib-cheap-short") {
+    instance = generate_calib_cost(params, CalibTableRegime::kCheapShort);
+  } else if (family == "calib-expensive-long") {
+    instance = generate_calib_cost(params, CalibTableRegime::kExpensiveLong);
+  } else if (family == "calib-delayed") {
+    instance = generate_calib_cost(params, CalibTableRegime::kDelayed);
   } else {
     std::cerr << "unknown family '" << family
-              << "' (mixed|long|short|unit|clustered)\n";
+              << "' (mixed|long|short|unit|clustered|calib-cheap-short|"
+                 "calib-expensive-long|calib-delayed)\n";
     return 2;
   }
   const std::string out = args.get("out", "");
@@ -301,6 +314,16 @@ struct RunOutcome {
 RunOutcome run_algorithm(const Instance& instance, const CliArgs& args,
                          const std::string& algo, TraceContext* trace) {
   RunOutcome outcome;
+  // Same gate the registry applies: algorithms that predate the
+  // calibration-cost model only understand the unit model.
+  const bool model_aware = algo == "exact-calib-cost" ||
+                           algo == "dp-calib-cost" ||
+                           algo == "greedy-calib-cost";
+  if (!model_aware && !instance.is_unit_model()) {
+    outcome.error = "requires the unit calibration model "
+                    "(instance has a caltype table)";
+    return outcome;
+  }
   LongWindowOptions long_options;
   long_options.trace = trace;
   long_options.adaptive_mirror = args.get_bool("adaptive-mirror", false);
@@ -379,6 +402,23 @@ RunOutcome run_algorithm(const Instance& instance, const CliArgs& args,
     outcome.schedule = result.schedule;
     if (!result.solved) outcome.error = "search budget exhausted";
     else if (!result.feasible) outcome.error = "instance infeasible";
+  } else if (algo == "exact-calib-cost") {
+    const CalibCostResult result = solve_exact_calib_cost(instance);
+    outcome.feasible = result.solved && result.feasible;
+    outcome.schedule = result.schedule;
+    if (!result.solved) outcome.error = "search budget exhausted";
+    else if (!result.feasible) outcome.error = "instance infeasible";
+  } else if (algo == "dp-calib-cost") {
+    const CostDpResult result = solve_cost_dp(instance);
+    outcome.feasible = result.solved && result.feasible;
+    outcome.schedule = result.schedule;
+    if (!result.solved) outcome.error = "DP budget exhausted";
+    else if (!result.feasible) outcome.error = "instance infeasible";
+  } else if (algo == "greedy-calib-cost") {
+    GreedyCostResult result = solve_greedy_cost(instance);
+    outcome.feasible = result.feasible;
+    outcome.schedule = std::move(result.schedule);
+    outcome.error = std::move(result.error);
   } else {
     outcome.error = "unknown algorithm '" + algo + "'";
   }
@@ -455,9 +495,18 @@ int run_cli(int argc, char** argv) {
   if (!args.get_bool("quiet", false)) {
     std::cout << "algorithm        : " << algo << '\n'
               << "jobs             : " << instance.size() << '\n'
-              << "calibrations     : " << stats.calibrations
-              << "  (lower bound " << calibration_lower_bound(instance) << ")\n"
-              << "machines used    : " << stats.machines_used << '\n'
+              << "calibrations     : " << stats.calibrations;
+    if (instance.is_unit_model()) {
+      // The load/coloring bound assumes unit-length calibrations; it is
+      // meaningless (and possibly above the optimum) under a type table.
+      std::cout << "  (lower bound " << calibration_lower_bound(instance)
+                << ")\n";
+    } else {
+      std::cout << '\n'
+                << "total cost       : " << outcome.schedule.total_cost()
+                << '\n';
+    }
+    std::cout << "machines used    : " << stats.machines_used << '\n'
               << "speed            : " << outcome.schedule.speed << '\n'
               << "utilization      : " << format_double(stats.utilization, 3)
               << '\n'
@@ -483,7 +532,8 @@ int run_cli(int argc, char** argv) {
           .cell("calibration")
           .cell(std::int64_t{cal.machine})
           .cell(cal.start)
-          .cell(outcome.schedule.calibration_ticks());
+          .cell(outcome.schedule.available_end_ticks(cal) -
+                outcome.schedule.available_start_ticks(cal));
     }
     for (const ScheduledJob& sj : outcome.schedule.jobs) {
       csv.row()

@@ -14,6 +14,7 @@
 #include <thread>
 
 #include "harness.hpp"
+#include "lp/perf_counters.hpp"
 #include "runtime/batch.hpp"
 #include "runtime/registry.hpp"
 
@@ -63,6 +64,7 @@ int main(int argc, char** argv) {
     BatchOptions options;
     options.threads = threads;
     options.seeds = seeds;
+    const LpPerfCounters lp_before = lp_perf_snapshot();
     const auto start = std::chrono::steady_clock::now();
     const std::vector<BatchRecord> records = runner.run(instances, options);
     const double wall_ms =
@@ -70,6 +72,16 @@ int main(int argc, char** argv) {
                                 std::chrono::steady_clock::now() - start)
                                 .count()) /
         1e6;
+
+    // LP work per batch is deterministic at every thread count; workspace
+    // reuses and buffer growths depend on how many pool workers actually
+    // ran (each worker's first solve is cold), so only the single-thread
+    // row — one warm workspace for the whole batch — gates the regression
+    // checker. This is where the allocations-per-solve story shows up:
+    // reuses ~ solves and growths plateau once the arena fits the family.
+    bench.lp_counters("t" + std::to_string(threads),
+                      lp_perf_snapshot() - lp_before, wall_ms,
+                      /*record_metrics=*/threads == 1);
 
     std::size_t solved = 0;
     for (const BatchRecord& record : records) solved += record.feasible;
@@ -98,6 +110,9 @@ int main(int argc, char** argv) {
                     "combined solver, " + std::to_string(spec.count) +
                         " mixed instances (n=12, T=10, m=2), hardware cores: " +
                         std::to_string(cores));
+  bench.print_table("lp_counters",
+                    "LP work per batch (counts deterministic; ws_reuse/"
+                    "buf_growth depend on worker count, so only t1 gates)");
 
   const double speedup = eight_ms > 0.0 ? single_ms / eight_ms : 0.0;
   bench.metric("speedup_8_threads", speedup);

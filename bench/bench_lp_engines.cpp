@@ -14,6 +14,7 @@
 #include "gen/generators.hpp"
 #include "harness.hpp"
 #include "longwin/tise_lp.hpp"
+#include "lp/perf_counters.hpp"
 #include "trace/trace.hpp"
 
 namespace {
@@ -50,6 +51,8 @@ int main(int argc, char** argv) {
 
   double last_speedup = 0.0;
   double worst_obj_diff = 0.0;
+  double revised_wall_ms = 0.0;  ///< total revised wall time across reps
+  const LpPerfCounters sweep_base = lp_perf_snapshot();
   for (const int n : {6, 10, 14, 20, 26, 32}) {
     GenParams params;
     params.seed = 42 + static_cast<std::uint64_t>(n);
@@ -79,8 +82,22 @@ int main(int argc, char** argv) {
         dense_once,
         time_ms([&] { dense = solve_lp(built.model, dense_options); },
                 dense_reps));
+    // The counter delta spans all revised reps (the dense engine does not
+    // touch the LP perf counters), so rates divide by total wall, not best.
+    const LpPerfCounters rev_before = lp_perf_snapshot();
+    const auto rev_start = std::chrono::steady_clock::now();
     const double revised_ms = time_ms(
         [&] { revised = solve_lp(built.model, revised_options); }, 3);
+    const double rev_total_ms =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - rev_start)
+                .count()) /
+        1e6;
+    revised_wall_ms += rev_total_ms;
+    bench.lp_counters("rev_n" + std::to_string(n),
+                      lp_perf_snapshot() - rev_before, rev_total_ms,
+                      /*record_metrics=*/false);
 
     const double speedup = revised_ms > 0.0 ? dense_ms / revised_ms : 0.0;
     const double obj_diff = std::fabs(dense.objective - revised.objective);
@@ -106,6 +123,11 @@ int main(int argc, char** argv) {
   }
   bench.print_table("engines",
                     "TISE LP (T=10, m=2, m'=6), both engines to optimality");
+  bench.lp_counters("rev_total", lp_perf_snapshot() - sweep_base,
+                    revised_wall_ms);
+  bench.print_table("lp_counters",
+                    "revised-engine work counters (all reps; counts are "
+                    "deterministic, *_per_s rates are machine-dependent)");
   bench.metric("speedup_largest_instance", last_speedup);
   bench.metric("worst_objective_diff", worst_obj_diff);
   bench.check("revised >= 3x dense on largest LP", last_speedup >= 3.0);

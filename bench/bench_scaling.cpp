@@ -20,6 +20,7 @@
 #include "harness.hpp"
 #include "longwin/long_pipeline.hpp"
 #include "longwin/tise_lp.hpp"
+#include "lp/perf_counters.hpp"
 #include "mm/lp_rounding_mm.hpp"
 #include "mm/mm.hpp"
 #include "shortwin/short_pipeline.hpp"
@@ -94,10 +95,30 @@ int main(int argc, char** argv) {
   for (const int n : {6, 12, 18, 24}) {
     const Instance instance = generate_long_window(scaling_params(n, 42));
     TiseFractional fractional;
+    const LpPerfCounters lp_before = lp_perf_snapshot();
+    const auto lp_start = std::chrono::steady_clock::now();
     const Timing timing = measure([&] {
       fractional = solve_tise_lp(instance, 3 * instance.machines);
       g_sink = fractional.objective;
     });
+    const double lp_total_ms =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - lp_start)
+                .count()) /
+        1e6;
+    // Rows only, no gated metrics: measure() picks its repetition count
+    // from the first timing, so the *totals* here are machine-dependent
+    // even though per-solve work is deterministic. The rates are what the
+    // sweep is for — how pivots/s holds up as n grows.
+    const LpPerfCounters lp_delta = lp_perf_snapshot() - lp_before;
+    bench.lp_counters("tise_n" + std::to_string(n), lp_delta, lp_total_ms,
+                      /*record_metrics=*/false);
+    if (n == 24 && lp_total_ms > 0.0) {
+      bench.metric("tise_n24_pivots_per_s",
+                   static_cast<double>(lp_delta.pivots) /
+                       (lp_total_ms / 1e3));
+    }
     record("tise_lp_solve", n, timing,
            "pivots=" + std::to_string(fractional.pivots) +
                " lp_rows=" + std::to_string(fractional.lp_rows));
@@ -208,6 +229,8 @@ int main(int argc, char** argv) {
 
   bench.print_table("scaling",
                     "best-of-reps wall time per component (T=10, m=2)");
+  bench.print_table("lp_counters",
+                    "TISE LP work counters per sweep point (all reps)");
   bench.metric("batch32_parallel_items_per_s", parallel_items_per_s);
   bench.metric("batch32_serial_items_per_s", serial_items_per_s);
   bench.metric("batch32_parallel_speedup",
@@ -215,7 +238,9 @@ int main(int argc, char** argv) {
                    ? parallel_items_per_s / serial_items_per_s
                    : 0.0);
   bench.check("all timings finite", all_finite);
-  bench.check("every series recorded", table.row_count() == 26);
+  // 4 tise + 4 long + 4 short + 3 end-to-end + 4 batch (2 sizes x
+  // parallel/serial) + 3 lp-rounding + 3 exact + 3 greedy-lazy.
+  bench.check("every series recorded", table.row_count() == 28);
   bench.note(
       "The TISE LP dominates long-window cost and the series bounds how "
       "instance size n translates into wall time for each pipeline stage; "

@@ -53,6 +53,42 @@ void BenchHarness::metric(const std::string& name, double value) {
   trace_.set_value(name, value);
 }
 
+void BenchHarness::lp_counters(const std::string& label,
+                               const LpPerfCounters& delta, double elapsed_ms,
+                               bool record_metrics) {
+  Table& counters = table(
+      "lp_counters", {"case", "solves", "pivots", "refactors", "pivots_per_s",
+                      "etas_per_s", "bytes_per_pivot", "ws_reuse", "buf_growth"});
+  const double seconds = elapsed_ms / 1e3;
+  const double pivots_per_s =
+      seconds > 0.0 ? static_cast<double>(delta.pivots) / seconds : 0.0;
+  const double etas_per_s =
+      seconds > 0.0 ? static_cast<double>(delta.etas_applied) / seconds : 0.0;
+  const double bytes_per_pivot =
+      delta.pivots > 0 ? static_cast<double>(delta.bytes_streamed()) /
+                             static_cast<double>(delta.pivots)
+                       : 0.0;
+  counters.row()
+      .cell(label)
+      .cell(delta.solves)
+      .cell(delta.pivots)
+      .cell(delta.refactorizations)
+      .cell(pivots_per_s, 0)
+      .cell(etas_per_s, 0)
+      .cell(bytes_per_pivot, 1)
+      .cell(delta.workspace_reuses)
+      .cell(delta.buffer_growths);
+  if (!record_metrics) return;
+  metric(label + "_pivots", static_cast<double>(delta.pivots));
+  metric(label + "_etas_applied", static_cast<double>(delta.etas_applied));
+  metric(label + "_bytes_per_pivot", bytes_per_pivot);
+  metric(label + "_workspace_reuses",
+         static_cast<double>(delta.workspace_reuses));
+  metric(label + "_buffer_growths", static_cast<double>(delta.buffer_growths));
+  metric(label + "_pivots_per_s", pivots_per_s);
+  metric(label + "_etas_per_s", etas_per_s);
+}
+
 void BenchHarness::check(const std::string& name, bool ok) {
   checks_.emplace_back(name, ok);
   if (!ok) {

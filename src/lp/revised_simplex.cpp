@@ -4,32 +4,27 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
-#include <map>
 #include <utility>
 
+#include "lp/perf_counters.hpp"
 #include "lp/sparse.hpp"
 #include "trace/trace.hpp"
 
 namespace calisched {
 namespace {
 
-/// Duplicate-row key: sense + the row's live entries sorted by column,
-/// values compared bit-exactly (presolve only merges rows that are literal
-/// duplicates, e.g. a constraint added twice by a model builder).
-struct RowKey {
-  int sense;
-  std::vector<std::pair<int, std::uint64_t>> entries;
-
-  bool operator<(const RowKey& other) const {
-    if (sense != other.sense) return sense < other.sense;
-    return entries < other.entries;
-  }
-};
-
 std::uint64_t value_bits(double value) {
   std::uint64_t bits;
   std::memcpy(&bits, &value, sizeof(bits));
   return bits;
+}
+
+/// splitmix64-style finalizer for the duplicate-row hash.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
 }
 
 }  // namespace
@@ -133,39 +128,112 @@ PresolvedLp presolve_lp(const LpModel& model, const SimplexOptions& options) {
     }
 
     // --- duplicate rows: keep the binding copy ---------------------------
-    std::map<RowKey, int> seen;  // key -> surviving row
+    // A duplicate is a row with the same sense and the same live entries
+    // (values compared bit-exactly — presolve only merges literal
+    // duplicates, e.g. a constraint added twice by a model builder).
+    // Candidate rows are grouped by an order-independent hash of that key;
+    // only hash-equal groups materialize sorted entry lists for the exact
+    // comparison, so the common no-duplicate case builds no per-row key at
+    // all (the std::map<RowKey> this replaces allocated one entry vector
+    // per live row and compared them O(log n) times each).
+    std::vector<std::pair<std::uint64_t, int>> row_hashes;
+    row_hashes.reserve(static_cast<std::size_t>(rows));
     for (int r = 0; r < rows; ++r) {
       if (dropped[static_cast<std::size_t>(r)]) continue;
-      RowKey key;
-      key.sense = static_cast<int>(model.sense(r));
+      std::uint64_t h = mix64(static_cast<std::uint64_t>(model.sense(r)) + 1);
       for (const LpEntry& entry : model.row_entries(r)) {
         if (fixed[static_cast<std::size_t>(entry.column)]) continue;
-        key.entries.emplace_back(entry.column, value_bits(entry.value));
+        // Commutative combine (+) so entry order never matters; exactness
+        // is restored by the full comparison below.
+        h += mix64(static_cast<std::uint64_t>(
+                       static_cast<std::uint32_t>(entry.column)) ^
+                   (value_bits(entry.value) * 0x9e3779b97f4a7c15ULL));
       }
-      std::sort(key.entries.begin(), key.entries.end());
-      const auto [it, inserted] = seen.emplace(std::move(key), r);
-      if (inserted) continue;
-      const int prior = it->second;
-      const double b_prior = adjusted_rhs(prior);
-      const double b_r = adjusted_rhs(r);
-      int drop = r;
-      switch (model.sense(r)) {
-        case RowSense::kLe:  // smaller rhs binds
-          if (b_r < b_prior) drop = prior;
-          break;
-        case RowSense::kGe:  // larger rhs binds
-          if (b_r > b_prior) drop = prior;
-          break;
-        case RowSense::kEq:
-          if (std::fabs(b_r - b_prior) > tol) {
-            summary.infeasible = true;
-            return out;
+      row_hashes.emplace_back(h, r);
+    }
+    std::sort(row_hashes.begin(), row_hashes.end());
+
+    using ExactKey = std::vector<std::pair<int, std::uint64_t>>;
+    // Leading (-1, sense) pseudo-entry keeps sense inside the one key.
+    const auto build_key = [&](int r, ExactKey& key) {
+      key.clear();
+      key.emplace_back(-1, static_cast<std::uint64_t>(model.sense(r)));
+      for (const LpEntry& entry : model.row_entries(r)) {
+        if (fixed[static_cast<std::size_t>(entry.column)]) continue;
+        key.emplace_back(entry.column, value_bits(entry.value));
+      }
+      std::sort(key.begin() + 1, key.end());
+    };
+    ExactKey key_scratch;
+    std::vector<std::pair<ExactKey, int>> group;  // distinct key -> survivor
+    for (std::size_t i = 0; i < row_hashes.size();) {
+      std::size_t j = i + 1;
+      while (j < row_hashes.size() &&
+             row_hashes[j].first == row_hashes[i].first) {
+        ++j;
+      }
+      if (j - i > 1) {
+        // Rows in a group arrive in ascending row order (pair sort), so
+        // the survivor logic matches the old in-order map walk exactly.
+        group.clear();
+        for (std::size_t g = i; g < j; ++g) {
+          const int r = row_hashes[g].second;
+          build_key(r, key_scratch);
+          bool matched = false;
+          for (auto& [key, survivor] : group) {
+            if (key != key_scratch) continue;  // hash collision
+            matched = true;
+            const int prior = survivor;
+            const double b_prior = adjusted_rhs(prior);
+            const double b_r = adjusted_rhs(r);
+            int drop = r;
+            switch (model.sense(r)) {
+              case RowSense::kLe:  // smaller rhs binds
+                if (b_r < b_prior) drop = prior;
+                break;
+              case RowSense::kGe:  // larger rhs binds
+                if (b_r > b_prior) drop = prior;
+                break;
+              case RowSense::kEq:
+                if (std::fabs(b_r - b_prior) > tol) {
+                  summary.infeasible = true;
+                  return out;
+                }
+                break;
+            }
+            dropped[static_cast<std::size_t>(drop)] = 1;
+            ++summary.rows_dropped;
+            if (drop == prior) survivor = r;
+            break;
           }
-          break;
+          if (!matched) group.emplace_back(key_scratch, r);
+        }
       }
-      dropped[static_cast<std::size_t>(drop)] = 1;
-      ++summary.rows_dropped;
-      if (drop == prior) it->second = r;
+      i = j;
+    }
+  }
+
+  // --- identity fast path ------------------------------------------------
+  // Nothing dropped, nothing fixed, and no rhs needs flipping: the original
+  // model is already its own presolved form, so skip rebuilding it (every
+  // row entry vector plus a name string per row and column — on the TISE
+  // relaxation that rebuild cost more than several pivots). The column map
+  // is still filled in so callers that consult it see the identity mapping.
+  if (!summary.infeasible && !summary.unbounded_if_feasible &&
+      summary.rows_dropped == 0 && summary.cols_fixed == 0) {
+    bool needs_flip = false;
+    for (int r = 0; r < rows; ++r) {
+      if (model.rhs(r) < 0.0) {
+        needs_flip = true;
+        break;
+      }
+    }
+    if (!needs_flip) {
+      for (int c = 0; c < cols; ++c) {
+        out.column_map[static_cast<std::size_t>(c)] = c;
+      }
+      out.identity = true;
+      return out;
     }
   }
 
@@ -236,6 +304,43 @@ struct SimplexWorkspace::Impl {
   std::vector<int> rf_kernel;
   std::vector<std::pair<int, double>> rf_spill;
   std::vector<int> initial_basis;
+  // Counting-sort scratch for build()'s row-major -> CSC transpose.
+  std::vector<int> bk_count;
+  std::vector<std::size_t> bk_pos;
+  std::vector<int> rf_heap;  ///< pending-eta heap for ftran_indexed
+  /// True once a solve has run in this arena; the next solve in it counts
+  /// as a workspace reuse (LpPerfCounters::workspace_reuses).
+  bool used_before = false;
+
+  /// Total capacity held across every buffer. The per-solve growth
+  /// detector (LpPerfCounters::buffer_growths) compares this before and
+  /// after a solve: once a reused arena reaches its family's working size
+  /// the delta must be zero — the ASan CI job asserts exactly that.
+  [[nodiscard]] std::size_t capacity_bytes() const noexcept {
+    const auto doubles = [](const std::vector<double>& v) {
+      return v.capacity() * sizeof(double);
+    };
+    const auto ints = [](const std::vector<int>& v) {
+      return v.capacity() * sizeof(int);
+    };
+    const auto chars = [](const std::vector<char>& v) { return v.capacity(); };
+    const auto sizes = [](const std::vector<std::size_t>& v) {
+      return v.capacity() * sizeof(std::size_t);
+    };
+    const auto pairs = [](const std::vector<std::pair<int, double>>& v) {
+      return v.capacity() * sizeof(std::pair<int, double>);
+    };
+    return matrix.capacity_bytes() + etas.capacity_bytes() +
+           fresh.capacity_bytes() + doubles(b) + doubles(basic_values) +
+           doubles(costs1) + doubles(costs2) + doubles(duals) + doubles(work) +
+           ints(touched) + pairs(entering) + ints(basis) + chars(in_basis) +
+           ints(candidates) + ints(rf_new_basis) + chars(rf_row_pivoted) +
+           chars(rf_slot_done) + ints(rf_eta_of_row) + ints(rf_row_count) +
+           ints(rf_col_count) + sizes(rf_row_start) + sizes(rf_row_fill) +
+           ints(rf_row_slot) + ints(rf_row_queue) + ints(rf_col_queue) +
+           ints(rf_kernel) + pairs(rf_spill) + ints(initial_basis) +
+           ints(bk_count) + sizes(bk_pos) + ints(rf_heap);
+  }
 };
 
 SimplexWorkspace::SimplexWorkspace() : impl_(std::make_unique<Impl>()) {}
@@ -280,7 +385,34 @@ class RevisedSimplex {
         rf_kernel_(scratch_->rf_kernel),
         rf_spill_(scratch_->rf_spill),
         initial_basis_(scratch_->initial_basis) {
+    if (scratch_ != &local_scratch_) {
+      workspace_reused_ = scratch_->used_before;
+      scratch_->used_before = true;
+    }
+    capacity_bytes_before_ = scratch_->capacity_bytes();
     build(model);
+  }
+
+  /// Flushes this solve's work tallies into the process-wide counters —
+  /// the destructor so every return path (optimal, stopped, infeasible,
+  /// iteration-limited) reports exactly once, with one atomic add per
+  /// field (lp/perf_counters.hpp).
+  ~RevisedSimplex() {
+    LpPerfCounters delta;
+    delta.solves = 1;
+    delta.pivots = total_pivots_;
+    const KernelStats eta_stats = etas_.take_stats();
+    const KernelStats fresh_stats = fresh_.take_stats();
+    delta.etas_applied = eta_stats.fired + fresh_stats.fired;
+    delta.eta_entries = eta_stats.entries + fresh_stats.entries;
+    const KernelStats pricing = matrix_.take_stats();
+    delta.pricing_columns = pricing.fired;
+    delta.pricing_entries = pricing.entries;
+    delta.refactorizations = refactor_count_;
+    delta.workspace_reuses = workspace_reused_ ? 1 : 0;
+    delta.buffer_growths =
+        scratch_->capacity_bytes() > capacity_bytes_before_ ? 1 : 0;
+    lp_perf_accumulate(delta);
   }
 
   LpSolution solve() {
@@ -383,23 +515,38 @@ class RevisedSimplex {
     num_artificial_ = num_art;
     total_cols_ = artificial_base_ + num_art;
 
-    // Structural columns: transpose the model's row-major storage.
-    std::vector<std::vector<std::pair<int, double>>> buckets(
-        static_cast<std::size_t>(num_structural_));
+    // Structural columns: counting-sort transpose of the model's row-major
+    // storage — count entries per column, open every column at its final
+    // size, then scatter entries into place. Row order within a column is
+    // ascending either way (the outer loop visits rows in order), and no
+    // per-column heap blocks are allocated (the bucket transpose this
+    // replaces built one std::vector per structural column every solve).
+    std::vector<int>& bk_count = scratch_->bk_count;
+    std::vector<std::size_t>& bk_pos = scratch_->bk_pos;
+    bk_count.assign(static_cast<std::size_t>(num_structural_), 0);
     std::size_t nonzeros = 0;
     for (int r = 0; r < rows_; ++r) {
       for (const LpEntry& entry : model.row_entries(r)) {
-        buckets[static_cast<std::size_t>(entry.column)].emplace_back(r,
-                                                                     entry.value);
+        ++bk_count[static_cast<std::size_t>(entry.column)];
         ++nonzeros;
       }
     }
     matrix_.reserve(total_cols_, nonzeros + static_cast<std::size_t>(num_slack) +
                                      static_cast<std::size_t>(num_art));
+    matrix_.append_sized_columns(bk_count.data(), num_structural_);
+    bk_pos.resize(static_cast<std::size_t>(num_structural_));
     for (int c = 0; c < num_structural_; ++c) {
-      matrix_.begin_column();
-      for (const auto& [row, value] : buckets[static_cast<std::size_t>(c)]) {
-        matrix_.push(row, value);
+      bk_pos[static_cast<std::size_t>(c)] = matrix_.column_begin(c);
+    }
+    if (num_structural_ > 0) {
+      int* const mat_rows = matrix_.column_rows_mut(0);
+      double* const mat_values = matrix_.column_values_mut(0);
+      for (int r = 0; r < rows_; ++r) {
+        for (const LpEntry& entry : model.row_entries(r)) {
+          const std::size_t k = bk_pos[static_cast<std::size_t>(entry.column)]++;
+          mat_rows[k] = r;
+          mat_values[k] = entry.value;
+        }
       }
     }
 
@@ -690,6 +837,7 @@ class RevisedSimplex {
       if (r != leaving_row) etas_.push(r, w);
     }
     ++etas_since_refactor_;
+    ++total_pivots_;
     eta_peak_ = std::max(eta_peak_, static_cast<std::int64_t>(etas_.size()));
     in_basis_[static_cast<std::size_t>(basis_[lr])] = 0;
     in_basis_[static_cast<std::size_t>(entering_column)] = 1;
@@ -782,7 +930,7 @@ class RevisedSimplex {
         if (work_[row] == 0.0) touched_.push_back(matrix_.row(k));
         work_[row] += matrix_.value(k);
       }
-      fresh_.ftran_indexed(work_, touched_, rf_eta_of_row_);
+      fresh_.ftran_indexed(work_, touched_, rf_eta_of_row_, scratch_->rf_heap);
       const double pivot_value = work_[static_cast<std::size_t>(r)];
       const bool ok = std::fabs(pivot_value) > options_.pivot_tol;
       rf_spill_.clear();
@@ -884,7 +1032,7 @@ class RevisedSimplex {
           if (work_[row] == 0.0) touched_.push_back(matrix_.row(k));
           work_[row] += matrix_.value(k);
         }
-        fresh_.ftran_indexed(work_, touched_, rf_eta_of_row_);
+        fresh_.ftran_indexed(work_, touched_, rf_eta_of_row_, scratch_->rf_heap);
         int pivot_row = -1;
         double best = 0.0;
         for (const int row : touched_) {
@@ -993,6 +1141,7 @@ class RevisedSimplex {
     trace->set("eta.peak", eta_peak_);
     trace->set("eta.nnz", static_cast<std::int64_t>(etas_.num_nonzeros()));
     trace->set("pricing.sections", pricing_sections_);
+    trace->set("workspace.reused", workspace_reused_ ? 1 : 0);
   }
 
   SimplexOptions options_;
@@ -1043,6 +1192,9 @@ class RevisedSimplex {
   std::vector<int>& initial_basis_;
   int cursor_ = 0;
   int etas_since_refactor_ = 0;
+  bool workspace_reused_ = false;
+  std::size_t capacity_bytes_before_ = 0;
+  std::int64_t total_pivots_ = 0;
   std::int64_t bland_activations_ = 0;
   std::int64_t refactor_count_ = 0;
   std::int64_t refactor_failures_ = 0;
@@ -1051,21 +1203,40 @@ class RevisedSimplex {
   std::int64_t pricing_sections_ = 0;
 };
 
+/// The per-thread default arena: workspace reuse is the default, not a
+/// per-call-site opt-in. Every thread that solves LPs — each BatchRunner /
+/// SolveService worker, each pipeline's calling thread — keeps one warm
+/// workspace, so a sequence of solves stops churning the heap with no API
+/// changes at any call site. Safe because solve_lp_revised never nests on
+/// one thread (the engine does not call back into solve_lp), and a
+/// thread_local is exclusive to its thread by construction. Callers that
+/// need a genuinely cold solve (tests, allocation baselines) pass their
+/// own fresh workspace via SimplexOptions::workspace, which always wins.
+SimplexWorkspace& thread_default_workspace() {
+  static thread_local SimplexWorkspace workspace;
+  return workspace;
+}
+
 }  // namespace
 
 LpSolution solve_lp_revised(const LpModel& model, const SimplexOptions& options) {
-  PresolvedLp presolved = presolve_lp(model, options);
-  trace_set(options.trace, "presolve.rows.dropped",
+  SimplexOptions opts = options;
+  if (!opts.workspace) opts.workspace = &thread_default_workspace();
+  PresolvedLp presolved = presolve_lp(model, opts);
+  trace_set(opts.trace, "presolve.rows.dropped",
             presolved.summary.rows_dropped);
-  trace_set(options.trace, "presolve.cols.fixed", presolved.summary.cols_fixed);
-  trace_set(options.trace, "presolve.rows.normalized",
+  trace_set(opts.trace, "presolve.cols.fixed", presolved.summary.cols_fixed);
+  trace_set(opts.trace, "presolve.rows.normalized",
             presolved.summary.rows_normalized);
   LpSolution solution;
   if (presolved.summary.infeasible) {
     solution.status = LpStatus::kInfeasible;
     return solution;
   }
-  RevisedSimplex engine(presolved.model, options);
+  // On the identity fast path the reduced model was never built: solve the
+  // original directly, and skip the value remap / objective offset (both
+  // are identity transforms by construction).
+  RevisedSimplex engine(presolved.identity ? model : presolved.model, opts);
   solution = engine.solve();
   if (solution.status == LpStatus::kOptimal &&
       presolved.summary.unbounded_if_feasible) {
@@ -1073,7 +1244,7 @@ LpSolution solve_lp_revised(const LpModel& model, const SimplexOptions& options)
     solution.values.clear();
     return solution;
   }
-  if (solution.status == LpStatus::kOptimal) {
+  if (solution.status == LpStatus::kOptimal && !presolved.identity) {
     std::vector<double> values(static_cast<std::size_t>(model.num_variables()),
                                0.0);
     for (int c = 0; c < model.num_variables(); ++c) {

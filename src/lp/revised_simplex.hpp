@@ -86,10 +86,17 @@ struct PresolveSummary {
 
 /// A presolved model plus the mapping needed to undo the reductions.
 struct PresolvedLp {
-  LpModel model;                    ///< reduced model, every rhs >= 0
+  /// Reduced model, every rhs >= 0. Empty when `identity` is set.
+  LpModel model;
   std::vector<int> column_map;      ///< original column -> reduced (-1 fixed)
   std::vector<double> fixed_values; ///< per original column; valid when fixed
   PresolveSummary summary;
+  /// Presolve found nothing to do (no drops, fixes, or rhs flips): the
+  /// original model is its own presolved form and `model` was never built.
+  /// The hot path depends on this: TISE relaxations arrive pre-normalized,
+  /// and rebuilding a many-hundred-row model (one entry vector and name
+  /// string per row and column) cost more per solve than several pivots.
+  bool identity = false;
 };
 
 /// Runs the presolve reductions (gated by options.presolve; rhs

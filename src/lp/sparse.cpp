@@ -1,98 +1,146 @@
 #include "lp/sparse.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
-#include <queue>
 
 namespace calisched {
 
 void EtaFile::append(int pivot_row, const std::vector<double>& w) {
-  const std::size_t begin = values_.size();
+  begin_eta(pivot_row, w[static_cast<std::size_t>(pivot_row)]);
   for (std::size_t i = 0; i < w.size(); ++i) {
     if (static_cast<int>(i) == pivot_row) continue;
-    if (w[i] != 0.0) {
-      rows_.push_back(static_cast<int>(i));
-      values_.push_back(w[i]);
-    }
+    if (w[i] != 0.0) push(static_cast<int>(i), w[i]);
   }
-  etas_.push_back(Eta{pivot_row, 1.0 / w[static_cast<std::size_t>(pivot_row)],
-                      begin, values_.size()});
 }
 
 void EtaFile::ftran(std::vector<double>& v) const {
-  for (const Eta& eta : etas_) {
-    const auto r = static_cast<std::size_t>(eta.pivot_row);
-    const double vr = v[r];
+  const int* const rows = rows_.data();
+  const double* const values = values_.data();
+  double* const x = v.data();
+  std::int64_t fired = 0;
+  std::int64_t entries = 0;
+  for (std::size_t e = 0; e < pivot_rows_.size(); ++e) {
+    const auto r = static_cast<std::size_t>(pivot_rows_[e]);
+    const double vr = x[r];
     if (vr == 0.0) continue;
-    const double t = vr * eta.pivot_recip;
-    v[r] = t;
-    for (std::size_t k = eta.begin; k < eta.end; ++k) {
-      v[static_cast<std::size_t>(rows_[k])] -= values_[k] * t;
+    const double t = vr * pivot_recips_[e];
+    x[r] = t;
+    const std::size_t end = starts_[e + 1];
+    ++fired;
+    entries += static_cast<std::int64_t>(end - starts_[e]);
+    // Rows within one eta are pairwise distinct, so the scatter has no
+    // intra-loop dependence and is safe to vectorize.
+#pragma omp simd
+    for (std::size_t k = starts_[e]; k < end; ++k) {
+      x[static_cast<std::size_t>(rows[k])] -= values[k] * t;
     }
   }
+  stats_.fired += fired;
+  stats_.entries += entries;
 }
 
 void EtaFile::ftran_tracked(std::vector<double>& v,
                             std::vector<int>& touched) const {
-  for (const Eta& eta : etas_) {
-    const auto r = static_cast<std::size_t>(eta.pivot_row);
-    const double vr = v[r];
+  const int* const rows = rows_.data();
+  const double* const values = values_.data();
+  double* const x = v.data();
+  std::int64_t fired = 0;
+  std::int64_t entries = 0;
+  for (std::size_t e = 0; e < pivot_rows_.size(); ++e) {
+    const auto r = static_cast<std::size_t>(pivot_rows_[e]);
+    const double vr = x[r];
     if (vr == 0.0) continue;
-    const double t = vr * eta.pivot_recip;
-    v[r] = t;
-    for (std::size_t k = eta.begin; k < eta.end; ++k) {
-      const auto row = static_cast<std::size_t>(rows_[k]);
-      if (v[row] == 0.0) touched.push_back(rows_[k]);
-      v[row] -= values_[k] * t;
+    const double t = vr * pivot_recips_[e];
+    x[r] = t;
+    const std::size_t end = starts_[e + 1];
+    ++fired;
+    entries += static_cast<std::int64_t>(end - starts_[e]);
+    for (std::size_t k = starts_[e]; k < end; ++k) {
+      const auto row = static_cast<std::size_t>(rows[k]);
+      if (x[row] == 0.0) touched.push_back(rows[k]);
+      x[row] -= values[k] * t;
     }
   }
+  stats_.fired += fired;
+  stats_.entries += entries;
 }
 
 void EtaFile::ftran_indexed(std::vector<double>& v, std::vector<int>& touched,
-                            const std::vector<int>& eta_of_row) const {
+                            const std::vector<int>& eta_of_row,
+                            std::vector<int>& heap) const {
   // Min-heap of eta indices still to fire; equivalent to ftran() because an
   // eta acts only when v is nonzero at its pivot row, and fill created
   // behind the frontier (at an already-passed eta's pivot row) is ignored
-  // by a sequential ftran() too.
-  std::priority_queue<int, std::vector<int>, std::greater<int>> pending;
+  // by a sequential ftran() too. The heap lives in caller scratch
+  // (std::greater -> min-heap) so this allocates nothing in steady state.
+  const auto heap_less = std::greater<int>{};
+  heap.clear();
   for (const int row : touched) {
     const int e = eta_of_row[static_cast<std::size_t>(row)];
-    if (e >= 0) pending.push(e);
+    if (e >= 0) heap.push_back(e);
   }
+  std::make_heap(heap.begin(), heap.end(), heap_less);
+  std::int64_t fired = 0;
+  std::int64_t entries = 0;
   int last = -1;
-  while (!pending.empty()) {
-    const int e = pending.top();
-    pending.pop();
+  while (!heap.empty()) {
+    const int e = heap.front();
+    std::pop_heap(heap.begin(), heap.end(), heap_less);
+    heap.pop_back();
     if (e == last) continue;  // duplicate entry
     last = e;
-    const Eta& eta = etas_[static_cast<std::size_t>(e)];
-    const auto r = static_cast<std::size_t>(eta.pivot_row);
+    const auto ei = static_cast<std::size_t>(e);
+    const auto r = static_cast<std::size_t>(pivot_rows_[ei]);
     const double vr = v[r];
     if (vr == 0.0) continue;  // cancelled before this eta fired
-    const double t = vr * eta.pivot_recip;
+    const double t = vr * pivot_recips_[ei];
     v[r] = t;
-    for (std::size_t k = eta.begin; k < eta.end; ++k) {
+    const std::size_t end = starts_[ei + 1];
+    ++fired;
+    entries += static_cast<std::int64_t>(end - starts_[ei]);
+    for (std::size_t k = starts_[ei]; k < end; ++k) {
       const auto row = static_cast<std::size_t>(rows_[k]);
       if (v[row] == 0.0) {
         touched.push_back(rows_[k]);
         const int e2 = eta_of_row[row];
-        if (e2 > e) pending.push(e2);
+        if (e2 > e) {
+          heap.push_back(e2);
+          std::push_heap(heap.begin(), heap.end(), heap_less);
+        }
       }
       v[row] -= values_[k] * t;
     }
   }
+  stats_.fired += fired;
+  stats_.entries += entries;
 }
 
 void EtaFile::btran(std::vector<double>& y) const {
-  for (std::size_t e = etas_.size(); e-- > 0;) {
-    const Eta& eta = etas_[e];
-    const auto r = static_cast<std::size_t>(eta.pivot_row);
-    double sum = y[r];
-    for (std::size_t k = eta.begin; k < eta.end; ++k) {
-      sum -= values_[k] * y[static_cast<std::size_t>(rows_[k])];
+  const int* const rows = rows_.data();
+  const double* const values = values_.data();
+  const double* const yd = y.data();
+  std::int64_t entries = 0;
+  for (std::size_t e = pivot_rows_.size(); e-- > 0;) {
+    const std::size_t begin = starts_[e];
+    const std::size_t end = starts_[e + 1];
+    entries += static_cast<std::int64_t>(end - begin);
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    std::size_t k = begin;
+    for (; k + 4 <= end; k += 4) {
+      s0 += values[k] * yd[static_cast<std::size_t>(rows[k])];
+      s1 += values[k + 1] * yd[static_cast<std::size_t>(rows[k + 1])];
+      s2 += values[k + 2] * yd[static_cast<std::size_t>(rows[k + 2])];
+      s3 += values[k + 3] * yd[static_cast<std::size_t>(rows[k + 3])];
     }
-    y[r] = sum * eta.pivot_recip;
+    for (; k < end; ++k) {
+      s0 += values[k] * yd[static_cast<std::size_t>(rows[k])];
+    }
+    const auto r = static_cast<std::size_t>(pivot_rows_[e]);
+    y[r] = (y[r] - ((s0 + s1) + (s2 + s3))) * pivot_recips_[e];
   }
+  stats_.fired += static_cast<std::int64_t>(pivot_rows_.size());
+  stats_.entries += entries;
 }
 
 }  // namespace calisched

@@ -11,6 +11,17 @@
 //    row (y' B^{-1}). The file is rebuilt from the basis columns during
 //    periodic refactorization, which bounds its length and resets
 //    accumulated roundoff.
+//
+// Memory layout: both containers are structure-of-arrays over flat pools.
+// The eta file keeps pivot rows, pivot reciprocals, and a starts array in
+// three parallel vectors (one entry per eta) over a shared off-pivot
+// nonzero pool, so FTRAN/BTRAN walk four contiguous streams front to back
+// instead of chasing per-eta records. Gather-dot inner loops are unrolled
+// four ways; the accumulator split reassociates the sum, which both
+// engines' tolerances absorb (the dense oracle differs in operation order
+// anyway). Each kernel counts the etas it fired and the entries it
+// streamed into mutable tallies (take_stats()), feeding the process-wide
+// LpPerfCounters without touching shared cache lines mid-solve.
 #pragma once
 
 #include <cstddef>
@@ -19,9 +30,17 @@
 
 namespace calisched {
 
+/// Work tallies drained by the engine once per solve (see
+/// lp/perf_counters.hpp for the process-wide aggregate they feed).
+struct KernelStats {
+  std::int64_t fired = 0;    ///< eta applications / columns dotted
+  std::int64_t entries = 0;  ///< nonzero (value, row) pairs streamed
+};
+
 /// Compressed-sparse-column matrix. Columns are built left to right via
-/// begin_column()/push(); `starts` has one extra trailing entry so column
-/// c's nonzeros live in [starts[c], starts[c+1]).
+/// begin_column()/push() — or in bulk via append_sized_columns() when the
+/// caller counting-sorts entries itself; `starts` has one extra trailing
+/// entry so column c's nonzeros live in [starts[c], starts[c+1]).
 class CscMatrix {
  public:
   CscMatrix() { starts_.push_back(0); }
@@ -55,6 +74,26 @@ class CscMatrix {
     ++starts_.back();
   }
 
+  /// Appends `count` columns at once, column c sized sizes[c], entries
+  /// uninitialized — the counting-sort bulk build: the caller scatters
+  /// (row, value) pairs into place through column_rows_mut()/
+  /// column_values_mut() instead of growing one column at a time.
+  void append_sized_columns(const int* sizes, int count) {
+    std::size_t total = values_.size();
+    for (int c = 0; c < count; ++c) {
+      total += static_cast<std::size_t>(sizes[c]);
+      starts_.push_back(total);
+    }
+    rows_.resize(total);
+    values_.resize(total);
+  }
+  [[nodiscard]] int* column_rows_mut(int column) noexcept {
+    return rows_.data() + column_begin(column);
+  }
+  [[nodiscard]] double* column_values_mut(int column) noexcept {
+    return values_.data() + column_begin(column);
+  }
+
   [[nodiscard]] int num_columns() const noexcept {
     return static_cast<int>(starts_.size()) - 1;
   }
@@ -73,6 +112,14 @@ class CscMatrix {
   [[nodiscard]] int row(std::size_t k) const noexcept { return rows_[k]; }
   [[nodiscard]] double value(std::size_t k) const noexcept { return values_[k]; }
 
+  /// Bytes held across all pools (capacity, not size) — the workspace
+  /// growth detector sums these to prove reused solves stopped allocating.
+  [[nodiscard]] std::size_t capacity_bytes() const noexcept {
+    return starts_.capacity() * sizeof(std::size_t) +
+           rows_.capacity() * sizeof(int) +
+           values_.capacity() * sizeof(double);
+  }
+
   /// Scatters column `column` into the dense vector `out` (assumed zeroed
   /// on the column's rows beforehand).
   void scatter(int column, std::vector<double>& out) const {
@@ -83,11 +130,11 @@ class CscMatrix {
 
   /// Dot product of column `column` with a dense vector.
   [[nodiscard]] double dot(int column, const std::vector<double>& dense) const {
-    double sum = 0.0;
-    for (std::size_t k = column_begin(column); k < column_end(column); ++k) {
-      sum += values_[k] * dense[static_cast<std::size_t>(rows_[k])];
-    }
-    return sum;
+    const std::size_t begin = column_begin(column);
+    const std::size_t end = column_end(column);
+    stats_.fired += 1;
+    stats_.entries += static_cast<std::int64_t>(end - begin);
+    return gather_dot(begin, end, dense.data());
   }
 
   /// Dots every column in [lo, hi) with `dense`, invoking fn(column, dot)
@@ -98,32 +145,72 @@ class CscMatrix {
   template <typename Skip, typename Fn>
   void dot_range(int lo, int hi, const std::vector<double>& dense, Skip&& skip,
                  Fn&& fn) const {
+    const double* const d = dense.data();
     std::size_t k = column_begin(lo);
+    std::int64_t fired = 0;
+    std::int64_t entries = 0;
     for (int c = lo; c < hi; ++c) {
       const std::size_t end = column_end(c);
       if (!skip(c)) {
-        double sum = 0.0;
-        for (; k < end; ++k) {
-          sum += values_[k] * dense[static_cast<std::size_t>(rows_[k])];
-        }
-        fn(c, sum);
+        ++fired;
+        entries += static_cast<std::int64_t>(end - k);
+        fn(c, gather_dot(k, end, d));
       }
       k = end;
     }
+    stats_.fired += fired;
+    stats_.entries += entries;
+  }
+
+  /// Returns and zeroes the kernel tallies accumulated since the last take.
+  [[nodiscard]] KernelStats take_stats() const noexcept {
+    const KernelStats out = stats_;
+    stats_ = KernelStats{};
+    return out;
   }
 
  private:
+  /// sum(values[k] * dense[rows[k]]) over [begin, end): the shared
+  /// gather-dot kernel, four independent accumulators for ILP on the
+  /// gather-limited loads (reassociates the sum; see file comment).
+  [[nodiscard]] double gather_dot(std::size_t begin, std::size_t end,
+                                  const double* dense) const {
+    const int* const rows = rows_.data();
+    const double* const values = values_.data();
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    std::size_t k = begin;
+    for (; k + 4 <= end; k += 4) {
+      s0 += values[k] * dense[static_cast<std::size_t>(rows[k])];
+      s1 += values[k + 1] * dense[static_cast<std::size_t>(rows[k + 1])];
+      s2 += values[k + 2] * dense[static_cast<std::size_t>(rows[k + 2])];
+      s3 += values[k + 3] * dense[static_cast<std::size_t>(rows[k + 3])];
+    }
+    for (; k < end; ++k) {
+      s0 += values[k] * dense[static_cast<std::size_t>(rows[k])];
+    }
+    return (s0 + s1) + (s2 + s3);
+  }
+
   std::vector<std::size_t> starts_;
   std::vector<int> rows_;
   std::vector<double> values_;
+  mutable KernelStats stats_;
 };
 
-/// Product-form-of-the-inverse basis: a flat pool of eta nonzeros plus one
-/// record per eta (pivot row, pivot value, off-pivot slice).
+/// Product-form-of-the-inverse basis. Structure-of-arrays: eta e's pivot
+/// row/reciprocal live at index e of two parallel vectors and its
+/// off-pivot slice at [starts_[e], starts_[e+1]) of a shared nonzero pool,
+/// so applying the file is a front-to-back (or back-to-front) walk over
+/// contiguous streams.
 class EtaFile {
  public:
+  EtaFile() { starts_.push_back(0); }
+
   void clear() {
-    etas_.clear();
+    pivot_rows_.clear();
+    pivot_recips_.clear();
+    starts_.clear();
+    starts_.push_back(0);
     rows_.clear();
     values_.clear();
   }
@@ -136,13 +223,14 @@ class EtaFile {
   /// off-pivot nonzeros. Used by refactorization for columns known to need
   /// no elimination (their FTRAN through the file so far is a no-op).
   void begin_eta(int pivot_row, double pivot_value) {
-    etas_.push_back(
-        Eta{pivot_row, 1.0 / pivot_value, values_.size(), values_.size()});
+    pivot_rows_.push_back(pivot_row);
+    pivot_recips_.push_back(1.0 / pivot_value);
+    starts_.push_back(values_.size());
   }
   void push(int row, double value) {
     rows_.push_back(row);
     values_.push_back(value);
-    ++etas_.back().end;
+    ++starts_.back();
   }
 
   /// v := B^{-1} v  (apply etas oldest-first).
@@ -162,31 +250,51 @@ class EtaFile {
   /// nonzero can actually fire are visited (via a min-heap over eta
   /// indices), so the cost is proportional to the fill produced, not the
   /// file length. Refactorization relies on this to stay near-linear in
-  /// basis nonzeros.
+  /// basis nonzeros. `heap` is caller-owned scratch for the pending-eta
+  /// min-heap (contents ignored on entry, unspecified on exit): the call
+  /// runs once per basis column per refactorization, and an internal
+  /// priority_queue would pay one heap allocation each time.
   void ftran_indexed(std::vector<double>& v, std::vector<int>& touched,
-                     const std::vector<int>& eta_of_row) const;
+                     const std::vector<int>& eta_of_row,
+                     std::vector<int>& heap) const;
 
   /// y := y B^{-1}  (apply eta transposes newest-first).
   void btran(std::vector<double>& y) const;
 
-  [[nodiscard]] std::size_t size() const noexcept { return etas_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return pivot_rows_.size(); }
   [[nodiscard]] std::size_t num_nonzeros() const noexcept {
-    return values_.size() + etas_.size();  // off-pivot entries + pivots
+    return values_.size() + pivot_rows_.size();  // off-pivot entries + pivots
+  }
+
+  /// Bytes held across all pools (capacity, not size); see
+  /// CscMatrix::capacity_bytes().
+  [[nodiscard]] std::size_t capacity_bytes() const noexcept {
+    return pivot_rows_.capacity() * sizeof(int) +
+           pivot_recips_.capacity() * sizeof(double) +
+           starts_.capacity() * sizeof(std::size_t) +
+           rows_.capacity() * sizeof(int) +
+           values_.capacity() * sizeof(double);
+  }
+
+  /// Returns and zeroes the kernel tallies accumulated since the last take.
+  [[nodiscard]] KernelStats take_stats() const noexcept {
+    const KernelStats out = stats_;
+    stats_ = KernelStats{};
+    return out;
   }
 
  private:
-  struct Eta {
-    int pivot_row;
-    /// 1 / w[pivot_row] at append time. Stored reciprocal so FTRAN/BTRAN
-    /// multiply instead of divide — the file is applied once per simplex
-    /// iteration, and a division per eta would dominate both transforms.
-    double pivot_recip;
-    std::size_t begin, end;  ///< off-pivot slice into rows_/values_
-  };
-
-  std::vector<Eta> etas_;
+  // Parallel per-eta records; starts_ carries one extra trailing entry so
+  // eta e's off-pivot slice is [starts_[e], starts_[e+1]). Reciprocals are
+  // stored (not pivots) so FTRAN/BTRAN multiply instead of divide — the
+  // file is applied once per simplex iteration, and a division per eta
+  // would dominate both transforms.
+  std::vector<int> pivot_rows_;
+  std::vector<double> pivot_recips_;
+  std::vector<std::size_t> starts_;
   std::vector<int> rows_;
   std::vector<double> values_;
+  mutable KernelStats stats_;
 };
 
 }  // namespace calisched

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "lp/simplex.hpp"
+#include "trace/trace.hpp"
 #include "util/rng.hpp"
 
 namespace calisched {
@@ -111,6 +112,18 @@ std::optional<double> mm_start_time_lp_bound(const Instance& instance,
 
 MMResult LpRoundingMM::minimize(const Instance& instance,
                                 const RunLimits& limits) const {
+  return minimize_impl(instance, limits, nullptr);
+}
+
+MMResult LpRoundingMM::minimize_traced(const Instance& instance,
+                                       const RunLimits& limits,
+                                       TraceContext* trace) const {
+  return minimize_impl(instance, limits, trace);
+}
+
+MMResult LpRoundingMM::minimize_impl(const Instance& instance,
+                                     const RunLimits& limits,
+                                     TraceContext* trace) const {
   MMResult result;
   result.algorithm = name();
   if (instance.empty()) {
@@ -123,6 +136,9 @@ MMResult LpRoundingMM::minimize(const Instance& instance,
   if (built) {
     SimplexOptions lp_options = options_.lp;
     lp_options.limits = limits;
+    // A caller trace (the telemetry overload) gets the LP telemetry as an
+    // "lp" child; otherwise whatever sink Options::lp configured stands.
+    if (trace != nullptr) lp_options.trace = &trace->child("lp");
     LpSolution solved = solve_lp(built->model, lp_options);
     if (solved.status == LpStatus::kDeadlineExceeded ||
         solved.status == LpStatus::kCancelled) {

@@ -58,7 +58,21 @@ class LpRoundingMM final : public MachineMinimizer {
                                   const RunLimits& limits) const override;
   [[nodiscard]] std::string name() const override { return "lp-rounding"; }
 
+ protected:
+  /// Threads the caller's trace into the start-time LP solve (as an "lp"
+  /// child context), on top of the per-call limits override. The options_
+  /// copy is the only SimplexOptions this box ever constructs — every
+  /// other knob (engine, tolerances, warm start, workspace) flows through
+  /// from the caller-supplied Options::lp untouched.
+  [[nodiscard]] MMResult minimize_traced(const Instance& instance,
+                                         const RunLimits& limits,
+                                         TraceContext* trace) const override;
+
  private:
+  [[nodiscard]] MMResult minimize_impl(const Instance& instance,
+                                       const RunLimits& limits,
+                                       TraceContext* trace) const;
+
   Options options_;
 };
 

@@ -61,6 +61,21 @@ class MachineMinimizer {
                                   TraceContext* trace) const {
     return minimize(instance, RunLimits::none(), trace);
   }
+
+ protected:
+  /// Dispatch hook for the telemetry overload above. Boxes whose solve
+  /// runs a sub-solver that itself accepts a TraceContext (the LP-rounding
+  /// box) override this to thread `trace` into the sub-solver's options;
+  /// the default forwards to the 2-arg overload unchanged. Without this
+  /// hook the telemetry overload silently dropped the caller's trace
+  /// before a box could attach it — the same options-dropping class as
+  /// constructing a fresh SimplexOptions over a caller-supplied one.
+  [[nodiscard]] virtual MMResult minimize_traced(const Instance& instance,
+                                                 const RunLimits& limits,
+                                                 TraceContext* trace) const {
+    (void)trace;
+    return minimize(instance, limits);
+  }
 };
 
 /// First-fit EDF list scheduling, trying m = lower_bound(I), ..., n.

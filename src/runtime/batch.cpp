@@ -67,7 +67,11 @@ std::vector<BatchRecord> BatchRunner::run(const std::vector<Instance>& instances
                                           const BatchOptions& options) const {
   std::vector<BatchRecord> records(instances.size());
   ThreadPool pool(options.threads);
-  parallel_for(pool, instances.size(), [&](std::size_t i) {
+  // Chunked sharding: each worker claims a contiguous run of instances, so
+  // it writes adjacent BatchRecords and its per-thread LP workspace sees a
+  // streak of similarly-shaped models back to back. Records are keyed by
+  // index, so the JSONL output is byte-identical at any thread count.
+  parallel_for_chunked(pool, instances.size(), [&](std::size_t i) {
     const Instance& instance = instances[i];
     BatchRecord& record = records[i];
     record.index = i;

@@ -145,7 +145,10 @@ ShortWindowResult solve_short_window(const Instance& instance,
     // (the batch driver), and submitting to a shared pool from one of its
     // own workers would deadlock parallel_for's join.
     ThreadPool pool(std::min(workers, tasks.size()));
-    parallel_for(pool, tasks.size(), run_interval);
+    // Chunked: consecutive intervals have similarly-shaped LPs, so a
+    // worker's thread-local simplex workspace stays warm across its run.
+    // Results and traces are keyed by index — output is order-independent.
+    parallel_for_chunked(pool, tasks.size(), run_interval);
   } else {
     for (std::size_t i = 0; i < tasks.size(); ++i) run_interval(i);
   }

@@ -92,6 +92,47 @@ void parallel_for(ThreadPool& pool, std::size_t count,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+std::size_t default_chunk_size(std::size_t count, std::size_t workers) noexcept {
+  workers = std::max<std::size_t>(1, workers);
+  return std::clamp<std::size_t>(count / (workers * 8), 1, 32);
+}
+
+void parallel_for_chunked(ThreadPool& pool, std::size_t count,
+                          const std::function<void(std::size_t)>& body,
+                          std::size_t chunk) {
+  if (count == 0) return;
+  if (chunk == 0) chunk = default_chunk_size(count, pool.size());
+  if (count <= chunk || pool.size() == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::future<void>> futures;
+  const std::size_t chunks = (count + chunk - 1) / chunk;
+  const std::size_t workers = std::min(pool.size(), chunks);
+  futures.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    futures.push_back(pool.submit([&, chunk] {
+      for (;;) {
+        const std::size_t begin =
+            next.fetch_add(chunk, std::memory_order_relaxed);
+        if (begin >= count) return;
+        const std::size_t end = std::min(begin + chunk, count);
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      }
+    }));
+  }
+  std::exception_ptr first_error;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
 ThreadPool& default_pool() {
   static ThreadPool pool;
   return pool;

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "lp/perf_counters.hpp"
 #include "lp/revised_simplex.hpp"
 #include "lp/simplex.hpp"
 #include "trace/trace.hpp"
@@ -577,6 +578,61 @@ TEST(Simplex, CorruptWarmStartIsRejectedAndSolveStaysCorrect) {
   const LpSolution resolved = solve_lp(model, options);
   EXPECT_TRUE(resolved.warm_started);
   EXPECT_NEAR(resolved.objective, dense.objective, 1e-6);
+}
+
+TEST(Simplex, WarmWorkspaceSolvesAreBitIdenticalToCold) {
+  // Stronger than the tolerance-based reuse test below: the options doc
+  // promises results are *bit-identical* whichever workspace a solve runs
+  // in. Solve each program cold (fresh arena) and warm (one arena already
+  // grown by earlier, differently-shaped programs) and require the exact
+  // same bytes — values, objective, and pivot counts. Any kernel that
+  // read stale arena state would show up here as a ULP-level diff.
+  Rng rng(90210);
+  SimplexWorkspace warm_arena;
+  for (int trial = 0; trial < 12; ++trial) {
+    const LpModel model = make_random_bounded_program(rng);
+    SimplexOptions cold_options = engine_options(LpEngine::kRevised);
+    SimplexWorkspace cold_arena;
+    cold_options.workspace = &cold_arena;
+    SimplexOptions warm_options = engine_options(LpEngine::kRevised);
+    warm_options.workspace = &warm_arena;
+    const LpSolution cold = solve_lp(model, cold_options);
+    const LpSolution warm = solve_lp(model, warm_options);
+    ASSERT_EQ(cold.status, warm.status) << "trial " << trial;
+    EXPECT_EQ(cold.objective, warm.objective) << "trial " << trial;
+    EXPECT_EQ(cold.phase1_pivots, warm.phase1_pivots) << "trial " << trial;
+    EXPECT_EQ(cold.phase2_pivots, warm.phase2_pivots) << "trial " << trial;
+    EXPECT_EQ(cold.expel_pivots, warm.expel_pivots) << "trial " << trial;
+    ASSERT_EQ(cold.values.size(), warm.values.size()) << "trial " << trial;
+    for (std::size_t v = 0; v < cold.values.size(); ++v) {
+      EXPECT_EQ(cold.values[v], warm.values[v])
+          << "trial " << trial << " variable " << v;
+    }
+  }
+}
+
+TEST(Simplex, PerfCountersProveWarmArenaStopsAllocating) {
+  // The allocation story the ASan CI job asserts via bench_pivot_kernels,
+  // pinned at unit level: re-solving one model in one arena must count a
+  // workspace reuse per solve and zero buffer growths after the first.
+  Rng rng(1029);
+  const LpModel model = make_random_bounded_program(rng);
+  SimplexWorkspace arena;
+  SimplexOptions options = engine_options(LpEngine::kRevised);
+  options.workspace = &arena;
+  ASSERT_EQ(solve_lp(model, options).status, LpStatus::kOptimal);  // warmup
+
+  const LpPerfCounters before = lp_perf_snapshot();
+  constexpr int kReps = 4;
+  for (int rep = 0; rep < kReps; ++rep) {
+    ASSERT_EQ(solve_lp(model, options).status, LpStatus::kOptimal);
+  }
+  const LpPerfCounters delta = lp_perf_snapshot() - before;
+  EXPECT_EQ(delta.solves, kReps);
+  EXPECT_EQ(delta.workspace_reuses, kReps);
+  EXPECT_EQ(delta.buffer_growths, 0);
+  EXPECT_GT(delta.pivots, 0);
+  EXPECT_GT(delta.etas_applied, 0);
 }
 
 TEST(Simplex, WorkspaceReuseAcrossShapesMatchesFreshSolves) {

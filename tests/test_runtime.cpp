@@ -243,6 +243,31 @@ TEST(Batch, OutputBitIdenticalAcrossThreadCounts) {
   EXPECT_EQ(one, batch_jsonl(*combined, instances, seeds, 8));
 }
 
+// Workspace-reuse determinism for the LP-heavy path: the "long" pipeline
+// routes every instance through the revised simplex, and each batch worker
+// reuses its thread's workspace arena between instances. Warm arenas must
+// not change results — the output is byte-identical across worker counts
+// AND across consecutive batches in one process (by the second run every
+// per-thread arena is already grown to the family's working size, so those
+// solves are pure reuse).
+TEST(Batch, LpHeavyOutputBitIdenticalAcrossThreadsAndWarmArenas) {
+  BatchSpec spec;
+  spec.family = "long";
+  spec.count = 16;
+  spec.params = small_params(23);
+  std::vector<std::uint64_t> seeds;
+  const std::vector<Instance> instances = generate_batch(spec, &seeds);
+  const Algorithm* long_pipeline = AlgorithmRegistry::builtin().find("long");
+  ASSERT_NE(long_pipeline, nullptr);
+
+  const std::string cold = batch_jsonl(*long_pipeline, instances, seeds, 1);
+  EXPECT_FALSE(cold.empty());
+  EXPECT_EQ(cold, batch_jsonl(*long_pipeline, instances, seeds, 4));
+  EXPECT_EQ(cold, batch_jsonl(*long_pipeline, instances, seeds, 8));
+  EXPECT_EQ(cold, batch_jsonl(*long_pipeline, instances, seeds, 1));
+  EXPECT_EQ(cold, batch_jsonl(*long_pipeline, instances, seeds, 8));
+}
+
 TEST(Batch, TimingFieldsOnlyInTimingOutput) {
   BatchRecord record;
   record.algorithm = "combined";

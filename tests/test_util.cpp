@@ -173,6 +173,43 @@ TEST(ThreadPool, ZeroCountIsNoop) {
   parallel_for(pool, 0, [](std::size_t) { FAIL(); });
 }
 
+TEST(ThreadPool, ChunkedVisitsEachIndexOnce) {
+  ThreadPool pool(4);
+  for (const std::size_t chunk : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{7}, std::size_t{1000}}) {
+    std::vector<std::atomic<int>> hits(1000);
+    parallel_for_chunked(
+        pool, hits.size(), [&](std::size_t i) { ++hits[i]; }, chunk);
+    for (const auto& h : hits) ASSERT_EQ(h.load(), 1) << "chunk=" << chunk;
+  }
+}
+
+TEST(ThreadPool, ChunkedZeroCountIsNoop) {
+  ThreadPool pool(2);
+  parallel_for_chunked(pool, 0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, ChunkedPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for_chunked(pool, 64,
+                                    [](std::size_t i) {
+                                      if (i == 33) throw std::runtime_error("boom");
+                                    },
+                                    4),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, DefaultChunkSizeBounds) {
+  // Always at least one index per claim, at most 32, and small counts on
+  // wide pools fall back to singleton chunks (no worker starvation).
+  EXPECT_EQ(default_chunk_size(0, 8), 1u);
+  EXPECT_EQ(default_chunk_size(10, 8), 1u);
+  EXPECT_EQ(default_chunk_size(64, 8), 1u);
+  EXPECT_EQ(default_chunk_size(1024, 8), 16u);
+  EXPECT_EQ(default_chunk_size(1 << 20, 8), 32u);
+  EXPECT_EQ(default_chunk_size(100, 0), 12u);  // workers clamped to 1
+}
+
 TEST(ThreadPool, SubmitFutureCompletes) {
   ThreadPool pool(1);
   std::atomic<bool> ran{false};

@@ -20,6 +20,9 @@ covers the "metrics" and "checks" dicts:
     throughput) and machine facts (hardware_cores) are ADVISORY only: they
     are printed when they move but never gate the exit code, because the
     committed baselines come from whatever container happened to run them.
+  * Rate metrics (names ending "_per_s" or "/s" and their "_sec" variants)
+    are ADVISORY for the same reason: a rate is a deterministic count
+    divided by this machine's wall clock. Gate on the count, not the rate.
   * One-sided entries never gate and never crash: a name present only in
     the baseline is a WARNING (coverage shrank), a name present only in
     the fresh run is an ADVISORY (a renamed or new counter — refresh the
@@ -38,8 +41,15 @@ import sys
 TIMING_PARTS = ("ns", "ms", "us", "s")
 TIMING_SUBSTRINGS = ("wall", "time", "speed", "throughput")
 ADVISORY_NAMES = {"hardware_cores", "elapsed_ns"}
+# "reuse": workspace-reuse hit counts — fewer warm arrivals is the
+# regression, so the direction flips like the other higher-is-better names.
 HIGHER_IS_BETTER_FRAGMENTS = ("reduction", "speedup", "accepted", "solved",
-                              "throughput")
+                              "throughput", "reuse")
+
+# Per-second rates. "pivots_per_s" also happens to match TIMING_PARTS via
+# its trailing "s" part, but the slash spellings ("etas/s") do not split on
+# "_", so rates get their own explicit suffix rule.
+RATE_SUFFIXES = ("_per_s", "_per_sec", "/s", "/sec")
 
 WARN_RATIO = 0.10
 FAIL_RATIO = 0.25
@@ -52,6 +62,11 @@ def is_timing(name: str) -> bool:
     if any(fragment in lowered for fragment in TIMING_SUBSTRINGS):
         return True
     return any(part in TIMING_PARTS for part in lowered.replace("-", "_").split("_"))
+
+
+def is_rate(name: str) -> bool:
+    lowered = name.lower().replace("-", "_")
+    return lowered.endswith(RATE_SUFFIXES)
 
 
 def higher_is_better(name: str) -> bool:
@@ -109,9 +124,10 @@ def compare(baseline: dict, fresh: dict):
         # Positive `worse` always means a regression.
         worse = -change if higher_is_better(name) else change
         moved = abs(change) > WARN_RATIO
-        if is_timing(name):
+        if is_rate(name) or is_timing(name):
             if moved:
-                lines.append(f"ADVISORY: timing metric '{name}' moved "
+                kind = "rate" if is_rate(name) else "timing"
+                lines.append(f"ADVISORY: {kind} metric '{name}' moved "
                              f"{base_value:g} -> {fresh_value:g} "
                              f"({change:+.1%}); not gating")
             continue
@@ -177,6 +193,25 @@ SELF_TEST_FIXTURES = [
     ("zero_baseline_growth_fails",
      {"metrics": {"rejects": 0}}, {"metrics": {"rejects": 4}},
      1, 0, ["FAILURE: metric 'rejects'"]),
+    ("per_s_rate_never_gates",
+     {"metrics": {"pivots_per_s": 200000}},
+     {"metrics": {"pivots_per_s": 80000}},
+     0, 0, ["ADVISORY: rate metric 'pivots_per_s'"]),
+    ("slash_rate_never_gates",
+     {"metrics": {"etas/s": 1000}}, {"metrics": {"etas/s": 200}},
+     0, 0, ["ADVISORY: rate metric 'etas/s'"]),
+    ("rate_improvement_stays_silent",
+     {"metrics": {"entries_per_sec": 100}},
+     {"metrics": {"entries_per_sec": 105}},
+     0, 0, []),
+    ("reuse_drop_is_the_regression",
+     {"metrics": {"t1_workspace_reuses": 199}},
+     {"metrics": {"t1_workspace_reuses": 120}},
+     1, 0, ["FAILURE: metric 't1_workspace_reuses'"]),
+    ("reuse_rise_is_fine",
+     {"metrics": {"t1_workspace_reuses": 120}},
+     {"metrics": {"t1_workspace_reuses": 199}},
+     0, 0, ["note: metric 't1_workspace_reuses' improved"]),
 ]
 
 

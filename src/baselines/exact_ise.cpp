@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <utility>
 #include <vector>
 
+#include "baselines/baseline.hpp"
 #include "baselines/calibration_bounds.hpp"
+#include "exact/state_space.hpp"
 #include "mm/mm.hpp"
+#include "verify/verify.hpp"
 
 namespace calisched {
 namespace {
@@ -65,9 +69,13 @@ class ExactSearch {
       }
       if (budget_hit_) {
         result.nodes = nodes_;
-        result.status = poller_.status() != SolveStatus::kOk
-                            ? poller_.status()
-                            : SolveStatus::kLimitExceeded;
+        if (poller_.status() != SolveStatus::kOk) {
+          result.status = poller_.status();
+        } else if (sub_status_ != SolveStatus::kOk) {
+          result.status = sub_status_;  // a packing sub-search was stopped
+        } else {
+          result.status = SolveStatus::kLimitExceeded;
+        }
         return result;  // solved = false
       }
     }
@@ -141,8 +149,11 @@ class ExactSearch {
   }
 
   /// Exact single-machine feasibility of one calibration's job set with
-  /// windows clipped to the calibration interval.
-  [[nodiscard]] bool calibration_packable(const SearchCalibration& cal) const {
+  /// windows clipped to the calibration interval. A *stopped* sub-search
+  /// (its node budget or the shared RunLimits) must abandon the whole
+  /// search with the stop reason — treating it as "not packable" would
+  /// report a budget artifact as an infeasibility verdict.
+  [[nodiscard]] bool calibration_packable(const SearchCalibration& cal) {
     Instance clipped;
     clipped.machines = 1;
     clipped.T = instance_.T;
@@ -152,9 +163,15 @@ class ExactSearch {
       clip.deadline = std::min(job->deadline, cal.start + instance_.T);
       clipped.jobs.push_back(clip);
     }
-    return exact_mm_feasible(clipped, 1, /*node_budget=*/100'000,
-                             /*nodes=*/nullptr, options_.limits)
-        .has_value();
+    const MMFeasibility packed =
+        exact_mm_feasibility(clipped, 1, ExactEngine::kBranchBound,
+                             /*node_budget=*/100'000, options_.limits);
+    if (packed.status != SolveStatus::kOk) {
+      budget_hit_ = true;
+      sub_status_ = packed.status;
+      return false;
+    }
+    return packed.feasible;
   }
 
   /// Rebuilds the full schedule from the final packing: greedy interval
@@ -190,8 +207,10 @@ class ExactSearch {
         clip.deadline = std::min(job->deadline, cal->start + instance_.T);
         clipped.jobs.push_back(clip);
       }
-      const auto packed = exact_mm_feasible(clipped, 1, /*node_budget=*/100'000);
-      for (const ScheduledJob& sj : packed->jobs) {
+      const MMFeasibility packed = exact_mm_feasibility(
+          clipped, 1, ExactEngine::kBranchBound, /*node_budget=*/100'000);
+      assert(packed.feasible && "re-pack of a packable calibration");
+      for (const ScheduledJob& sj : packed.schedule.jobs) {
         schedule.jobs.push_back({sj.job, machine, sj.start});
       }
     }
@@ -207,13 +226,68 @@ class ExactSearch {
   std::vector<SearchCalibration> calibrations_;
   std::int64_t nodes_ = 0;
   bool budget_hit_ = false;
+  SolveStatus sub_status_ = SolveStatus::kOk;
 };
+
+/// State-space path: a verified greedy solution (when one exists) tightens
+/// the calibration cap before the exhaustive search starts.
+ExactIseResult solve_state_space(const Instance& instance,
+                                 const ExactIseOptions& options) {
+  ExactIseResult result;
+  if (instance.empty()) {
+    result.solved = true;
+    result.feasible = true;
+    result.schedule = Schedule::empty_like(instance, instance.machines);
+    return result;
+  }
+  StateSpaceIseOptions space;
+  space.state_budget = options.node_budget;
+  space.max_calibrations = options.max_calibrations;
+  space.require_tise = options.require_tise;
+  space.limits = options.limits;
+  space.trace = options.trace;
+  if (!options.require_tise) {
+    // The greedy schedule is ISE-only; it must be independently verified
+    // before its count may prune the exact search.
+    const BaselineResult greedy =
+        GreedyLazyIse().solve(instance, options.limits);
+    if (greedy.feasible &&
+        greedy.schedule.num_calibrations() <=
+            static_cast<std::size_t>(options.max_calibrations) &&
+        verify_ise(instance, greedy.schedule).ok()) {
+      space.upper_bound_hint =
+          static_cast<int>(greedy.schedule.num_calibrations());
+    }
+  }
+  StateSpaceIseResult found = state_space_ise_minimize(instance, space);
+  result.nodes = found.states;
+  if (found.status != SolveStatus::kOk) {
+    result.status = found.status;
+    return result;  // solved = false: stopped, not a verdict
+  }
+  result.solved = true;
+  if (found.feasible) {
+    result.feasible = true;
+    result.optimal_calibrations = found.calibrations;
+    result.schedule = std::move(found.schedule);
+  } else {
+    result.status = SolveStatus::kInfeasible;
+  }
+  return result;
+}
 
 }  // namespace
 
 ExactIseResult solve_exact_ise(const Instance& instance,
                                const ExactIseOptions& options) {
-  ExactSearch search(instance, options);
+  ExactIseOptions effective = options;
+  if (options.limits.node_budget > 0) {
+    effective.node_budget = options.limits.node_budget;
+  }
+  if (effective.engine == ExactEngine::kStateSpace) {
+    return solve_state_space(instance, effective);
+  }
+  ExactSearch search(instance, effective);
   return search.run();
 }
 

@@ -75,9 +75,13 @@ class CostDp {
         best(0, std::numeric_limits<Time>::min());
     result.nodes = nodes_;
     if (budget_hit_) {
-      result.status = poller_.status() != SolveStatus::kOk
-                          ? poller_.status()
-                          : SolveStatus::kLimitExceeded;
+      if (poller_.status() != SolveStatus::kOk) {
+        result.status = poller_.status();
+      } else if (sub_status_ != SolveStatus::kOk) {
+        result.status = sub_status_;  // a packing sub-search was stopped
+      } else {
+        result.status = SolveStatus::kLimitExceeded;
+      }
       return result;  // solved = false
     }
     result.solved = true;
@@ -206,10 +210,19 @@ class CostDp {
     return clip;
   }
 
-  [[nodiscard]] bool packable(std::uint32_t sub, Time s, int k) const {
-    return exact_mm_feasible(clipped(sub, s, k), 1, /*node_budget=*/100'000,
-                             /*nodes=*/nullptr, options_.limits)
-        .has_value();
+  /// A *stopped* packing sub-search must abandon the whole DP with the
+  /// stop reason — "not packable" would turn a budget artifact into a
+  /// pruned (possibly optimal) transition.
+  [[nodiscard]] bool packable(std::uint32_t sub, Time s, int k) {
+    const MMFeasibility packed =
+        exact_mm_feasibility(clipped(sub, s, k), 1, ExactEngine::kBranchBound,
+                             /*node_budget=*/100'000, options_.limits);
+    if (packed.status != SolveStatus::kOk) {
+      budget_hit_ = true;
+      sub_status_ = packed.status;
+      return false;
+    }
+    return packed.feasible;
   }
 
   /// Replays the memoized winning transitions into a schedule.
@@ -222,11 +235,11 @@ class CostDp {
       assert(it != memo_.end() && it->second.cost != kInf);
       const Entry& entry = it->second;
       schedule.calibrations.push_back({0, entry.start, entry.type});
-      const auto packed =
-          exact_mm_feasible(clipped(entry.subset, entry.start, entry.type), 1,
-                            /*node_budget=*/100'000);
-      assert(packed.has_value() && "packability was checked during the DP");
-      for (const ScheduledJob& sj : packed->jobs) {
+      const MMFeasibility packed = exact_mm_feasibility(
+          clipped(entry.subset, entry.start, entry.type), 1,
+          ExactEngine::kBranchBound, /*node_budget=*/100'000);
+      assert(packed.feasible && "packability was checked during the DP");
+      for (const ScheduledJob& sj : packed.schedule.jobs) {
         schedule.jobs.push_back({sj.job, 0, sj.start});
       }
       mask |= entry.subset;
@@ -245,6 +258,7 @@ class CostDp {
   std::map<std::pair<std::uint32_t, Time>, Entry> memo_;
   std::int64_t nodes_ = 0;
   bool budget_hit_ = false;
+  SolveStatus sub_status_ = SolveStatus::kOk;
 };
 
 }  // namespace

@@ -77,9 +77,13 @@ class CostSearch {
     }
     result.nodes = nodes_;
     if (budget_hit_) {
-      result.status = poller_.status() != SolveStatus::kOk
-                          ? poller_.status()
-                          : SolveStatus::kLimitExceeded;
+      if (poller_.status() != SolveStatus::kOk) {
+        result.status = poller_.status();
+      } else if (sub_status_ != SolveStatus::kOk) {
+        result.status = sub_status_;  // a packing sub-search was stopped
+      } else {
+        result.status = SolveStatus::kLimitExceeded;
+      }
       // A best-so-far is still reported (feasible but unproven optimal).
       if (best_cost_ < std::numeric_limits<std::int64_t>::max()) {
         result.feasible = true;
@@ -211,10 +215,19 @@ class CostSearch {
     return clipped;
   }
 
-  [[nodiscard]] bool calibration_packable(const SearchCalibration& c) const {
-    return exact_mm_feasible(clip_to(c), 1, /*node_budget=*/100'000,
-                             /*nodes=*/nullptr, options_.limits)
-        .has_value();
+  /// A *stopped* packing sub-search must abandon the whole search with the
+  /// stop reason — "not packable" would turn a budget artifact into a
+  /// pruned (possibly optimal) branch.
+  [[nodiscard]] bool calibration_packable(const SearchCalibration& c) {
+    const MMFeasibility packed =
+        exact_mm_feasibility(clip_to(c), 1, ExactEngine::kBranchBound,
+                             /*node_budget=*/100'000, options_.limits);
+    if (packed.status != SolveStatus::kOk) {
+      budget_hit_ = true;
+      sub_status_ = packed.status;
+      return false;
+    }
+    return packed.feasible;
   }
 
   /// Rebuilds the full schedule from the final packing: greedy interval
@@ -243,9 +256,10 @@ class CostSearch {
           c->where.start + type_of(c->where).span();
       schedule.calibrations.push_back({machine, c->where.start, c->where.type});
 
-      const auto packed = exact_mm_feasible(clip_to(*c), 1,
-                                            /*node_budget=*/100'000);
-      for (const ScheduledJob& sj : packed->jobs) {
+      const MMFeasibility packed = exact_mm_feasibility(
+          clip_to(*c), 1, ExactEngine::kBranchBound, /*node_budget=*/100'000);
+      assert(packed.feasible && "re-pack of a packable calibration");
+      for (const ScheduledJob& sj : packed.schedule.jobs) {
         schedule.jobs.push_back({sj.job, machine, sj.start});
       }
     }
@@ -264,6 +278,7 @@ class CostSearch {
   std::int64_t best_cost_ = std::numeric_limits<std::int64_t>::max();
   std::int64_t nodes_ = 0;
   bool budget_hit_ = false;
+  SolveStatus sub_status_ = SolveStatus::kOk;
 };
 
 }  // namespace

@@ -1,0 +1,74 @@
+// Dominance rules for schedule states, with their soundness arguments.
+//
+// Both rules are simulation arguments: state A dominates state B (same
+// scheduled-job set) when every continuation of B — a sequence of further
+// placements in the explorer's own move language — can be replayed from A
+// move for move, with every replayed job starting no later and every
+// replayed calibration opening legally. Then B can be discarded: if B
+// completes, A completes at least as well.
+//
+// MM (identical machines, frontiers sorted ascending):
+//   Match A's i-th frontier to B's i-th frontier. If a_i <= b_i for all i,
+//   a job B places on its i-th machine at start max(b_i', r_j) (b_i' being
+//   the current value along B's continuation) is placed on A's i-th
+//   machine at max(a_i', r_j) <= max(b_i', r_j); after the move the
+//   matched pair keeps a_i' <= b_i' because both become the same value
+//   when the start is r_j-bound, and A's start is no later otherwise.
+//   An inductive invariant a_i' <= b_i' (componentwise, same matching)
+//   therefore survives every move, and deadlines honored by B's starts
+//   are honored by A's earlier starts.
+//
+// ISE (slots sorted by (end, free), calibration counts k_A <= k_B):
+//   Match slots positionally; slot a must simulate slot b in one of two
+//   provable cases (ise_slot_simulates):
+//     * free_b >= end_b (slot b is useless: max(free_b, r_j) + p_j exceeds
+//       end_b for every job, so nothing fits): B's continuation never
+//       places a job in b; only b's occupancy constraint matters (a new
+//       calibration on that machine must start at or after end_b).
+//       end_a <= end_b keeps A's constraint looser, so every calibration
+//       B opens there, A can open too — whatever a's own free time is.
+//     * end_a == end_b and free_a <= free_b: identical expiry, so the MM
+//       frontier argument applies verbatim inside the calibration window
+//       (replayed starts are no later, completions no later, same end
+//       bound), and the occupancy constraints for future calibrations on
+//       the two machines coincide.
+//   Note end_a < end_b with slot b still useful is deliberately NOT a
+//   simulation: a job B hosts may complete inside (end_a, end_b], which A
+//   cannot replay. k_A <= k_B makes the objective no worse.
+#include "exact/schedule_state.hpp"
+
+#include <algorithm>
+
+namespace calisched {
+
+bool ise_slot_simulates(const IseSlot& a, const IseSlot& b) noexcept {
+  if (b.free >= b.end) return a.end <= b.end;        // b hosts nothing
+  return a.end == b.end && a.free <= b.free;         // same window, freer
+}
+
+bool ise_slots_dominate(const std::vector<IseSlot>& a,
+                        const std::vector<IseSlot>& b) noexcept {
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!ise_slot_simulates(a[i], b[i])) return false;
+  }
+  return true;
+}
+
+bool mm_frontiers_dominate(const std::vector<Time>& a,
+                           const std::vector<Time>& b) noexcept {
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+  }
+  return true;
+}
+
+void canonicalize_mm_frontiers(std::vector<Time>& frontiers,
+                               Time release_floor) noexcept {
+  // Sorted input: everything below the floor is a prefix.
+  for (Time& frontier : frontiers) {
+    if (frontier >= release_floor) break;
+    frontier = release_floor;
+  }
+}
+
+}  // namespace calisched

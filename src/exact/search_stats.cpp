@@ -1,0 +1,62 @@
+#include "exact/search_stats.hpp"
+
+#include <atomic>
+
+namespace calisched {
+namespace {
+
+struct AtomicCounters {
+  std::atomic<std::int64_t> searches{0};
+  std::atomic<std::int64_t> states_created{0};
+  std::atomic<std::int64_t> states_merged{0};
+  std::atomic<std::int64_t> states_dominated{0};
+  std::atomic<std::int64_t> states_pruned{0};
+  std::atomic<std::int64_t> states_expanded{0};
+  std::atomic<std::int64_t> layers{0};
+};
+
+AtomicCounters& totals() noexcept {
+  static AtomicCounters counters;
+  return counters;
+}
+
+}  // namespace
+
+ExactSearchCounters exact_search_snapshot() noexcept {
+  const AtomicCounters& t = totals();
+  ExactSearchCounters snap;
+  snap.searches = t.searches.load(std::memory_order_relaxed);
+  snap.states_created = t.states_created.load(std::memory_order_relaxed);
+  snap.states_merged = t.states_merged.load(std::memory_order_relaxed);
+  snap.states_dominated = t.states_dominated.load(std::memory_order_relaxed);
+  snap.states_pruned = t.states_pruned.load(std::memory_order_relaxed);
+  snap.states_expanded = t.states_expanded.load(std::memory_order_relaxed);
+  snap.layers = t.layers.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void exact_search_reset() noexcept {
+  AtomicCounters& t = totals();
+  t.searches.store(0, std::memory_order_relaxed);
+  t.states_created.store(0, std::memory_order_relaxed);
+  t.states_merged.store(0, std::memory_order_relaxed);
+  t.states_dominated.store(0, std::memory_order_relaxed);
+  t.states_pruned.store(0, std::memory_order_relaxed);
+  t.states_expanded.store(0, std::memory_order_relaxed);
+  t.layers.store(0, std::memory_order_relaxed);
+}
+
+void exact_search_accumulate(const ExactSearchCounters& delta) noexcept {
+  AtomicCounters& t = totals();
+  t.searches.fetch_add(delta.searches, std::memory_order_relaxed);
+  t.states_created.fetch_add(delta.states_created, std::memory_order_relaxed);
+  t.states_merged.fetch_add(delta.states_merged, std::memory_order_relaxed);
+  t.states_dominated.fetch_add(delta.states_dominated,
+                               std::memory_order_relaxed);
+  t.states_pruned.fetch_add(delta.states_pruned, std::memory_order_relaxed);
+  t.states_expanded.fetch_add(delta.states_expanded,
+                              std::memory_order_relaxed);
+  t.layers.fetch_add(delta.layers, std::memory_order_relaxed);
+}
+
+}  // namespace calisched

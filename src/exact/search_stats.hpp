@@ -1,0 +1,67 @@
+// Process-wide work counters for the state-space exact engine.
+//
+// Same design and caveats as lp/perf_counters.hpp: the explorer accumulates
+// into plain per-search locals and flushes one relaxed-atomic add per
+// counter when the search tears down, so the expansion loop never touches
+// shared cache lines. Snapshots are not a consistent cut across concurrent
+// searches — callers measure deltas around regions they control (benches,
+// tests), where searches complete before the second snapshot.
+//
+// The counters expose the structural claims the engine makes: merging and
+// dominance are what let it certify optima the DFS cannot, so tests assert
+// `states_dominated > 0` on instances built to collide, and the benches
+// report merge/dominance hit-rates next to (advisory) states/s.
+#pragma once
+
+#include <cstdint>
+
+namespace calisched {
+
+/// One snapshot (or delta of two snapshots) of the cumulative counters.
+struct ExactSearchCounters {
+  std::int64_t searches = 0;          ///< explorations completed (incl. stopped)
+  std::int64_t states_created = 0;    ///< candidate states built (budget unit)
+  std::int64_t states_merged = 0;     ///< re-reached an identical state
+  std::int64_t states_dominated = 0;  ///< killed by the dominance rules
+  std::int64_t states_pruned = 0;     ///< dead-job or calibration-cap pruned
+  std::int64_t states_expanded = 0;   ///< states whose children were generated
+  std::int64_t layers = 0;            ///< exploration layers processed
+
+  [[nodiscard]] ExactSearchCounters operator-(
+      const ExactSearchCounters& o) const noexcept {
+    ExactSearchCounters d;
+    d.searches = searches - o.searches;
+    d.states_created = states_created - o.states_created;
+    d.states_merged = states_merged - o.states_merged;
+    d.states_dominated = states_dominated - o.states_dominated;
+    d.states_pruned = states_pruned - o.states_pruned;
+    d.states_expanded = states_expanded - o.states_expanded;
+    d.layers = layers - o.layers;
+    return d;
+  }
+
+  [[nodiscard]] ExactSearchCounters operator+(
+      const ExactSearchCounters& o) const noexcept {
+    ExactSearchCounters s;
+    s.searches = searches + o.searches;
+    s.states_created = states_created + o.states_created;
+    s.states_merged = states_merged + o.states_merged;
+    s.states_dominated = states_dominated + o.states_dominated;
+    s.states_pruned = states_pruned + o.states_pruned;
+    s.states_expanded = states_expanded + o.states_expanded;
+    s.layers = layers + o.layers;
+    return s;
+  }
+};
+
+/// Current cumulative totals since process start (or the last reset).
+[[nodiscard]] ExactSearchCounters exact_search_snapshot() noexcept;
+
+/// Zeroes the totals. Benches/tests only; quiesce concurrent searches first.
+void exact_search_reset() noexcept;
+
+/// Engine-side flush: adds `delta` to the process totals (one relaxed
+/// atomic add per field). Not for external callers.
+void exact_search_accumulate(const ExactSearchCounters& delta) noexcept;
+
+}  // namespace calisched

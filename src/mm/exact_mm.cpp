@@ -1,4 +1,6 @@
-// Exact machine minimization by depth-first search.
+// Exact machine minimization: engine dispatch plus the original
+// depth-first branch-and-bound (kept as the differential oracle for the
+// layered state-space engine in src/exact/state_space.cpp).
 //
 // Completeness argument: any feasible schedule can be left-shifted so that
 // every job starts either at its release time or at the completion of the
@@ -11,6 +13,7 @@
 #include <limits>
 #include <vector>
 
+#include "exact/state_space.hpp"
 #include "mm/lower_bounds.hpp"
 #include "mm/mm.hpp"
 
@@ -39,10 +42,12 @@ class FeasibilitySearch {
 
   [[nodiscard]] bool run() { return dfs(instance_.size()); }
   [[nodiscard]] std::int64_t nodes() const noexcept { return nodes_; }
-  [[nodiscard]] bool exhausted_budget() const noexcept { return budget_hit_; }
-  /// kOk, or the RunLimits reason the search stopped early.
-  [[nodiscard]] SolveStatus limit_status() const noexcept {
-    return poller_.status();
+  /// How the search ended: kOk means run()'s verdict is definitive;
+  /// kLimitExceeded means the node budget ran out; otherwise the RunLimits
+  /// stop reason. Budget exhaustion is never folded into "infeasible".
+  [[nodiscard]] SolveStatus status() const noexcept {
+    if (poller_.status() != SolveStatus::kOk) return poller_.status();
+    return budget_hit_ ? SolveStatus::kLimitExceeded : SolveStatus::kOk;
   }
   [[nodiscard]] MMSchedule schedule() const {
     MMSchedule result;
@@ -125,21 +130,34 @@ class FeasibilitySearch {
 
 }  // namespace
 
-std::optional<MMSchedule> exact_mm_feasible(const Instance& instance, int machines,
-                                            std::int64_t node_budget,
-                                            std::int64_t* nodes,
-                                            const RunLimits& limits) {
+MMFeasibility exact_mm_feasibility(const Instance& instance, int machines,
+                                   ExactEngine engine,
+                                   std::int64_t node_budget,
+                                   const RunLimits& limits) {
+  MMFeasibility result;
   if (instance.empty()) {
-    MMSchedule empty;
-    empty.machines = machines;
-    if (nodes) *nodes = 0;
-    return empty;
+    result.feasible = true;
+    result.schedule.machines = machines;
+    return result;
+  }
+  if (engine == ExactEngine::kStateSpace) {
+    StateSpaceMmResult found =
+        state_space_mm_feasible(instance, machines, node_budget, limits);
+    result.status = found.status;
+    result.feasible = found.feasible;
+    result.schedule = std::move(found.schedule);
+    result.nodes = found.states;
+    return result;
   }
   FeasibilitySearch search(instance, machines, node_budget, limits);
   const bool feasible = search.run();
-  if (nodes) *nodes = search.nodes();
-  if (!feasible) return std::nullopt;
-  return search.schedule();
+  result.status = search.status();
+  result.nodes = search.nodes();
+  if (result.status == SolveStatus::kOk && feasible) {
+    result.feasible = true;
+    result.schedule = search.schedule();
+  }
+  return result;
 }
 
 MMResult ExactMM::minimize(const Instance& instance,
@@ -151,27 +169,30 @@ MMResult ExactMM::minimize(const Instance& instance,
     result.schedule.machines = 0;
     return result;
   }
+  const std::int64_t budget =
+      limits.node_budget > 0 ? limits.node_budget : node_budget_;
   const int n = static_cast<int>(instance.size());
   for (int m = mm_lower_bound(instance); m <= n; ++m) {
-    FeasibilitySearch search(instance, m, node_budget_, limits);
-    const bool feasible = search.run();
-    result.search_nodes += search.nodes();
-    if (feasible) {
-      result.feasible = true;
-      result.schedule = search.schedule();
-      return result;
-    }
-    if (search.limit_status() != SolveStatus::kOk) {
-      // Deadline / cancellation: stop immediately, no fallback work.
-      result.status = search.limit_status();
-      return result;
-    }
-    if (search.exhausted_budget()) {
-      // Give up on exactness; report the greedy schedule instead.
+    MMFeasibility search =
+        exact_mm_feasibility(instance, m, engine_, budget, limits);
+    result.search_nodes += search.nodes;
+    if (search.status == SolveStatus::kLimitExceeded) {
+      // Node/state budget: give up on exactness; report the greedy
+      // schedule instead (the algorithm string records the downgrade).
       MMResult fallback = GreedyEdfMM().minimize(instance, limits);
-      fallback.algorithm = "exact-bnb(budget-exceeded)->greedy-edf";
+      fallback.algorithm = name() + "(budget-exceeded)->greedy-edf";
       fallback.search_nodes = result.search_nodes;
       return fallback;
+    }
+    if (search.status != SolveStatus::kOk) {
+      // Deadline / cancellation: stop immediately, no fallback work.
+      result.status = search.status;
+      return result;
+    }
+    if (search.feasible) {
+      result.feasible = true;
+      result.schedule = std::move(search.schedule);
+      return result;
     }
   }
   result.status = SolveStatus::kInfeasible;

@@ -9,14 +9,16 @@
 // Im et al.) are approximation *analyses*; as practical boxes we provide:
 //   * GreedyEdfMM  — polynomial first-fit EDF list scheduling over
 //                    increasing machine counts (always succeeds by m = n);
-//   * ExactMM      — branch-and-bound over left-shifted schedules, exact
-//                    for small instances (used to measure realized alpha);
+//   * ExactMM      — exact search over left-shifted schedules (layered
+//                    state-space engine by default, branch-and-bound as a
+//                    differential oracle; measures realized alpha);
 //   * UnitEdfMM    — exact and polynomial for unit processing times.
 #pragma once
 
 #include <memory>
 #include <string>
 
+#include "exact/engine.hpp"
 #include "runtime/limits.hpp"
 #include "runtime/status.hpp"
 #include "verify/verify.hpp"
@@ -89,20 +91,27 @@ class GreedyEdfMM final : public MachineMinimizer {
   [[nodiscard]] std::string name() const override { return "greedy-edf"; }
 };
 
-/// Exact MM via depth-first search over left-shifted schedules with a node
-/// budget. Exceeding the budget falls back to the greedy result (and the
-/// MMResult notes it via `algorithm`).
+/// Exact MM over left-shifted schedules with a node/state budget.
+/// Two interchangeable engines: the layered state-space search (default;
+/// src/exact/state_space.hpp) and the original depth-first branch-and-bound,
+/// kept as a differential oracle. Exceeding the budget falls back to the
+/// greedy result (and the MMResult notes it via `algorithm`); the effective
+/// budget is `limits.node_budget` when set, else the constructor's.
 class ExactMM final : public MachineMinimizer {
  public:
-  explicit ExactMM(std::int64_t node_budget = 4'000'000)
-      : node_budget_(node_budget) {}
+  explicit ExactMM(std::int64_t node_budget = 4'000'000,
+                   ExactEngine engine = ExactEngine::kStateSpace)
+      : node_budget_(node_budget), engine_(engine) {}
   using MachineMinimizer::minimize;
   [[nodiscard]] MMResult minimize(const Instance& instance,
                                   const RunLimits& limits) const override;
-  [[nodiscard]] std::string name() const override { return "exact-bnb"; }
+  [[nodiscard]] std::string name() const override {
+    return engine_ == ExactEngine::kStateSpace ? "exact-state" : "exact-bnb";
+  }
 
  private:
   std::int64_t node_budget_;
+  ExactEngine engine_;
 };
 
 /// Exact MM for unit processing times (p_j = 1 for all j): timestep-by-
@@ -138,12 +147,24 @@ class SpeedupMM final : public MachineMinimizer {
   std::int64_t speed_;
 };
 
+/// Outcome of a single fixed-machine-count feasibility search. Unlike the
+/// old optional-returning interface, a stopped search (node budget,
+/// deadline, cancellation) is distinguishable from a proven-infeasible one:
+/// `feasible` is a verdict only when `status == kOk`.
+struct MMFeasibility {
+  SolveStatus status = SolveStatus::kOk;  ///< kOk = search ran to completion
+  bool feasible = false;                  ///< meaningful only when kOk
+  MMSchedule schedule;                    ///< valid when kOk && feasible
+  std::int64_t nodes = 0;                 ///< nodes / states explored
+};
+
 /// Nonpreemptive feasibility of `instance` on exactly `machines` machines,
-/// via the same search ExactMM uses. Returns the schedule when feasible.
-/// `nodes` (optional) receives the number of search nodes explored.
-/// A stopped search (budget, deadline, cancellation) returns nullopt.
-[[nodiscard]] std::optional<MMSchedule> exact_mm_feasible(
-    const Instance& instance, int machines, std::int64_t node_budget,
-    std::int64_t* nodes = nullptr, const RunLimits& limits = RunLimits::none());
+/// via the engine of choice (the same searches ExactMM uses). Budget
+/// exhaustion reports kLimitExceeded, never a feasibility verdict.
+[[nodiscard]] MMFeasibility exact_mm_feasibility(
+    const Instance& instance, int machines,
+    ExactEngine engine = ExactEngine::kStateSpace,
+    std::int64_t node_budget = 4'000'000,
+    const RunLimits& limits = RunLimits::none());
 
 }  // namespace calisched

@@ -84,6 +84,7 @@ std::vector<BatchRecord> BatchRunner::run(const std::vector<Instance>& instances
       limits = RunLimits::deadline_after(options.per_instance_deadline);
     }
     limits.cancel = options.cancel;
+    limits.node_budget = options.node_budget;
 
     // One private trace per task: TraceContext is not synchronized.
     TraceContext trace(algorithm_->name());

@@ -75,6 +75,9 @@ struct BatchOptions {
   /// Wall-clock budget per instance (measured from that instance's start);
   /// zero means unlimited.
   std::chrono::nanoseconds per_instance_deadline{0};
+  /// Node/state cap per instance for exact engines (exhaustion reports
+  /// kLimitExceeded, never kInfeasible); zero keeps solver defaults.
+  std::int64_t node_budget = 0;
   /// Shared cancellation for the whole batch; not owned, may be null.
   /// Instances finished before cancel() keep their results; the rest
   /// report kCancelled.

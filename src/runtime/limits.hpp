@@ -46,6 +46,12 @@ struct RunLimits {
   Clock::time_point deadline = Clock::time_point::max();
   /// Optional cooperative cancellation; not owned, may be null.
   const CancelToken* cancel = nullptr;
+  /// Search-node/state budget for the exact solvers; 0 means "use the
+  /// solver's own default". Only exact engines consume it (greedy and LP
+  /// boxes ignore it), and exhaustion surfaces as kLimitExceeded — it is a
+  /// resource limit, never an infeasibility verdict. Not part of
+  /// unlimited(): a budget alone doesn't require clock/cancel polling.
+  std::int64_t node_budget = 0;
 
   [[nodiscard]] static RunLimits none() noexcept { return {}; }
 

@@ -140,6 +140,13 @@ ParsedRequest parse_request(std::string_view line) {
       }
       request.timeout_ms = timeout->as_int();
     }
+    if (const JsonValue* budget = document.find("node_budget")) {
+      if (!budget->is_int() || budget->as_int() < 0) {
+        parsed.error = "field 'node_budget' must be a non-negative integer";
+        return parsed;
+      }
+      request.node_budget = budget->as_int();
+    }
     if (const JsonValue* schedule = document.find("schedule")) {
       if (!schedule->is_bool()) {
         parsed.error = "field 'schedule' must be a boolean";

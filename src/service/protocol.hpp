@@ -5,9 +5,12 @@
 //   {"type":"solve","id":R,"algo":"combined",
 //    "instance":{"machines":M,"T":T,"jobs":[[id,release,deadline,proc],...],
 //                "caltypes":[[length,cost,delay],...]},
-//    "timeout_ms":N,"schedule":false}
+//    "timeout_ms":N,"node_budget":B,"schedule":false}
 // "caltypes" is optional: absent or empty means the classic unit model
-// (one type of length T, cost 1, no activation delay).
+// (one type of length T, cost 1, no activation delay). "node_budget" is
+// optional: a nonzero value caps the node/state count of exact engines
+// (exhaustion reports status "limit", never "infeasible"); 0 keeps each
+// solver's default.
 //   {"type":"stats","id":R}      counters + latency percentiles snapshot
 //   {"type":"ping","id":R}       liveness probe
 //   {"type":"pause","id":R}      hold workers (queued requests wait)
@@ -49,6 +52,7 @@ struct ServiceRequest {
   std::string algorithm = "combined";
   Instance instance;
   std::int64_t timeout_ms = 0;  ///< per-request deadline; 0 means none
+  std::int64_t node_budget = 0; ///< exact-engine node/state cap; 0 = default
   bool want_schedule = false;   ///< attach the full schedule to the result
 };
 

@@ -12,18 +12,21 @@ namespace {
 
 constexpr std::size_t kLatencyWindow = 512;
 
-/// Cache key: algorithm name + canonical instance hash. The algorithm is
-/// part of the key because different algorithms legitimately return
-/// different (all verified) schedules for one instance.
-std::string cache_key(const std::string& algorithm, const Instance& instance) {
+/// Cache key: algorithm name + canonical instance hash + node budget. The
+/// algorithm is part of the key because different algorithms legitimately
+/// return different (all verified) schedules for one instance; the node
+/// budget is part of it because a budget changes whether an exact engine
+/// certifies at all, so outcomes across budgets must not shadow each other.
+std::string cache_key(const ServiceRequest& request) {
   char hex[17];
-  std::uint64_t hash = canonical_instance_hash(instance);
+  std::uint64_t hash = canonical_instance_hash(request.instance);
   for (int i = 15; i >= 0; --i) {
     hex[i] = "0123456789abcdef"[hash & 0xf];
     hash >>= 4;
   }
   hex[16] = '\0';
-  return algorithm + '#' + hex;
+  return request.algorithm + '#' + hex + '#' +
+         std::to_string(request.node_budget);
 }
 
 std::int64_t percentile(std::vector<std::int64_t> samples, double q) {
@@ -86,6 +89,7 @@ SolveService::PendingPtr SolveService::submit(const ServiceRequest& request) {
     limits = RunLimits::deadline_after(std::chrono::milliseconds(request.timeout_ms));
   }
   limits.cancel = &abort_;
+  limits.node_budget = request.node_budget;
 
   {
     std::scoped_lock lock(mutex_);
@@ -132,7 +136,7 @@ void SolveService::execute(const std::shared_ptr<Pending>& pending,
     pause_cv_.wait(lock, [this] { return !paused_; });
   }
   const auto started = std::chrono::steady_clock::now();
-  const std::string key = cache_key(request.algorithm, request.instance);
+  const std::string key = cache_key(request);
 
   SolveOutcome outcome;
   bool hit = false;

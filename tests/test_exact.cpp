@@ -1,11 +1,17 @@
 // Tests for the exact minimum-calibration reference solver, including the
-// Lemma 2 trim-gap relation (exact TISE vs exact ISE).
+// Lemma 2 trim-gap relation (exact TISE vs exact ISE) and the differential
+// sweep that pins the state-space engine to the branch-and-bound oracle.
 #include <gtest/gtest.h>
+
+#include <vector>
 
 #include "baselines/baseline.hpp"
 #include "baselines/calibration_bounds.hpp"
 #include "baselines/exact_ise.hpp"
+#include "exact/search_stats.hpp"
 #include "gen/generators.hpp"
+#include "mm/mm.hpp"
+#include "runtime/registry.hpp"
 #include "verify/verify.hpp"
 
 namespace calisched {
@@ -185,6 +191,160 @@ TEST(ExactIse, EmptyInstance) {
   EXPECT_TRUE(result.solved);
   EXPECT_TRUE(result.feasible);
   EXPECT_EQ(result.optimal_calibrations, 0u);
+}
+
+// ---------------------------------------------------- differential sweep --
+
+/// Small instances from every generator family the exact engines accept
+/// (the calib-cost families carry a type table, which neither exact ISE
+/// engine models). 34 seeds x 6 families = 204 instances.
+std::vector<Instance> differential_instances() {
+  std::vector<Instance> instances;
+  for (std::uint64_t seed = 1; seed <= 34; ++seed) {
+    GenParams params;
+    params.seed = seed;
+    params.n = 4 + static_cast<int>(seed % 3);
+    params.T = 6;
+    params.machines = 1 + static_cast<int>(seed % 2);
+    params.horizon = 30;
+    params.max_proc = 5;
+    instances.push_back(generate_mixed(params, 0.5));
+    instances.push_back(generate_long_window(params, 2, 4));
+    instances.push_back(generate_short_window(params));
+    instances.push_back(generate_unit(params, 8));
+    instances.push_back(generate_clustered(params, 2, params.T, seed % 2 == 0));
+    instances.push_back(generate_partition_adversarial(seed, 2, 4));
+  }
+  return instances;
+}
+
+TEST(ExactDifferential, IseEnginesAgreeAcrossGeneratorFamilies) {
+  const std::vector<Instance> instances = differential_instances();
+  ASSERT_GE(instances.size(), 200u);
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const Instance& instance = instances[i];
+    ExactIseOptions state_options;
+    state_options.engine = ExactEngine::kStateSpace;
+    ExactIseOptions bnb_options;
+    bnb_options.engine = ExactEngine::kBranchBound;
+    const ExactIseResult state = solve_exact_ise(instance, state_options);
+    const ExactIseResult bnb = solve_exact_ise(instance, bnb_options);
+    ASSERT_TRUE(state.solved) << "instance " << i;
+    ASSERT_TRUE(bnb.solved) << "instance " << i;
+    ASSERT_EQ(state.feasible, bnb.feasible) << "instance " << i;
+    if (!state.feasible) continue;
+    EXPECT_EQ(state.optimal_calibrations, bnb.optimal_calibrations)
+        << "instance " << i;
+    EXPECT_TRUE(verify_ise(instance, state.schedule).ok()) << "instance " << i;
+    EXPECT_TRUE(verify_ise(instance, bnb.schedule).ok()) << "instance " << i;
+  }
+}
+
+TEST(ExactDifferential, MmEnginesAgreeAcrossGeneratorFamilies) {
+  const std::vector<Instance> instances = differential_instances();
+  ASSERT_GE(instances.size(), 200u);
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const Instance& instance = instances[i];
+    for (int machines = 1; machines <= 3; ++machines) {
+      const MMFeasibility state = exact_mm_feasibility(
+          instance, machines, ExactEngine::kStateSpace);
+      const MMFeasibility bnb = exact_mm_feasibility(
+          instance, machines, ExactEngine::kBranchBound);
+      ASSERT_EQ(state.status, SolveStatus::kOk)
+          << "instance " << i << ", m=" << machines;
+      ASSERT_EQ(bnb.status, SolveStatus::kOk)
+          << "instance " << i << ", m=" << machines;
+      EXPECT_EQ(state.feasible, bnb.feasible)
+          << "instance " << i << ", m=" << machines;
+      if (state.feasible) {
+        Instance copy = instance;
+        copy.machines = machines;
+        EXPECT_TRUE(verify_mm(copy, state.schedule).ok())
+            << "instance " << i << ", m=" << machines;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------- pruning --
+
+TEST(ExactStateSpace, DominanceAndMergingPruneTheLayeredGraph) {
+  // Interchangeable jobs reach identical states along every placement
+  // order (merges), and staggered windows leave strictly-worse frontiers
+  // behind (dominance kills them). Without both, the layered graph would
+  // revisit each permutation the way the DFS does.
+  Instance instance;
+  instance.machines = 2;
+  instance.T = 8;
+  for (JobId j = 0; j < 7; ++j) {
+    instance.jobs.push_back({j, j * 2, j * 2 + 16, 3});
+  }
+  exact_search_reset();
+  ExactIseOptions options;
+  options.engine = ExactEngine::kStateSpace;
+  const ExactIseResult result = solve_exact_ise(instance, options);
+  const ExactSearchCounters counters = exact_search_snapshot();
+  ASSERT_TRUE(result.solved);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_TRUE(verify_ise(instance, result.schedule).ok());
+
+  // Same optimum as the oracle, reached with a collapsed graph.
+  ExactIseOptions bnb_options;
+  bnb_options.engine = ExactEngine::kBranchBound;
+  const ExactIseResult oracle = solve_exact_ise(instance, bnb_options);
+  ASSERT_TRUE(oracle.solved && oracle.feasible);
+  EXPECT_EQ(result.optimal_calibrations, oracle.optimal_calibrations);
+
+  EXPECT_GE(counters.searches, 1);
+  EXPECT_GT(counters.states_merged, 0);
+  EXPECT_GT(counters.states_dominated, 0);
+  EXPECT_LT(counters.states_expanded, counters.states_created);
+  EXPECT_GT(counters.layers, 0);
+}
+
+// -------------------------------------------------------- budget statuses --
+
+TEST(ExactIse, BudgetOneNeverReportsInfeasible) {
+  // A feasible two-job instance under a starvation budget: both engines
+  // must say "stopped", never "infeasible" — conflating the two would turn
+  // a resource artifact into a wrong verdict.
+  Instance instance;
+  instance.machines = 1;
+  instance.T = 10;
+  instance.jobs = {{0, 0, 20, 4}, {1, 0, 20, 5}};
+  for (const ExactEngine engine :
+       {ExactEngine::kStateSpace, ExactEngine::kBranchBound}) {
+    ExactIseOptions options;
+    options.engine = engine;
+    options.node_budget = 1;
+    const ExactIseResult result = solve_exact_ise(instance, options);
+    EXPECT_FALSE(result.solved) << to_string(engine);
+    EXPECT_FALSE(result.feasible) << to_string(engine);
+    EXPECT_EQ(result.status, SolveStatus::kLimitExceeded) << to_string(engine);
+  }
+}
+
+TEST(ExactIse, RegistryBudgetOneSurfacesLimitNotInfeasible) {
+  Instance instance;
+  instance.machines = 1;
+  instance.T = 10;
+  instance.jobs = {{0, 0, 20, 4}, {1, 0, 20, 5}};
+  RunLimits limits;
+  limits.node_budget = 1;
+  for (const char* name : {"exact-ise", "exact-ise-bnb"}) {
+    const Algorithm* algorithm = AlgorithmRegistry::builtin().find(name);
+    ASSERT_NE(algorithm, nullptr) << name;
+    const RunResult result = algorithm->run(instance, limits, nullptr);
+    EXPECT_FALSE(result.feasible) << name;
+    EXPECT_EQ(result.status, SolveStatus::kLimitExceeded) << name;
+  }
+  // The MM adapter instead degrades to its greedy fallback: still feasible,
+  // and still never "infeasible because the budget ran out".
+  const Algorithm* mm = AlgorithmRegistry::builtin().find("mm-exact");
+  ASSERT_NE(mm, nullptr);
+  const RunResult fallback = mm->run(instance, limits, nullptr);
+  EXPECT_TRUE(fallback.feasible);
+  EXPECT_EQ(fallback.status, SolveStatus::kOk);
 }
 
 }  // namespace

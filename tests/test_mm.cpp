@@ -107,17 +107,23 @@ TEST(ExactMM, BeatsGreedyWhenGreedyOverprovisions) {
 
 TEST(ExactMM, FeasibilityProbeRespectsMachineCount) {
   const Instance instance = tight_pair();
-  EXPECT_FALSE(exact_mm_feasible(instance, 1, 100000).has_value());
-  const auto schedule = exact_mm_feasible(instance, 2, 100000);
-  ASSERT_TRUE(schedule.has_value());
-  EXPECT_TRUE(verify_mm(instance, *schedule).ok());
+  for (const ExactEngine engine :
+       {ExactEngine::kStateSpace, ExactEngine::kBranchBound}) {
+    const MMFeasibility one = exact_mm_feasibility(instance, 1, engine, 100000);
+    EXPECT_EQ(one.status, SolveStatus::kOk);
+    EXPECT_FALSE(one.feasible);
+    const MMFeasibility two = exact_mm_feasibility(instance, 2, engine, 100000);
+    ASSERT_EQ(two.status, SolveStatus::kOk);
+    ASSERT_TRUE(two.feasible);
+    EXPECT_TRUE(verify_mm(instance, two.schedule).ok());
+  }
 }
 
 TEST(ExactMM, NodeCounterAdvances) {
   const Instance instance = tight_pair();
-  std::int64_t nodes = 0;
-  (void)exact_mm_feasible(instance, 2, 100000, &nodes);
-  EXPECT_GT(nodes, 0);
+  const MMFeasibility result = exact_mm_feasibility(
+      instance, 2, ExactEngine::kBranchBound, 100000);
+  EXPECT_GT(result.nodes, 0);
 }
 
 TEST(UnitEdfMM, ExactOnUnitJobs) {

@@ -62,7 +62,7 @@ TEST(IseSolver, CustomMmBlackBox) {
   ASSERT_TRUE(result.feasible) << result.error;
   EXPECT_TRUE(verify_ise(instance, result.schedule).ok());
   ASSERT_FALSE(result.short_telemetry.mm_algorithms.empty());
-  EXPECT_EQ(result.short_telemetry.mm_algorithms[0], "exact-bnb");
+  EXPECT_EQ(result.short_telemetry.mm_algorithms[0], "exact-state");
 }
 
 TEST(IseSolver, EmptyInstance) {

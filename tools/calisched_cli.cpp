@@ -7,11 +7,13 @@
 // Usage:
 //   calisched <instance-file> [--algo=NAME] [--gantt] [--csv] [--quiet]
 //             [--adaptive-mirror] [--prune-empty] [--relaxed] [--mm=NAME]
+//             [--exact-engine=state|bnb] [--node-budget=N]
 //             [--lp-engine=dense|revised] [--solve-threads=N]
 //             [--trace-json=FILE]
 //   calisched --generate=FAMILY --n=N --T=N --machines=N [--seed=N] --out=F
 //   calisched solve-batch [instance-files...] [--algo=NAME] [--threads=N]
-//             [--timeout-ms=N] [--out=FILE] [--no-timing] [--trace]
+//             [--timeout-ms=N] [--node-budget=N] [--out=FILE] [--no-timing]
+//             [--trace]
 //             [--family=F --count=N --seed=N --n=N --T=N --machines=N ...]
 //   calisched serve (--stdio | --port=P) [--threads=N] [--queue-capacity=N]
 //             [--cache-capacity=N]
@@ -54,6 +56,12 @@
 // counters, LP/MM telemetry, schedule stats) as JSON; FILE of "-" means
 // stdout.
 //
+// --exact-engine picks the implementation behind the exact solvers ("exact"
+// and --mm=exact): "state" (default) is the layered state-space engine,
+// "bnb" the original branch-and-bound differential oracle. --node-budget=N
+// caps their node/state count (exhaustion reports "budget exhausted", never
+// "infeasible"); 0 keeps each solver's default.
+//
 // MM boxes can be speed-augmented with --mm-speed=S (Theorem 1's s-speed
 // augmentation).
 // Algorithms (--algo):
@@ -73,6 +81,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 
 #include "baselines/baseline.hpp"
 #include "core/schedule_io.hpp"
@@ -207,6 +216,7 @@ int solve_batch_mode(const CliArgs& args) {
   if (timeout_ms > 0) {
     options.per_instance_deadline = std::chrono::milliseconds(timeout_ms);
   }
+  options.node_budget = args.get_int("node-budget", 0);
   options.collect_traces = args.get_bool("trace", false);
   const bool include_timing = !args.get_bool("no-timing", false);
 
@@ -293,10 +303,15 @@ int serve_mode(const CliArgs& args) {
 }
 
 std::shared_ptr<const MachineMinimizer> make_mm(const std::string& name,
-                                                std::int64_t speed) {
+                                                std::int64_t speed,
+                                                ExactEngine engine,
+                                                std::int64_t node_budget) {
   std::shared_ptr<const MachineMinimizer> box;
   if (name == "greedy") box = std::make_shared<GreedyEdfMM>();
-  if (name == "exact") box = std::make_shared<ExactMM>();
+  if (name == "exact") {
+    box = std::make_shared<ExactMM>(
+        node_budget > 0 ? node_budget : 4'000'000, engine);
+  }
   if (name == "unit") box = std::make_shared<UnitEdfMM>();
   if (name == "lp-rounding") box = std::make_shared<LpRoundingMM>();
   if (box && speed > 1) box = std::make_shared<SpeedupMM>(box, speed);
@@ -346,8 +361,16 @@ RunOutcome run_algorithm(const Instance& instance, const CliArgs& args,
   if (short_options.relaxed_calibrations) {
     outcome.policy = CalibrationPolicy::kOverlapAllowed;
   }
-  const auto mm =
-      make_mm(args.get("mm", "greedy"), args.get_int("mm-speed", 1));
+  const std::optional<ExactEngine> engine =
+      parse_exact_engine(args.get("exact-engine", "state"));
+  if (!engine) {
+    outcome.error = "unknown exact engine '" + args.get("exact-engine", "") +
+                    "' (state|bnb)";
+    return outcome;
+  }
+  const std::int64_t node_budget = args.get_int("node-budget", 0);
+  const auto mm = make_mm(args.get("mm", "greedy"), args.get_int("mm-speed", 1),
+                          *engine, node_budget);
   if (!mm) {
     outcome.error = "unknown MM box (greedy|exact|unit|lp-rounding)";
     return outcome;
@@ -397,7 +420,11 @@ RunOutcome run_algorithm(const Instance& instance, const CliArgs& args,
     outcome.schedule = std::move(result.schedule);
     outcome.error = std::move(result.error);
   } else if (algo == "exact") {
-    const ExactIseResult result = solve_exact_ise(instance);
+    ExactIseOptions options;
+    options.engine = *engine;
+    if (node_budget > 0) options.node_budget = node_budget;
+    options.trace = trace;
+    const ExactIseResult result = solve_exact_ise(instance, options);
     outcome.feasible = result.solved && result.feasible;
     outcome.schedule = result.schedule;
     if (!result.solved) outcome.error = "search budget exhausted";

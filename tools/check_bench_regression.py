@@ -23,6 +23,13 @@ covers the "metrics" and "checks" dicts:
   * Rate metrics (names ending "_per_s" or "/s" and their "_sec" variants)
     are ADVISORY for the same reason: a rate is a deterministic count
     divided by this machine's wall clock. Gate on the count, not the rate.
+  * Exact-search size metrics (names mentioning states/nodes/dominated/
+    merged/pruned) are ADVISORY: lower is better, but any engine tweak —
+    a new pruning rule, a different branching order — legitimately moves
+    them by integer factors, so they are reported, never gated. Gate on
+    what the search *achieves* instead: the "certified" frontier metrics
+    (largest instance size an engine certifies) are higher-is-better and
+    gate like other counted metrics.
   * One-sided entries never gate and never crash: a name present only in
     the baseline is a WARNING (coverage shrank), a name present only in
     the fresh run is an ADVISORY (a renamed or new counter — refresh the
@@ -43,8 +50,14 @@ TIMING_SUBSTRINGS = ("wall", "time", "speed", "throughput")
 ADVISORY_NAMES = {"hardware_cores", "elapsed_ns"}
 # "reuse": workspace-reuse hit counts — fewer warm arrivals is the
 # regression, so the direction flips like the other higher-is-better names.
+# "certified": exact-engine certified-size frontiers — a shrink means the
+# engine stopped proving optima it used to prove.
 HIGHER_IS_BETTER_FRAGMENTS = ("reduction", "speedup", "accepted", "solved",
-                              "throughput", "reuse")
+                              "throughput", "reuse", "certified")
+
+# Exact-search size counters: lower is better, but engine tweaks move them
+# wildly (a new dominance rule can cut states 10x), so they never gate.
+SEARCH_SIZE_FRAGMENTS = ("states", "nodes", "dominated", "merged", "pruned")
 
 # Per-second rates. "pivots_per_s" also happens to match TIMING_PARTS via
 # its trailing "s" part, but the slash spellings ("etas/s") do not split on
@@ -67,6 +80,15 @@ def is_timing(name: str) -> bool:
 def is_rate(name: str) -> bool:
     lowered = name.lower().replace("-", "_")
     return lowered.endswith(RATE_SUFFIXES)
+
+
+def is_search_size(name: str) -> bool:
+    # "certified" frontiers gate even though they may share a name part
+    # with a search-size fragment (none do today; the guard is for drift).
+    if higher_is_better(name):
+        return False
+    lowered = name.lower()
+    return any(fragment in lowered for fragment in SEARCH_SIZE_FRAGMENTS)
 
 
 def higher_is_better(name: str) -> bool:
@@ -124,9 +146,10 @@ def compare(baseline: dict, fresh: dict):
         # Positive `worse` always means a regression.
         worse = -change if higher_is_better(name) else change
         moved = abs(change) > WARN_RATIO
-        if is_rate(name) or is_timing(name):
+        if is_rate(name) or is_timing(name) or is_search_size(name):
             if moved:
-                kind = "rate" if is_rate(name) else "timing"
+                kind = ("rate" if is_rate(name) else
+                        "timing" if is_timing(name) else "search-size")
                 lines.append(f"ADVISORY: {kind} metric '{name}' moved "
                              f"{base_value:g} -> {fresh_value:g} "
                              f"({change:+.1%}); not gating")
@@ -212,6 +235,21 @@ SELF_TEST_FIXTURES = [
      {"metrics": {"t1_workspace_reuses": 120}},
      {"metrics": {"t1_workspace_reuses": 199}},
      0, 0, ["note: metric 't1_workspace_reuses' improved"]),
+    ("search_size_never_gates",
+     {"metrics": {"mm_states_created": 100}},
+     {"metrics": {"mm_states_created": 900}},
+     0, 0, ["ADVISORY: search-size metric 'mm_states_created'"]),
+    ("search_size_drop_also_advisory",
+     {"metrics": {"bnb_nodes": 1000000}}, {"metrics": {"bnb_nodes": 900}},
+     0, 0, ["ADVISORY: search-size metric 'bnb_nodes'"]),
+    ("certified_frontier_drop_fails",
+     {"metrics": {"ise_max_certified_n_state": 200}},
+     {"metrics": {"ise_max_certified_n_state": 100}},
+     1, 0, ["FAILURE: metric 'ise_max_certified_n_state'"]),
+    ("certified_frontier_rise_is_fine",
+     {"metrics": {"mm_max_certified_n_state": 48}},
+     {"metrics": {"mm_max_certified_n_state": 96}},
+     0, 0, ["note: metric 'mm_max_certified_n_state' improved"]),
 ]
 
 

@@ -84,6 +84,10 @@ int main(int argc, char** argv) {
   options.threads = 4;
   options.queue_capacity = static_cast<std::size_t>(count) * 2;
   options.cache_capacity = static_cast<std::size_t>(count) * 2;
+  // One shard: the every-duplicate-hits check needs the whole capacity as
+  // one recency list (splitting it across shards can evict an entry this
+  // wave still expects). E19 and the framing tests exercise sharding.
+  options.cache_shards = 1;
   SolveService service(AlgorithmRegistry::builtin(), options);
 
   Table& waves = bench.table(

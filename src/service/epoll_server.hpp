@@ -1,0 +1,101 @@
+// Nonblocking epoll front end of the solve service.
+//
+// Replaces the thread-per-connection TcpServer as the default TCP path
+// (the old server stays available as the differential baseline E19
+// measures against). A fixed small set of I/O threads each runs one
+// level-triggered epoll loop; every accepted connection is owned by
+// exactly one loop for its whole life, so connection state is never
+// shared between threads — the only cross-thread traffic is a completed
+// solve poking its loop's eventfd inbox.
+//
+// Per connection:
+//   * reads drain into a LineFramer (growable buffer scanned for
+//     newlines — no istream, no per-line allocation); each complete line
+//     is parsed and answered exactly like the blocking path;
+//   * responses queue as ordered slots — ready text, a pending solve, or
+//     a deferred stats snapshot — and a slot is serialized only when it
+//     reaches the head, which preserves the writer-FIFO contract: one
+//     response line per request line, in request arrival order, so a
+//     response stream is byte-identical to the stdio path (and across
+//     any worker-thread count);
+//   * writes are batched: everything serializable goes into one output
+//     buffer flushed with as few write() calls as the socket accepts
+//     (EPOLLOUT is registered only while a flush is blocked);
+//   * the write queue is bounded: past `write_high_watermark` buffered
+//     bytes the loop stops reading from that connection (level-triggered
+//     readiness re-fires once draining re-enables EPOLLIN), so a slow
+//     reader throttles itself instead of growing the server.
+//
+// Ordering-contract sketch: slots are appended in request order (the
+// framer delivers lines in byte order); only the head slot may
+// serialize; the output buffer is append-only and written in order; TCP
+// preserves byte order. Therefore response order == request order, and a
+// "stats" slot serializes only after every earlier response was built —
+// the same point in the request stream where the stdio writer runs its
+// stats thunk.
+//
+// A line exceeding `max_line_bytes` cannot be resynced (its terminator
+// may never arrive): the connection gets one structured error response
+// and is closed after the flush.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "service/service.hpp"
+
+namespace calisched {
+
+struct EpollServerOptions {
+  /// TCP port on 127.0.0.1; 0 picks an ephemeral port.
+  int port = 0;
+  /// listen() backlog; <= 0 means SOMAXCONN.
+  int backlog = 0;
+  /// Event-loop threads. Connections are assigned round-robin at accept.
+  std::size_t io_threads = 1;
+  /// Framing limit: one request line, terminator excluded.
+  std::size_t max_line_bytes = 1 << 20;
+  /// Stop reading from a connection while more than this many response
+  /// bytes are queued for it (slow-reader backpressure).
+  std::size_t write_high_watermark = 4u << 20;
+};
+
+/// Aggregate across all connections, for the CLI summary and the tests.
+struct EpollServerTotals {
+  std::int64_t connections = 0;  ///< accepted over the server's lifetime
+  std::int64_t lines = 0;        ///< non-blank request lines consumed
+  std::int64_t malformed = 0;    ///< lines answered with an "error"
+  std::int64_t overflows = 0;    ///< connections dropped for oversized lines
+  bool shutdown_requested = false;
+};
+
+class EpollServer {
+ public:
+  /// The service must outlive the server.
+  EpollServer(SolveService& service, EpollServerOptions options = {});
+  ~EpollServer();
+
+  EpollServer(const EpollServer&) = delete;
+  EpollServer& operator=(const EpollServer&) = delete;
+
+  /// Binds 127.0.0.1, listens, and spawns the I/O threads; throws
+  /// std::runtime_error on failure. Returns the bound port.
+  int start();
+  /// Blocks until stop() or a client "shutdown" request; all I/O threads
+  /// are joined before returning.
+  void serve();
+  /// Unblocks serve() from any thread (including a loop thread handling
+  /// a shutdown request). Idempotent.
+  void stop();
+
+  [[nodiscard]] int port() const noexcept;
+  /// Totals so far; exact once serve() returned.
+  [[nodiscard]] EpollServerTotals totals() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace calisched

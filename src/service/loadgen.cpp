@@ -1,0 +1,313 @@
+#include "service/loadgen.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <deque>
+#include <random>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "service/framing.hpp"
+#include "util/percentile.hpp"
+
+namespace calisched {
+
+namespace {
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct ClientConn {
+  int fd = -1;
+  LineFramer framer{1 << 20};
+  std::string out;
+  std::size_t out_pos = 0;
+  bool want_write = false;
+  /// FIFO of (request id, scheduled send time) awaiting a response; the
+  /// ordering contract says responses pop this front-to-back.
+  std::deque<std::pair<std::int64_t, std::int64_t>> inflight;
+};
+
+/// Parses `{"id":N,"type":"T",...`; returns false on anything else.
+bool parse_response(std::string_view line, std::int64_t* id,
+                    std::string_view* type) {
+  constexpr std::string_view kIdPrefix = "{\"id\":";
+  if (line.substr(0, kIdPrefix.size()) != kIdPrefix) return false;
+  std::size_t pos = kIdPrefix.size();
+  bool any = false;
+  std::int64_t value = 0;
+  while (pos < line.size() && line[pos] >= '0' && line[pos] <= '9') {
+    value = value * 10 + (line[pos] - '0');
+    ++pos;
+    any = true;
+  }
+  if (!any) return false;
+  *id = value;
+  constexpr std::string_view kTypePrefix = ",\"type\":\"";
+  if (line.substr(pos, kTypePrefix.size()) != kTypePrefix) return false;
+  pos += kTypePrefix.size();
+  const std::size_t end = line.find('"', pos);
+  if (end == std::string_view::npos) return false;
+  *type = line.substr(pos, end - pos);
+  return true;
+}
+
+/// Flushes as much of `conn.out` as the socket accepts; returns false on
+/// a dead peer.
+bool flush(ClientConn& conn) {
+  while (conn.out_pos < conn.out.size()) {
+    const ssize_t written = ::send(conn.fd, conn.out.data() + conn.out_pos,
+                                   conn.out.size() - conn.out_pos,
+                                   MSG_NOSIGNAL);
+    if (written > 0) {
+      conn.out_pos += static_cast<std::size_t>(written);
+      continue;
+    }
+    if (written < 0 && errno == EINTR) continue;
+    if (written < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      conn.want_write = true;
+      return true;
+    }
+    return false;
+  }
+  conn.out.clear();
+  conn.out_pos = 0;
+  conn.want_write = false;
+  return true;
+}
+
+}  // namespace
+
+LoadGenReport run_loadgen(const LoadGenOptions& options) {
+  LoadGenReport report;
+  const std::size_t conn_count = std::max<std::size_t>(1, options.connections);
+  const std::int64_t total = std::max<std::int64_t>(0, options.requests);
+
+  // Arrival schedule, in ns offsets from t0. rate <= 0 floods (all at t0).
+  std::vector<std::int64_t> offsets(static_cast<std::size_t>(total), 0);
+  if (options.rate > 0.0) {
+    const double mean_gap_ns = 1e9 / options.rate;
+    if (options.pacing == LoadGenOptions::Pacing::kPoisson) {
+      std::mt19937_64 rng(options.seed);
+      std::exponential_distribution<double> gap(1.0 / mean_gap_ns);
+      double at = 0.0;
+      for (std::int64_t i = 0; i < total; ++i) {
+        at += gap(rng);
+        offsets[static_cast<std::size_t>(i)] =
+            static_cast<std::int64_t>(std::llround(at));
+      }
+    } else {
+      for (std::int64_t i = 0; i < total; ++i) {
+        offsets[static_cast<std::size_t>(i)] = static_cast<std::int64_t>(
+            std::llround(static_cast<double>(i + 1) * mean_gap_ns));
+      }
+    }
+  }
+
+  const int epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd < 0) {
+    report.error = "epoll_create1 failed";
+    return report;
+  }
+  std::vector<ClientConn> conns(conn_count);
+  for (std::size_t i = 0; i < conn_count; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+      report.error = "socket() failed at connection " + std::to_string(i);
+      break;
+    }
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    address.sin_port = htons(static_cast<std::uint16_t>(options.port));
+    int rc;
+    do {
+      rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                     sizeof address);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+      ::close(fd);
+      report.error = "cannot connect to 127.0.0.1:" +
+                     std::to_string(options.port) + " (connection " +
+                     std::to_string(i) + ")";
+      break;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+    conns[i].fd = fd;
+    epoll_event event{};
+    event.events = EPOLLIN;
+    event.data.u64 = i;
+    ::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &event);
+  }
+  if (!report.error.empty()) {
+    for (ClientConn& conn : conns) {
+      if (conn.fd >= 0) ::close(conn.fd);
+    }
+    ::close(epoll_fd);
+    return report;
+  }
+
+  std::vector<std::int64_t> latencies;
+  latencies.reserve(static_cast<std::size_t>(total));
+  const std::int64_t t0 = now_ns();
+  const std::int64_t deadline = t0 + options.timeout_ms * 1'000'000;
+  std::int64_t next = 0;
+  std::int64_t last_response_ns = t0;
+  char buffer[65536];
+  std::vector<epoll_event> events(128);
+  bool dead_peer = false;
+
+  while (report.received < total && !dead_peer) {
+    std::int64_t now = now_ns();
+    if (now >= deadline) break;
+
+    // Enqueue every request whose scheduled time has arrived; the
+    // schedule never waits for responses (open loop).
+    std::vector<std::size_t> dirty;
+    while (next < total &&
+           t0 + offsets[static_cast<std::size_t>(next)] <= now) {
+      const std::size_t target = static_cast<std::size_t>(next) % conn_count;
+      ClientConn& conn = conns[target];
+      if (conn.out.empty()) dirty.push_back(target);
+      conn.out += "{\"id\":";
+      conn.out += std::to_string(next);
+      conn.out += ',';
+      conn.out += options.body;
+      conn.out += "}\n";
+      conn.inflight.emplace_back(
+          next, t0 + offsets[static_cast<std::size_t>(next)]);
+      ++report.sent;
+      ++next;
+    }
+    for (const std::size_t index : dirty) {
+      ClientConn& conn = conns[index];
+      const bool was_blocked = conn.want_write;
+      if (!flush(conn)) {
+        dead_peer = true;
+        break;
+      }
+      if (conn.want_write != was_blocked) {
+        epoll_event event{};
+        event.events =
+            conn.want_write ? (EPOLLIN | EPOLLOUT) : std::uint32_t{EPOLLIN};
+        event.data.u64 = index;
+        ::epoll_ctl(epoll_fd, EPOLL_CTL_MOD, conn.fd, &event);
+      }
+    }
+    if (dead_peer) break;
+
+    int timeout_ms;
+    if (next < total) {
+      const std::int64_t wait_ns =
+          t0 + offsets[static_cast<std::size_t>(next)] - now_ns();
+      timeout_ms = static_cast<int>(std::clamp<std::int64_t>(
+          (wait_ns + 999'999) / 1'000'000, 0, 100));
+    } else {
+      timeout_ms = static_cast<int>(std::clamp<std::int64_t>(
+          (deadline - now_ns()) / 1'000'000, 0, 100));
+    }
+    const int count = ::epoll_wait(epoll_fd, events.data(),
+                                   static_cast<int>(events.size()), timeout_ms);
+    if (count < 0 && errno != EINTR) break;
+
+    for (int i = 0; i < std::max(count, 0); ++i) {
+      const std::size_t index =
+          static_cast<std::size_t>(events[static_cast<std::size_t>(i)].data.u64);
+      const std::uint32_t mask = events[static_cast<std::size_t>(i)].events;
+      ClientConn& conn = conns[index];
+      if ((mask & EPOLLOUT) != 0) {
+        if (!flush(conn)) {
+          dead_peer = true;
+          break;
+        }
+        if (!conn.want_write) {
+          epoll_event event{};
+          event.events = EPOLLIN;
+          event.data.u64 = index;
+          ::epoll_ctl(epoll_fd, EPOLL_CTL_MOD, conn.fd, &event);
+        }
+      }
+      if ((mask & (EPOLLIN | EPOLLHUP | EPOLLERR)) == 0) continue;
+      for (;;) {
+        const ssize_t got = ::read(conn.fd, buffer, sizeof buffer);
+        if (got > 0) {
+          now = now_ns();
+          conn.framer.feed(
+              std::string_view(buffer, static_cast<std::size_t>(got)),
+              [&](std::string_view line) {
+                ++report.received;
+                last_response_ns = now;
+                std::int64_t id = -1;
+                std::string_view type;
+                if (parse_response(line, &id, &type)) {
+                  if (type == "error") ++report.errors;
+                  if (type == "reject") ++report.rejects;
+                } else {
+                  ++report.errors;
+                }
+                if (conn.inflight.empty() ||
+                    conn.inflight.front().first != id) {
+                  ++report.order_violations;
+                  if (!conn.inflight.empty()) conn.inflight.pop_front();
+                } else {
+                  latencies.push_back(now - conn.inflight.front().second);
+                  conn.inflight.pop_front();
+                }
+                return true;
+              });
+          continue;
+        }
+        if (got == 0) {
+          dead_peer = report.received < total;
+          break;
+        }
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        dead_peer = true;
+        break;
+      }
+      if (dead_peer) break;
+    }
+  }
+
+  for (ClientConn& conn : conns) {
+    if (conn.fd >= 0) {
+      ::shutdown(conn.fd, SHUT_RDWR);
+      ::close(conn.fd);
+    }
+  }
+  ::close(epoll_fd);
+
+  const double elapsed_s =
+      static_cast<double>(std::max<std::int64_t>(last_response_ns - t0, 1)) /
+      1e9;
+  report.elapsed_s = elapsed_s;
+  report.sent_per_s = static_cast<double>(report.sent) / elapsed_s;
+  report.received_per_s = static_cast<double>(report.received) / elapsed_s;
+  report.latency_samples = static_cast<std::int64_t>(latencies.size());
+  const LatencyPercentiles latency = latency_percentiles(std::move(latencies));
+  report.latency_p50_ns = latency.p50_ns;
+  report.latency_p99_ns = latency.p99_ns;
+  report.latency_p999_ns = latency.p999_ns;
+  report.completed = report.received == total;
+  return report;
+}
+
+}  // namespace calisched

@@ -1,0 +1,77 @@
+// Open-loop NDJSON load generator for the solve service's TCP front ends.
+//
+// "Open loop" means send times come from a precomputed arrival schedule
+// (fixed spacing or a Poisson process at a target rate), not from
+// response arrival: a slow server does not slow the offered load down, it
+// accumulates queueing delay — which is exactly what the latency numbers
+// must show. Each request's latency is therefore measured from its
+// *scheduled* send time to its response, so server-induced send
+// backpressure counts against the server (no coordinated omission). With
+// rate 0 every request is scheduled at t0 (a flood): throughput is the
+// meaningful number and percentiles mostly measure position in the flood.
+//
+// One thread drives every connection through a nonblocking epoll loop
+// (the generator must stay cheap enough to share a core with the server
+// under test): requests are prebuilt `{"id":N,<body>}` lines assigned
+// round-robin across connections, responses are framed with the same
+// LineFramer the server uses, and the echoed id is checked against the
+// per-connection FIFO of in-flight ids — any mismatch is an ordering
+// violation, which the serve contract promises never happens.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace calisched {
+
+struct LoadGenOptions {
+  /// 127.0.0.1:`port` must already be listening.
+  int port = 0;
+  std::size_t connections = 1;
+  /// Total requests across all connections (assigned round-robin).
+  std::int64_t requests = 1000;
+  /// Offered load in requests/second across all connections; 0 schedules
+  /// everything at t0 (flood — measures capacity, not latency).
+  double rate = 0.0;
+  enum class Pacing {
+    kFixed,    ///< deterministic spacing 1/rate
+    kPoisson,  ///< exponential inter-arrivals with mean 1/rate
+  };
+  Pacing pacing = Pacing::kFixed;
+  /// Seeds the Poisson arrival process (ignored for fixed pacing).
+  std::uint64_t seed = 1;
+  /// JSON members of each request after the injected id, e.g.
+  /// `"type":"ping"` or a full solve body. The generator sends
+  /// `{"id":N,` + body + `}\n`.
+  std::string body = "\"type\":\"ping\"";
+  /// Abort-and-report deadline for the whole run; a wedged server must
+  /// not wedge the generator.
+  std::int64_t timeout_ms = 120000;
+};
+
+struct LoadGenReport {
+  std::int64_t sent = 0;       ///< request lines handed to the kernel
+  std::int64_t received = 0;   ///< response lines parsed
+  std::int64_t errors = 0;     ///< responses with type "error"
+  std::int64_t rejects = 0;    ///< responses with type "reject"
+  /// Responses whose echoed id did not match the oldest in-flight id on
+  /// that connection. Always 0 when the ordering contract holds.
+  std::int64_t order_violations = 0;
+  double elapsed_s = 0.0;      ///< first scheduled send to last response
+  double sent_per_s = 0.0;
+  double received_per_s = 0.0;
+  std::int64_t latency_p50_ns = 0;  ///< scheduled-send to response
+  std::int64_t latency_p99_ns = 0;
+  std::int64_t latency_p999_ns = 0;
+  std::int64_t latency_samples = 0;
+  /// Every request got a response before the timeout.
+  bool completed = false;
+  std::string error;  ///< non-empty when the run failed to set up
+};
+
+/// Runs one open-loop load session against a listening server. Blocking;
+/// returns when every response arrived, the timeout expired, or setup
+/// failed (report.error says why).
+LoadGenReport run_loadgen(const LoadGenOptions& options);
+
+}  // namespace calisched

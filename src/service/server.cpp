@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -66,6 +67,8 @@ class ResponseQueue {
   bool closed_ = false;
 };
 
+}  // namespace
+
 JsonValue make_stats_response(const JsonValue& id, const ServiceStats& stats,
                               std::int64_t lines, std::int64_t malformed) {
   JsonValue::Object body;
@@ -81,6 +84,8 @@ JsonValue make_stats_response(const JsonValue& id, const ServiceStats& stats,
   body.emplace_back("paused", JsonValue(stats.paused));
   body.emplace_back("latency_p50_ns", JsonValue(stats.latency_p50_ns));
   body.emplace_back("latency_p95_ns", JsonValue(stats.latency_p95_ns));
+  body.emplace_back("latency_p99_ns", JsonValue(stats.latency_p99_ns));
+  body.emplace_back("latency_p999_ns", JsonValue(stats.latency_p999_ns));
   body.emplace_back("latency_samples", JsonValue(stats.latency_samples));
   body.emplace_back("lines", JsonValue(lines));
   body.emplace_back("malformed", JsonValue(malformed));
@@ -90,6 +95,8 @@ JsonValue make_stats_response(const JsonValue& id, const ServiceStats& stats,
   object.emplace_back("stats", JsonValue(std::move(body)));
   return JsonValue(std::move(object));
 }
+
+namespace {
 
 bool is_blank(const std::string& line) {
   for (const char c : line) {
@@ -250,7 +257,7 @@ class FdOutBuf : public std::streambuf {
 
 TcpServer::~TcpServer() { stop(); }
 
-int TcpServer::start(int port) {
+int TcpServer::start(int port, int backlog) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw std::runtime_error("socket() failed");
   const int one = 1;
@@ -259,9 +266,10 @@ int TcpServer::start(int port) {
   address.sin_family = AF_INET;
   address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   address.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (backlog <= 0) backlog = SOMAXCONN;
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&address),
              sizeof address) != 0 ||
-      ::listen(fd, 16) != 0) {
+      ::listen(fd, backlog) != 0) {
     ::close(fd);
     throw std::runtime_error("cannot listen on 127.0.0.1:" +
                              std::to_string(port));
@@ -283,6 +291,8 @@ void TcpServer::serve() {
       client = ::accept(fd, nullptr, nullptr);
     } while (client < 0 && errno == EINTR);
     if (client < 0) break;  // stop() shut the listening socket down
+    const int one = 1;
+    ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
     connections.emplace_back([this, client] {
       FdInBuf in_buffer(client);
       FdOutBuf out_buffer(client);

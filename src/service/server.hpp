@@ -37,6 +37,13 @@ struct ServeReport {
 ServeReport serve_connection(SolveService& service, std::istream& in,
                              std::ostream& out);
 
+/// Renders the "stats" response body shared by every front end (stdio
+/// writer thunk and epoll stats slot): the full ServiceStats snapshot —
+/// latency p50/p95/p99/p999 included — plus the per-connection
+/// lines/malformed counters captured at read time.
+JsonValue make_stats_response(const JsonValue& id, const ServiceStats& stats,
+                              std::int64_t lines, std::int64_t malformed);
+
 /// The `calisched serve --stdio` body: one service, one conversation on
 /// (in, out), then a draining shutdown. Returns the process exit code.
 int run_stdio_server(const AlgorithmRegistry& registry,
@@ -53,9 +60,10 @@ class TcpServer {
   TcpServer(const TcpServer&) = delete;
   TcpServer& operator=(const TcpServer&) = delete;
 
-  /// Binds and listens on 127.0.0.1:`port` (0 picks an ephemeral port);
-  /// throws std::runtime_error on failure. Returns the bound port.
-  int start(int port);
+  /// Binds and listens on 127.0.0.1:`port` (0 picks an ephemeral port)
+  /// with the given listen() backlog (<= 0 means SOMAXCONN); throws
+  /// std::runtime_error on failure. Returns the bound port.
+  int start(int port, int backlog = 0);
   /// Blocks accepting connections until stop() or a client "shutdown"
   /// request; all connection threads are joined before returning.
   void serve();

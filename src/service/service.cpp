@@ -5,36 +5,28 @@
 
 #include "service/instance_hash.hpp"
 #include "trace/trace.hpp"
+#include "util/percentile.hpp"
 
 namespace calisched {
 
 namespace {
-
-constexpr std::size_t kLatencyWindow = 512;
 
 /// Cache key: algorithm name + canonical instance hash + node budget. The
 /// algorithm is part of the key because different algorithms legitimately
 /// return different (all verified) schedules for one instance; the node
 /// budget is part of it because a budget changes whether an exact engine
 /// certifies at all, so outcomes across budgets must not shadow each other.
-std::string cache_key(const ServiceRequest& request) {
+/// The raw hash is returned too: the sharded cache routes on its prefix.
+std::string cache_key(const ServiceRequest& request, std::uint64_t hash) {
   char hex[17];
-  std::uint64_t hash = canonical_instance_hash(request.instance);
+  std::uint64_t rest = hash;
   for (int i = 15; i >= 0; --i) {
-    hex[i] = "0123456789abcdef"[hash & 0xf];
-    hash >>= 4;
+    hex[i] = "0123456789abcdef"[rest & 0xf];
+    rest >>= 4;
   }
   hex[16] = '\0';
   return request.algorithm + '#' + hex + '#' +
          std::to_string(request.node_budget);
-}
-
-std::int64_t percentile(std::vector<std::int64_t> samples, double q) {
-  if (samples.empty()) return 0;
-  const auto rank = static_cast<std::size_t>(
-      q * static_cast<double>(samples.size() - 1) + 0.5);
-  std::nth_element(samples.begin(), samples.begin() + rank, samples.end());
-  return samples[rank];
 }
 
 }  // namespace
@@ -52,13 +44,29 @@ bool SolveService::Pending::ready() const {
   return ready_;
 }
 
+void SolveService::Pending::on_ready(std::function<void()> hook) {
+  {
+    std::scoped_lock lock(mutex_);
+    if (!ready_) {
+      hook_ = std::move(hook);
+      return;
+    }
+  }
+  // Already completed: run the hook from the registering thread, outside
+  // the lock (it typically re-enters an event-loop inbox).
+  hook();
+}
+
 void SolveService::Pending::complete(SolveOutcome outcome) {
+  std::function<void()> hook;
   {
     std::scoped_lock lock(mutex_);
     outcome_ = std::move(outcome);
     ready_ = true;
+    hook = std::move(hook_);
   }
   cv_.notify_all();
+  if (hook) hook();
 }
 
 // ----------------------------------------------------------- SolveService --
@@ -67,10 +75,9 @@ SolveService::SolveService(const AlgorithmRegistry& registry,
                            ServiceOptions options)
     : registry_(&registry),
       options_(options),
-      cache_(options.cache_capacity),
-      pool_(options.threads) {
-  latency_window_.reserve(kLatencyWindow);
-}
+      cache_(options.cache_capacity,
+             options.cache_shards == 0 ? 1 : options.cache_shards),
+      pool_(options.threads) {}
 
 SolveService::~SolveService() { shutdown(/*drain=*/true); }
 
@@ -91,34 +98,55 @@ SolveService::PendingPtr SolveService::submit(const ServiceRequest& request) {
   limits.cancel = &abort_;
   limits.node_budget = request.node_budget;
 
+  received_.fetch_add(1, std::memory_order_relaxed);
+  SolveOutcome bounced;
+  bounced.rejected = true;
+  bounced.jobs = request.instance.size();
+  if (!accepting_.load(std::memory_order_acquire)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    fail_result(bounced, SolveStatus::kCancelled, "service is shutting down",
+                "service");
+    return completed(std::move(bounced));
+  }
+
+  // Cache fast path: a hit is a completed request — no queue slot, no
+  // worker hop, no pause gate (a hit runs nothing, so there is nothing to
+  // hold). On a miss nothing is counted here; the worker-side lookup is
+  // the one that decides hit-or-miss for queued requests, because the
+  // cache may fill between admission and execution.
+  const auto fast_started = std::chrono::steady_clock::now();
+  const std::uint64_t hash = canonical_instance_hash(request.instance);
+  const std::string key = cache_key(request, hash);
   {
-    std::scoped_lock lock(mutex_);
-    ++received_;
-    SolveOutcome bounced;
-    bounced.rejected = true;
-    bounced.jobs = request.instance.size();
-    if (!accepting_) {
-      ++rejected_;
-      fail_result(bounced, SolveStatus::kCancelled, "service is shutting down",
-                  "service");
-      return completed(std::move(bounced));
+    SolveOutcome cached;
+    if (cache_.get(hash, key, &cached)) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      record_completion(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - fast_started)
+                            .count());
+      return completed(std::move(cached));
     }
-    if (static_cast<std::size_t>(outstanding_) >= options_.queue_capacity) {
-      ++rejected_;
-      fail_result(bounced, SolveStatus::kLimitExceeded,
-                  "queue full (capacity " +
-                      std::to_string(options_.queue_capacity) + ")",
-                  "service");
-      return completed(std::move(bounced));
-    }
-    if (registry_->find(request.algorithm) == nullptr) {
-      ++errors_;
-      bounced.rejected = false;  // a client error, not backpressure
-      fail_result(bounced, SolveStatus::kInfeasible,
-                  "unknown algorithm '" + request.algorithm + "'", "service");
-      return completed(std::move(bounced));
-    }
-    ++outstanding_;
+  }
+
+  const std::int64_t prior =
+      outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  if (prior >= static_cast<std::int64_t>(options_.queue_capacity)) {
+    outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    fail_result(bounced, SolveStatus::kLimitExceeded,
+                "queue full (capacity " +
+                    std::to_string(options_.queue_capacity) + ")",
+                "service");
+    return completed(std::move(bounced));
+  }
+  if (registry_->find(request.algorithm) == nullptr) {
+    outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    bounced.rejected = false;  // a client error, not backpressure
+    fail_result(bounced, SolveStatus::kInfeasible,
+                "unknown algorithm '" + request.algorithm + "'", "service");
+    return completed(std::move(bounced));
   }
 
   auto pending = std::make_shared<Pending>();
@@ -136,22 +164,15 @@ void SolveService::execute(const std::shared_ptr<Pending>& pending,
     pause_cv_.wait(lock, [this] { return !paused_; });
   }
   const auto started = std::chrono::steady_clock::now();
-  const std::string key = cache_key(request);
+  const std::uint64_t hash = canonical_instance_hash(request.instance);
+  const std::string key = cache_key(request, hash);
 
   SolveOutcome outcome;
-  bool hit = false;
-  {
-    std::scoped_lock lock(mutex_);
-    if (const SolveOutcome* cached = cache_.get(key)) {
-      outcome = *cached;
-      hit = true;
-      ++cache_hits_;
-    } else {
-      ++cache_misses_;
-    }
-  }
-
-  if (!hit) {
+  const bool hit = cache_.get(hash, key, &outcome);
+  if (hit) {
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
     const Algorithm* algorithm = registry_->find(request.algorithm);
     const RunResult result = algorithm->run(request.instance, limits, nullptr);
     outcome.status = result.status;
@@ -164,32 +185,30 @@ void SolveService::execute(const std::shared_ptr<Pending>& pending,
     outcome.total_cost = result.total_cost;
     outcome.error = result.error;
     outcome.schedule = result.schedule;
+    // Only verified feasible results are cached: a limit-stopped or
+    // infeasible outcome may be transient (tighter deadline, cancelled
+    // batch) and must not shadow a future honest solve.
+    if (outcome.status == SolveStatus::kOk && outcome.feasible &&
+        outcome.verified) {
+      cache_.put(hash, key, outcome);
+    }
   }
 
   const std::int64_t elapsed_ns =
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - started)
           .count();
-  {
-    std::scoped_lock lock(mutex_);
-    // Only verified feasible results are cached: a limit-stopped or
-    // infeasible outcome may be transient (tighter deadline, cancelled
-    // batch) and must not shadow a future honest solve.
-    if (!hit && outcome.status == SolveStatus::kOk && outcome.feasible &&
-        outcome.verified) {
-      cache_.put(key, outcome);
-    }
-    --outstanding_;
-    ++completed_;
-    if (latency_window_.size() < kLatencyWindow) {
-      latency_window_.push_back(elapsed_ns);
-    } else {
-      latency_window_[latency_next_] = elapsed_ns;
-    }
-    latency_next_ = (latency_next_ + 1) % kLatencyWindow;
-    latency_total_ += elapsed_ns;
-  }
+  outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  record_completion(elapsed_ns);
   pending->complete(std::move(outcome));
+}
+
+void SolveService::record_completion(std::int64_t elapsed_ns) {
+  const std::int64_t slot =
+      latency_count_.fetch_add(1, std::memory_order_relaxed);
+  latency_window_[static_cast<std::size_t>(slot) % kLatencyWindow].store(
+      elapsed_ns, std::memory_order_relaxed);
 }
 
 void SolveService::pause() {
@@ -208,7 +227,7 @@ void SolveService::resume() {
 void SolveService::shutdown(bool drain) {
   {
     std::scoped_lock lock(mutex_);
-    accepting_ = false;
+    accepting_.store(false, std::memory_order_release);
     paused_ = false;
     if (!drain) abort_.cancel();
   }
@@ -218,24 +237,34 @@ void SolveService::shutdown(bool drain) {
 
 ServiceStats SolveService::stats() const {
   ServiceStats stats;
-  std::vector<std::int64_t> window;
+  stats.received = received_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.errors = errors_.load(std::memory_order_relaxed);
+  stats.accepted = stats.received - stats.rejected - stats.errors;
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.outstanding = outstanding_.load(std::memory_order_relaxed);
+  stats.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  stats.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  stats.cache_size = static_cast<std::int64_t>(cache_.size());
   {
     std::scoped_lock lock(mutex_);
-    stats.received = received_;
-    stats.rejected = rejected_;
-    stats.errors = errors_;
-    stats.accepted = received_ - rejected_ - errors_;
-    stats.completed = completed_;
-    stats.outstanding = outstanding_;
-    stats.cache_hits = cache_hits_;
-    stats.cache_misses = cache_misses_;
-    stats.cache_size = static_cast<std::int64_t>(cache_.size());
     stats.paused = paused_;
-    window = latency_window_;
   }
-  stats.latency_samples = static_cast<std::int64_t>(window.size());
-  stats.latency_p50_ns = percentile(window, 0.50);
-  stats.latency_p95_ns = percentile(std::move(window), 0.95);
+  const std::int64_t filled =
+      std::min(latency_count_.load(std::memory_order_relaxed),
+               static_cast<std::int64_t>(kLatencyWindow));
+  std::vector<std::int64_t> window;
+  window.reserve(static_cast<std::size_t>(filled));
+  for (std::int64_t i = 0; i < filled; ++i) {
+    window.push_back(latency_window_[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed));
+  }
+  const LatencyPercentiles latency = latency_percentiles(std::move(window));
+  stats.latency_samples = filled;
+  stats.latency_p50_ns = latency.p50_ns;
+  stats.latency_p95_ns = latency.p95_ns;
+  stats.latency_p99_ns = latency.p99_ns;
+  stats.latency_p999_ns = latency.p999_ns;
   return stats;
 }
 
@@ -253,6 +282,8 @@ void SolveService::export_stats(TraceContext* trace) const {
   trace->set("service.cache.size", stats.cache_size);
   trace->set("service.latency.p50_ns", stats.latency_p50_ns);
   trace->set("service.latency.p95_ns", stats.latency_p95_ns);
+  trace->set("service.latency.p99_ns", stats.latency_p99_ns);
+  trace->set("service.latency.p999_ns", stats.latency_p999_ns);
   trace->set("service.latency.samples", stats.latency_samples);
 }
 

@@ -2,15 +2,16 @@
 // request executor built on AlgorithmRegistry + ThreadPool.
 //
 // Lifecycle of one request:
-//   submit() — admission control. A request beyond `queue_capacity`
+//   submit() — admission control. A cache hit completes synchronously
+//     (see below). Otherwise a request beyond `queue_capacity`
 //     outstanding (admitted but unfinished) requests is rejected
 //     *immediately* with a completed `rejected` outcome; the queue can
 //     never grow without bound. Admitted requests get their wall-clock
 //     deadline stamped here (queue wait burns budget, as a real server
 //     must account it) and a Pending handle the caller can wait on.
 //   worker — after the pause gate, the canonical instance hash is looked
-//     up in the LRU result cache (hits return the stored verified outcome
-//     without running anything); misses run the algorithm under
+//     up in the sharded LRU result cache (hits return the stored verified
+//     outcome without running anything); misses run the algorithm under
 //     RunLimits{deadline, service CancelToken} and insert the outcome into
 //     the cache iff it is ok+feasible+verified.
 //   shutdown(drain=true) — stop admitting, release any pause, and wait
@@ -18,27 +19,43 @@
 //     drained, never abandoned). drain=false additionally fires the
 //     CancelToken so in-flight solves stop at their next limit poll.
 //
-// Counters (requests, accepted, rejects, cache hits/misses, completions,
-// p50/p95 solve latency) are snapshot via stats() and exportable into the
-// trace layer via export_stats(); the NDJSON front end maps them onto the
-// "stats" request type.
+// Cache fast path: submit() probes the result cache before admission
+// bookkeeping; a hit completes the Pending synchronously — no queue slot,
+// no worker dispatch, no pause gate. The worker-side lookup remains the
+// authoritative one (a duplicate submitted while its original is still
+// solving misses the fast path but hits in the worker once the original
+// lands), and each request counts exactly one hit or one miss, wherever
+// the decisive lookup happened.
 //
-// Thread-safety: submit/pause/resume/stats/shutdown may be called from any
-// thread. One mutex orders admission, the cache, and the counters, so a
-// stats() snapshot is always internally consistent.
+// Locking: the counters (requests, accepted, rejects, cache hits/misses,
+// completions) are relaxed atomics in the lp/perf_counters style, the
+// result cache locks only the shard the instance hash routes to, and the
+// one remaining mutex guards the pause gate + admission state. Concurrent
+// connections therefore contend on nothing when traffic is cache hits in
+// distinct shards. stats() snapshots are exact once in-flight requests
+// have drained (every test and bench samples them that way); mid-flight
+// they are a best-effort read of live counters.
+//
+// Latency: completions feed a fixed ring of recent samples; stats()
+// reports p50/p95/p99/p999 over the window (nearest-rank, shared
+// percentile_of). The ring is sized so p999 rests on >= 1000 samples
+// once warm.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "runtime/registry.hpp"
-#include "service/lru_cache.hpp"
 #include "service/protocol.hpp"
+#include "service/sharded_cache.hpp"
 #include "util/thread_pool.hpp"
 
 namespace calisched {
@@ -51,8 +68,12 @@ struct ServiceOptions {
   /// Maximum admitted-but-unfinished requests; submissions beyond it are
   /// rejected immediately (explicit backpressure, never unbounded growth).
   std::size_t queue_capacity = 64;
-  /// LRU result-cache entries; 0 disables caching.
+  /// Total LRU result-cache entries across all shards; 0 disables caching.
   std::size_t cache_capacity = 128;
+  /// Independently-locked cache shards (entries budget split evenly).
+  /// 1 gives the exact pre-sharding semantics: one global recency list,
+  /// one lock — tests that pin eviction order use it.
+  std::size_t cache_shards = 8;
 };
 
 /// Consistent snapshot of the per-server counters.
@@ -69,6 +90,8 @@ struct ServiceStats {
   bool paused = false;
   std::int64_t latency_p50_ns = 0;  ///< over the recent-completion window
   std::int64_t latency_p95_ns = 0;
+  std::int64_t latency_p99_ns = 0;
+  std::int64_t latency_p999_ns = 0;
   std::int64_t latency_samples = 0; ///< samples currently in the window
 };
 
@@ -82,6 +105,19 @@ class SolveService {
     /// the Pending's lifetime.
     [[nodiscard]] const SolveOutcome& wait() const;
     [[nodiscard]] bool ready() const;
+    /// After ready() returned true (or on_ready fired): the outcome,
+    /// without re-taking the lock path of wait().
+    [[nodiscard]] const SolveOutcome& outcome() const noexcept {
+      return outcome_;
+    }
+
+    /// Registers a completion hook for event-loop callers that must not
+    /// block: runs exactly once, from the completing worker thread — or
+    /// immediately, from the caller, when the outcome is already ready.
+    /// One hook per Pending; the hook must not call back into wait() on
+    /// the same Pending (it already has the outcome) and should only
+    /// enqueue a wakeup.
+    void on_ready(std::function<void()> hook);
 
    private:
     friend class SolveService;
@@ -91,6 +127,7 @@ class SolveService {
     mutable std::condition_variable cv_;
     bool ready_ = false;
     SolveOutcome outcome_;
+    std::function<void()> hook_;
   };
   using PendingPtr = std::shared_ptr<Pending>;
 
@@ -104,12 +141,15 @@ class SolveService {
 
   /// Never blocks. The returned handle is already completed when the
   /// request was rejected (full queue, shutdown in progress, unknown
-  /// algorithm); otherwise it completes when a worker finishes.
+  /// algorithm) or served by the cache fast path; otherwise it completes
+  /// when a worker finishes.
   [[nodiscard]] PendingPtr submit(const ServiceRequest& request);
 
   /// Holds workers before they pick up their next request (admission and
   /// the bounded queue keep operating — this is how backpressure is
-  /// exercised deterministically). resume() releases them.
+  /// exercised deterministically). resume() releases them. Note the cache
+  /// fast path completes hits even while paused: pause gates *work*, and
+  /// a hit runs nothing.
   void pause();
   void resume();
 
@@ -132,29 +172,40 @@ class SolveService {
   }
 
  private:
+  /// Ring size: p999 needs >= 1000 samples to be more than a max.
+  static constexpr std::size_t kLatencyWindow = 4096;
+
   void execute(const std::shared_ptr<Pending>& pending, ServiceRequest request,
                RunLimits limits);
+  void record_completion(std::int64_t elapsed_ns);
   [[nodiscard]] static PendingPtr completed(SolveOutcome outcome);
 
   const AlgorithmRegistry* registry_;
   ServiceOptions options_;
 
+  /// Guards only the pause gate and the accepting flag; counters and the
+  /// cache are off this mutex entirely.
   mutable std::mutex mutex_;
   std::condition_variable pause_cv_;
   bool paused_ = false;
-  bool accepting_ = true;
-  std::int64_t received_ = 0;
-  std::int64_t rejected_ = 0;
-  std::int64_t errors_ = 0;
-  std::int64_t completed_ = 0;
-  std::int64_t outstanding_ = 0;
-  std::int64_t cache_hits_ = 0;
-  std::int64_t cache_misses_ = 0;
+  std::atomic<bool> accepting_{true};
+
+  std::atomic<std::int64_t> received_{0};
+  std::atomic<std::int64_t> rejected_{0};
+  std::atomic<std::int64_t> errors_{0};
+  std::atomic<std::int64_t> completed_{0};
+  std::atomic<std::int64_t> outstanding_{0};
+  std::atomic<std::int64_t> cache_hits_{0};
+  std::atomic<std::int64_t> cache_misses_{0};
+
   /// Ring of recent completion latencies feeding the percentile snapshot.
-  std::vector<std::int64_t> latency_window_;
-  std::size_t latency_next_ = 0;
-  std::int64_t latency_total_ = 0;
-  LruCache<std::string, SolveOutcome> cache_;
+  /// Slot writes and the monotone fill counter are relaxed atomics — a
+  /// stats() read races only with nanosecond-count stores, never with a
+  /// resize.
+  std::array<std::atomic<std::int64_t>, kLatencyWindow> latency_window_{};
+  std::atomic<std::int64_t> latency_count_{0};
+
+  ShardedLruCache<std::string, SolveOutcome> cache_;
 
   CancelToken abort_;
   /// Last member: workers touch everything above, so they must die first.

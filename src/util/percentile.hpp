@@ -1,0 +1,53 @@
+// Order-statistic helpers shared by the service latency ring, the
+// open-loop load generator, and the serving benches.
+//
+// One definition of "percentile" everywhere: nearest-rank over the sample
+// vector via nth_element, so a p999 over 4096 samples and a p50 over 12
+// samples go through the same rounding. Callers pass samples by value —
+// the selection is destructive and the call sites all hold either a copy
+// of a live ring or a merge buffer they are done with.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace calisched {
+
+/// Nearest-rank percentile of `samples` at quantile `q` in [0, 1].
+/// Returns 0 on an empty sample set (the stats paths report zero rather
+/// than invent a value before any request completed).
+[[nodiscard]] inline std::int64_t percentile_of(
+    std::vector<std::int64_t> samples, double q) {
+  if (samples.empty()) return 0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(samples.size() - 1) + 0.5);
+  std::nth_element(samples.begin(), samples.begin() + rank, samples.end());
+  return samples[rank];
+}
+
+/// The percentile set every latency report in the repo carries. p999 is
+/// only meaningful once the window holds >= 1000 samples; below that it
+/// degrades to the maximum, which is still the honest tail statement.
+struct LatencyPercentiles {
+  std::int64_t p50_ns = 0;
+  std::int64_t p95_ns = 0;
+  std::int64_t p99_ns = 0;
+  std::int64_t p999_ns = 0;
+  std::int64_t samples = 0;
+};
+
+/// Computes the standard percentile set from one sample vector.
+[[nodiscard]] inline LatencyPercentiles latency_percentiles(
+    std::vector<std::int64_t> samples) {
+  LatencyPercentiles out;
+  out.samples = static_cast<std::int64_t>(samples.size());
+  out.p50_ns = percentile_of(samples, 0.50);
+  out.p95_ns = percentile_of(samples, 0.95);
+  out.p99_ns = percentile_of(samples, 0.99);
+  out.p999_ns = percentile_of(std::move(samples), 0.999);
+  return out;
+}
+
+}  // namespace calisched

@@ -235,6 +235,22 @@ SELF_TEST_FIXTURES = [
      {"metrics": {"t1_workspace_reuses": 120}},
      {"metrics": {"t1_workspace_reuses": 199}},
      0, 0, ["note: metric 't1_workspace_reuses' improved"]),
+    ("loadgen_req_rate_drop_is_advisory",
+     {"metrics": {"flood_c64_received_per_s": 150000}},
+     {"metrics": {"flood_c64_received_per_s": 50000}},
+     0, 0, ["ADVISORY: rate metric 'flood_c64_received_per_s'"]),
+    ("loadgen_latency_tail_never_gates",
+     {"metrics": {"paced_latency_p999_ns": 100000}},
+     {"metrics": {"paced_latency_p999_ns": 900000}},
+     0, 0, ["ADVISORY: timing metric 'paced_latency_p999_ns'"]),
+    ("loadgen_speedup_is_advisory_but_directional",
+     {"metrics": {"epoll_vs_threads_speedup_c1024": 5.0}},
+     {"metrics": {"epoll_vs_threads_speedup_c1024": 2.0}},
+     0, 0, ["ADVISORY: timing metric 'epoll_vs_threads_speedup_c1024'"]),
+    ("loadgen_order_violation_growth_fails",
+     {"metrics": {"order_violations": 0}},
+     {"metrics": {"order_violations": 3}},
+     1, 0, ["FAILURE: metric 'order_violations'"]),
     ("search_size_never_gates",
      {"metrics": {"mm_states_created": 100}},
      {"metrics": {"mm_states_created": 900}},

@@ -349,7 +349,14 @@ void EpollServer::Impl::Loop::handle_io(std::uint64_t tag,
   const auto it = conns.find(tag);
   if (it == conns.end()) return;
   Connection& c = *it->second;
-  if ((events & EPOLLERR) != 0) {
+  // EPOLLHUP/EPOLLERR are reported regardless of the interest mask. Once
+  // reading has stopped (EOF seen, or backpressure with nothing currently
+  // flushable) no read() will ever consume the hangup, so leaving it
+  // unhandled makes epoll_wait return immediately in a busy loop until
+  // the last pending solve lands. A hung-up peer can never receive the
+  // queued responses anyway — tear the connection down.
+  if ((events & EPOLLERR) != 0 ||
+      ((events & EPOLLHUP) != 0 && (c.stop_reading || c.reading_disabled))) {
     destroy(c);
     return;
   }
@@ -361,7 +368,10 @@ void EpollServer::Impl::Loop::handle_io(std::uint64_t tag,
     if (conns.find(tag) == conns.end()) return;  // destroyed during read
   }
   if ((events & EPOLLOUT) != 0) {
-    (void)flush(c);
+    // pump, not flush: draining the backlog may release slots that pump()
+    // deferred at the write-high-watermark, and no further read or
+    // solve-completion wakeup need ever arrive to serialize them.
+    (void)pump(c);
   }
 }
 
@@ -389,9 +399,13 @@ void EpollServer::Impl::Loop::handle_read(Connection& c) {
         break;
       }
       // Serialize (and usually flush) what this chunk produced before
-      // reading more; a slow reader then trips the watermark below.
+      // reading more; a slow reader then trips the byte watermark below,
+      // and a client pipelining behind an incomplete solve (no bytes
+      // serialize, so the byte watermark never trips) trips the slot
+      // bound. Either way reading stops until the backlog drains.
       if (!pump(c)) return;
-      if (c.out.size() - c.out_pos > impl->options.write_high_watermark) {
+      if (c.out.size() - c.out_pos > impl->options.write_high_watermark ||
+          c.slots.size() > impl->options.max_queued_slots) {
         c.reading_disabled = true;
         update_interest(c);
         return;
@@ -499,38 +513,52 @@ bool EpollServer::Impl::Loop::process_line(Connection& c,
 }
 
 bool EpollServer::Impl::Loop::pump(Connection& c) {
-  while (!c.slots.empty()) {
-    // Bound the serialized backlog too: flush what we have first.
-    if (c.out.size() - c.out_pos > impl->options.write_high_watermark) break;
-    Slot& slot = c.slots.front();
-    switch (slot.kind) {
-      case Slot::Kind::kText:
-        c.out += slot.text;
-        break;
-      case Slot::Kind::kSolve: {
-        if (!slot.pending->ready()) return flush(c);
-        const SolveOutcome& outcome = slot.pending->outcome();
-        c.out += outcome.rejected
-                     ? dump_response(make_reject_response(slot.id, outcome.error))
-                     : dump_response(
-                           make_result_response(slot.id, outcome,
-                                                slot.want_schedule));
-        break;
+  for (;;) {
+    while (!c.slots.empty()) {
+      // Bound the serialized backlog too: flush what we have first.
+      if (c.out.size() - c.out_pos > impl->options.write_high_watermark) break;
+      Slot& slot = c.slots.front();
+      if (slot.kind == Slot::Kind::kSolve && !slot.pending->ready()) break;
+      switch (slot.kind) {
+        case Slot::Kind::kText:
+          c.out += slot.text;
+          break;
+        case Slot::Kind::kSolve: {
+          const SolveOutcome& outcome = slot.pending->outcome();
+          c.out +=
+              outcome.rejected
+                  ? dump_response(make_reject_response(slot.id, outcome.error))
+                  : dump_response(make_result_response(slot.id, outcome,
+                                                       slot.want_schedule));
+          break;
+        }
+        case Slot::Kind::kStats:
+          // Head of the FIFO: every earlier response has been serialized,
+          // i.e. every earlier request completed — the same snapshot point
+          // as the stdio writer thread.
+          c.out += dump_response(make_stats_response(slot.id,
+                                                     impl->service->stats(),
+                                                     slot.lines_seen,
+                                                     slot.malformed_seen));
+          break;
       }
-      case Slot::Kind::kStats:
-        // Head of the FIFO: every earlier response has been serialized,
-        // i.e. every earlier request completed — the same snapshot point
-        // as the stdio writer thread.
-        c.out += dump_response(make_stats_response(slot.id,
-                                                   impl->service->stats(),
-                                                   slot.lines_seen,
-                                                   slot.malformed_seen));
-        break;
+      c.out += '\n';
+      c.slots.pop_front();
     }
-    c.out += '\n';
-    c.slots.pop_front();
+    if (!flush(c)) return false;
+    // flush() survived, so `c` is alive. If it fully drained a backlog
+    // that broke the serialization loop at the watermark, the remaining
+    // slots have no other wakeup (no read, no solve completion may ever
+    // come) — go around again. Exit only when no progress is possible:
+    // slots empty, head solve still pending, or the watermark still
+    // tripped (a blocked write; EPOLLOUT re-pumps).
+    if (c.slots.empty()) return true;
+    const Slot& head = c.slots.front();
+    if (head.kind == Slot::Kind::kSolve && !head.pending->ready()) return true;
+    if (c.out.size() - c.out_pos > impl->options.write_high_watermark) {
+      return true;
+    }
   }
-  return flush(c);
 }
 
 bool EpollServer::Impl::Loop::flush(Connection& c) {
@@ -560,7 +588,8 @@ bool EpollServer::Impl::Loop::flush(Connection& c) {
     c.want_write = false;
     update_interest(c);
   }
-  if (c.reading_disabled && !c.stop_reading) {
+  if (c.reading_disabled && !c.stop_reading &&
+      c.slots.size() <= impl->options.max_queued_slots) {
     c.reading_disabled = false;
     update_interest(c);  // level-triggered: pending bytes re-fire EPOLLIN
   }
@@ -583,6 +612,12 @@ void EpollServer::Impl::Loop::update_interest(Connection& c) {
 }
 
 void EpollServer::Impl::Loop::destroy(Connection& c) {
+  // Abandoned-pause parity with serve_connection, on *every* teardown
+  // path — clean EOF resumed already, but an abrupt one (RST/EPOLLERR,
+  // EPOLLHUP, EPIPE mid-flush) must not leave the service wedged either.
+  // Idempotent, and any disconnect releasing a pause is the established
+  // cross-front-end semantic.
+  impl->service->resume();
   impl->total_lines.fetch_add(c.lines, std::memory_order_relaxed);
   impl->total_malformed.fetch_add(c.malformed, std::memory_order_relaxed);
   ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, c.fd, nullptr);

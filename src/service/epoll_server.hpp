@@ -22,9 +22,12 @@
 //     buffer flushed with as few write() calls as the socket accepts
 //     (EPOLLOUT is registered only while a flush is blocked);
 //   * the write queue is bounded: past `write_high_watermark` buffered
-//     bytes the loop stops reading from that connection (level-triggered
-//     readiness re-fires once draining re-enables EPOLLIN), so a slow
-//     reader throttles itself instead of growing the server.
+//     bytes — or past `max_queued_slots` response slots queued behind an
+//     incomplete solve, where no bytes serialize at all — the loop stops
+//     reading from that connection (level-triggered readiness re-fires
+//     once draining re-enables EPOLLIN), so a slow reader or a client
+//     pipelining behind a slow solve throttles itself instead of growing
+//     the server.
 //
 // Ordering-contract sketch: slots are appended in request order (the
 // framer delivers lines in byte order); only the head slot may
@@ -59,6 +62,12 @@ struct EpollServerOptions {
   /// Stop reading from a connection while more than this many response
   /// bytes are queued for it (slow-reader backpressure).
   std::size_t write_high_watermark = 4u << 20;
+  /// Stop reading from a connection while more than this many response
+  /// slots are queued for it. The byte watermark cannot trip while the
+  /// head slot is an incomplete solve (nothing serializes), so this
+  /// bounds the slots themselves against a client pipelining requests
+  /// behind one slow solve.
+  std::size_t max_queued_slots = 4096;
 };
 
 /// Aggregate across all connections, for the CLI summary and the tests.

@@ -32,9 +32,16 @@ std::int64_t now_ns() {
       .count();
 }
 
+/// Response-line framing cap. Generous next to the server's 1 MiB request
+/// cap because a want_schedule solve response can be much larger than the
+/// request that produced it; a line beyond this is a fatal protocol error
+/// (kOverflow clears the framer, so counting past it would silently
+/// desync).
+constexpr std::size_t kMaxResponseLineBytes = 16u << 20;
+
 struct ClientConn {
   int fd = -1;
-  LineFramer framer{1 << 20};
+  LineFramer framer{kMaxResponseLineBytes};
   std::string out;
   std::size_t out_pos = 0;
   bool want_write = false;
@@ -249,7 +256,7 @@ LoadGenReport run_loadgen(const LoadGenOptions& options) {
         const ssize_t got = ::read(conn.fd, buffer, sizeof buffer);
         if (got > 0) {
           now = now_ns();
-          conn.framer.feed(
+          const auto fed = conn.framer.feed(
               std::string_view(buffer, static_cast<std::size_t>(got)),
               [&](std::string_view line) {
                 ++report.received;
@@ -272,6 +279,16 @@ LoadGenReport run_loadgen(const LoadGenOptions& options) {
                 }
                 return true;
               });
+          if (fed == LineFramer::FeedResult::kOverflow) {
+            // The framer dropped its buffer: response counting is now
+            // desynced, so failing at the global timeout later would
+            // misreport. Fail here, loudly.
+            report.error = "response line exceeds " +
+                           std::to_string(kMaxResponseLineBytes) +
+                           " bytes (framer overflow; protocol desync)";
+            dead_peer = true;
+            break;
+          }
           continue;
         }
         if (got == 0) {

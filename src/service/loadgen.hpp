@@ -66,7 +66,9 @@ struct LoadGenReport {
   std::int64_t latency_samples = 0;
   /// Every request got a response before the timeout.
   bool completed = false;
-  std::string error;  ///< non-empty when the run failed to set up
+  /// Non-empty when the run failed: setup (socket/connect), or a fatal
+  /// mid-run protocol error (response line overflowing the framer).
+  std::string error;
 };
 
 /// Runs one open-loop load session against a listening server. Blocking;

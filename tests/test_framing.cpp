@@ -307,6 +307,15 @@ class TcpClient {
 
   void half_close() { ::shutdown(fd_, SHUT_WR); }
 
+  /// Hard abort: SO_LINGER(0) turns close() into an RST, the way a
+  /// crashed or killed client looks to the server.
+  void abort_close() {
+    const linger opt{1, 0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &opt, sizeof opt);
+    ::close(fd_);
+    fd_ = -1;
+  }
+
   /// Reads until `lines` newline-terminated responses arrived (or EOF).
   [[nodiscard]] std::vector<std::string> read_lines(std::size_t lines) {
     std::vector<std::string> result;
@@ -584,6 +593,121 @@ TEST(ServeEpoll, AbandonedPauseDoesNotWedgeTheService) {
     ASSERT_EQ(lines.size(), 1u);
     EXPECT_NE(lines[0].find("\"status\":\"ok\""), std::string::npos)
         << lines[0];
+  }
+  server.stop();
+  server.serve();
+  service.shutdown(/*drain=*/true);
+  EXPECT_FALSE(service.stats().paused);
+}
+
+TEST(ServeEpoll, WatermarkDeferredBurstDrainsWithoutFurtherInput) {
+  // Regression: a pipelined burst whose responses exceed the
+  // write-high-watermark must fully drain while the client just waits —
+  // no further read and no solve completion will ever arrive to re-pump,
+  // so the event loop itself has to keep serializing deferred slots as
+  // the backlog flushes.
+  ServiceOptions options;
+  options.threads = 1;
+  SolveService service(AlgorithmRegistry::builtin(), options);
+  EpollServerOptions server_options;
+  server_options.write_high_watermark = 256;  // far below the burst
+  EpollServer server(service, server_options);
+  const int port = server.start();
+  {
+    TcpClient client(port);
+    ASSERT_TRUE(client.connected());
+    std::string burst;
+    for (int i = 0; i < 300; ++i) {
+      burst += "{\"id\":" + std::to_string(i) + ",\"type\":\"ping\"}\n";
+    }
+    client.send(burst);
+    // Deliberately no half_close: the connection stays open, exactly the
+    // shape that used to strand everything past the first watermark.
+    const auto lines = client.read_lines(300);
+    ASSERT_EQ(lines.size(), 300u);
+    for (int i = 0; i < 300; ++i) {
+      EXPECT_NE(lines[static_cast<std::size_t>(i)].find(
+                    "{\"id\":" + std::to_string(i) + ","),
+                std::string::npos)
+          << lines[static_cast<std::size_t>(i)];
+    }
+  }
+  server.stop();
+  server.serve();
+  service.shutdown(/*drain=*/true);
+}
+
+TEST(ServeEpoll, SlotBackpressureKeepsPipelinedSolvesLive) {
+  // A client pipelines solves behind a held pause: the slot bound stops
+  // the server from buffering its requests without limit, and — the
+  // liveness half — reading must resume as the queue drains, so every
+  // response still arrives, in order, once another connection resumes.
+  ServiceOptions options;
+  options.threads = 1;
+  SolveService service(AlgorithmRegistry::builtin(), options);
+  EpollServerOptions server_options;
+  server_options.max_queued_slots = 4;  // trip on a 20-deep pipeline
+  EpollServer server(service, server_options);
+  const int port = server.start();
+  {
+    TcpClient pipeliner(port);
+    ASSERT_TRUE(pipeliner.connected());
+    pipeliner.send("{\"id\":0,\"type\":\"pause\"}\n");
+    const auto ack = pipeliner.read_lines(1);  // pause definitely held
+    ASSERT_EQ(ack.size(), 1u);
+    EXPECT_NE(ack[0].find("\"op\":\"pause\""), std::string::npos);
+    std::string burst;
+    for (int id = 1; id <= 20; ++id) {
+      // Distinct seeds: a cache hit would complete even while paused.
+      burst += solve_line(generate_mixed(small_params(100 + id), 0.5), id);
+    }
+    pipeliner.send(burst);
+    pipeliner.half_close();
+    TcpClient releaser(port);
+    ASSERT_TRUE(releaser.connected());
+    releaser.send("{\"id\":99,\"type\":\"resume\"}\n");
+    const auto resumed = releaser.read_lines(1);
+    ASSERT_EQ(resumed.size(), 1u);
+    const auto lines = pipeliner.read_lines(20);
+    ASSERT_EQ(lines.size(), 20u);
+    for (int id = 1; id <= 20; ++id) {
+      EXPECT_NE(lines[static_cast<std::size_t>(id - 1)].find(
+                    "{\"id\":" + std::to_string(id) + ","),
+                std::string::npos)
+          << lines[static_cast<std::size_t>(id - 1)];
+    }
+  }
+  server.stop();
+  server.serve();
+  service.shutdown(/*drain=*/true);
+}
+
+TEST(ServeEpoll, AbortiveCloseReleasesAnAbandonedPause) {
+  // A client holding the pause dies with an RST instead of a clean EOF —
+  // the EPOLLERR/EPOLLHUP teardown must release the pause just like the
+  // EOF path does, or the whole service wedges.
+  ServiceOptions options;
+  options.threads = 1;
+  SolveService service(AlgorithmRegistry::builtin(), options);
+  EpollServer server(service);
+  const int port = server.start();
+  {
+    TcpClient rude(port);
+    ASSERT_TRUE(rude.connected());
+    rude.send("{\"id\":1,\"type\":\"pause\"}\n");
+    const auto ack = rude.read_lines(1);
+    ASSERT_EQ(ack.size(), 1u);
+    EXPECT_NE(ack[0].find("\"op\":\"pause\""), std::string::npos);
+    rude.send(solve_line(generate_mixed(small_params(8), 0.5), 2));
+    rude.abort_close();
+  }
+  {
+    TcpClient polite(port);
+    ASSERT_TRUE(polite.connected());
+    polite.send(solve_line(generate_mixed(small_params(9), 0.5), 1));
+    const auto lines = polite.read_lines(1);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_NE(lines[0].find("\"status\":\"ok\""), std::string::npos) << lines[0];
   }
   server.stop();
   server.serve();

@@ -1,0 +1,174 @@
+// Experiment E20 — online arrival scheduling: empirical competitive
+// ratios of the event-driven EDF-into-calibrations heuristic against the
+// clairvoyant exact optimum.
+//
+// For each arrival-trace family (online-poisson, online-burst,
+// online-drip) this sweeps small instances, replays each through the
+// online simulator with `online-edf` (which only sees jobs as they
+// arrive), solves the same instance offline with the exact layered
+// state-space engine (which sees everything up front), and reports the
+// cost ratio on instances both solved. The drip family is adversarial —
+// zero-slack jobs revealed one at a time — so its ratio bounds what
+// laziness costs when it buys nothing.
+//
+// Self-checks: the online heuristic never beats the exact optimum, every
+// feasible schedule is verifier-clean, and replaying a trace twice
+// produces byte-identical delta streams (the determinism contract the
+// subscribe front ends rely on).
+#include <algorithm>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "gen/generators.hpp"
+#include "harness.hpp"
+#include "online/online.hpp"
+#include "runtime/registry.hpp"
+#include "service/protocol.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace calisched;
+
+enum class Family { kPoisson, kBurst, kDrip };
+
+struct FamilyCase {
+  Family family;
+  const char* name;
+};
+
+constexpr FamilyCase kFamilies[] = {
+    {Family::kPoisson, "online-poisson"},
+    {Family::kBurst, "online-burst"},
+    {Family::kDrip, "online-drip"},
+};
+
+Instance make_instance(Family family, const GenParams& params) {
+  switch (family) {
+    case Family::kPoisson:
+      return generate_online_poisson(params);
+    case Family::kBurst:
+      return generate_online_burst(params, 3);
+    case Family::kDrip:
+      return generate_online_drip(params);
+  }
+  return Instance{};
+}
+
+/// The NDJSON lines a subscribe client would receive for this delta
+/// stream; comparing the serialized text is the byte-identity check.
+std::string delta_stream_text(const OnlineResult& result, bool unit_model) {
+  std::string out;
+  for (const ScheduleDelta& delta : result.deltas) {
+    out += dump_response(make_delta_response(JsonValue(), delta.time,
+                                             delta.calibrations, delta.jobs,
+                                             unit_model));
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchHarness bench("E20", "online EDF vs clairvoyant exact optimum",
+                     argc, argv);
+  const std::size_t count =
+      static_cast<std::size_t>(bench.args().get_int("count", 16));
+
+  const AlgorithmRegistry& registry = AlgorithmRegistry::builtin();
+  const Algorithm* exact = registry.find("exact-ise");
+  const Algorithm* online = registry.find("online-edf");
+
+  Table& quality = bench.table(
+      "quality", {"family", "instances", "exact-solved", "online-solved",
+                  "mean-ratio", "max-ratio"});
+
+  bool all_verified = true;
+  bool online_never_beats_exact = true;
+  bool replay_deterministic = true;
+  bool online_capability_declared =
+      online != nullptr && online->capabilities().supports_online;
+  for (const FamilyCase& family : kFamilies) {
+    std::vector<std::int64_t> exact_cost(count, -1);
+    std::vector<std::int64_t> online_cost(count, -1);
+    std::mutex mutex;
+    bench.sweep(count, [&](std::size_t i) {
+      GenParams params;
+      params.seed = 0xE20 + i * 211 + static_cast<std::size_t>(family.family);
+      params.n = 6;
+      params.T = 8;
+      params.machines = 2;
+      params.horizon = 60;
+      params.max_proc = 6;
+      const Instance instance = make_instance(family.family, params);
+
+      const ArrivalTrace trace = ArrivalTrace::from_instance(instance);
+      const OnlineResult first = simulate_trace("online-edf", trace);
+      const OnlineResult second = simulate_trace("online-edf", trace);
+      const bool unit_model = trace.cal.empty();
+      const bool identical = delta_stream_text(first, unit_model) ==
+                             delta_stream_text(second, unit_model);
+      const RunResult exact_result = exact->run(instance);
+
+      std::lock_guard<std::mutex> lock(mutex);
+      if (!identical) replay_deterministic = false;
+      if (exact_result.feasible) {
+        exact_cost[i] = exact_result.total_cost;
+        if (!exact_result.verified) all_verified = false;
+      }
+      if (first.feasible) {
+        online_cost[i] = first.schedule.total_cost();
+      }
+    });
+    std::size_t exact_solved = 0;
+    std::size_t online_solved = 0;
+    double ratio_sum = 0.0;
+    double ratio_max = 0.0;
+    std::size_t both = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (exact_cost[i] >= 0) ++exact_solved;
+      if (online_cost[i] >= 0) ++online_solved;
+      if (exact_cost[i] > 0 && online_cost[i] > 0) {
+        if (online_cost[i] < exact_cost[i]) online_never_beats_exact = false;
+        const double ratio = static_cast<double>(online_cost[i]) /
+                             static_cast<double>(exact_cost[i]);
+        ratio_sum += ratio;
+        ratio_max = std::max(ratio_max, ratio);
+        ++both;
+      }
+    }
+    quality.row()
+        .cell(family.name)
+        .cell(static_cast<std::int64_t>(count))
+        .cell(static_cast<std::int64_t>(exact_solved))
+        .cell(static_cast<std::int64_t>(online_solved))
+        .cell(both > 0 ? ratio_sum / static_cast<double>(both) : 0.0, 3)
+        .cell(ratio_max, 3);
+    const std::string suffix = std::string("_") + family.name;
+    bench.metric("competitive_ratio_mean" + suffix,
+                 both > 0 ? ratio_sum / static_cast<double>(both) : 0.0);
+    bench.metric("competitive_ratio_max" + suffix, ratio_max);
+    bench.metric("online_solved" + suffix,
+                 static_cast<double>(online_solved));
+  }
+  bench.print_table("quality", "online-edf vs exact-ise (calibrations)");
+
+  bench.check("online_capability_declared", online_capability_declared);
+  bench.check("all_results_verified", all_verified);
+  bench.check("online_never_beats_exact", online_never_beats_exact);
+  bench.check("replay_deterministic", replay_deterministic);
+  bench.note(
+      "Lazy opening keeps the steady-state Poisson stream close to the "
+      "clairvoyant optimum: most arrivals ride calibrations opened for an "
+      "earlier urgent job. Bursts cost more — the doubling escalation "
+      "opens capacity only after EDF packing fails, so a wave of "
+      "short-window jobs pays for calibrations a clairvoyant packer would "
+      "have merged. The zero-slack drip is the adversarial regime: every "
+      "arrival forces an immediate opening and the ratio approaches the "
+      "per-job worst case. Replaying any trace twice yields byte-identical "
+      "delta streams, which is the contract the subscribe sessions stream "
+      "to clients on both front ends.");
+  return bench.finish();
+}

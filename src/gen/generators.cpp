@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 #include "util/rng.hpp"
 
@@ -173,6 +174,59 @@ Instance generate_calib_cost(const GenParams& params, CalibTableRegime regime) {
     const Time latest_release = std::max<Time>(0, params.horizon - window);
     const Time release = rng.uniform_int(0, latest_release);
     instance.jobs.push_back(make_job(j, release, window, proc));
+  }
+  return instance;
+}
+
+Instance generate_online_poisson(const GenParams& params, double mean_gap) {
+  Rng rng(params.seed);
+  Instance instance = shell(params);
+  const double gap = mean_gap > 0.0
+                         ? mean_gap
+                         : static_cast<double>(std::max<Time>(1, params.horizon)) /
+                               static_cast<double>(std::max(1, params.n));
+  Time at = 0;
+  for (int j = 0; j < params.n; ++j) {
+    // Integer exponential inter-arrival: inverse-CDF on uniform01, so the
+    // stream stays deterministic across toolchains (no std distributions).
+    at += static_cast<Time>(std::llround(-gap * std::log1p(-rng.uniform01())));
+    const Time proc = draw_proc(rng, params);
+    const Time window = proc + rng.uniform_int(0, 2 * params.T);
+    instance.jobs.push_back(make_job(j, at, window, proc));
+  }
+  return instance;
+}
+
+Instance generate_online_burst(const GenParams& params, int bursts) {
+  assert(bursts >= 1);
+  Rng rng(params.seed);
+  Instance instance = shell(params);
+  // Burst times march forward with gaps in [T, 3T]: far enough apart that
+  // calibrations opened for one wave have mostly expired by the next.
+  std::vector<Time> waves;
+  Time at = 0;
+  for (int b = 0; b < bursts; ++b) {
+    waves.push_back(at);
+    at += rng.uniform_int(params.T, 3 * params.T);
+  }
+  for (int j = 0; j < params.n; ++j) {
+    const Time wave = waves[static_cast<std::size_t>(j) % waves.size()];
+    const Time proc = draw_proc(rng, params);
+    const Time window =
+        proc + rng.uniform_int(0, std::max<Time>(0, params.T - proc));
+    instance.jobs.push_back(make_job(j, wave, window, proc));
+  }
+  return instance;
+}
+
+Instance generate_online_drip(const GenParams& params) {
+  Rng rng(params.seed);
+  Instance instance = shell(params);
+  Time at = 0;
+  for (int j = 0; j < params.n; ++j) {
+    const Time proc = draw_proc(rng, params);
+    instance.jobs.push_back(make_job(j, at, /*window=*/proc, proc));
+    at += rng.uniform_int(1, std::max<Time>(1, params.T / 2));
   }
   return instance;
 }

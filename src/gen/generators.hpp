@@ -74,4 +74,30 @@ enum class CalibTableRegime { kCheapShort, kExpensiveLong, kDelayed };
 [[nodiscard]] Instance generate_calib_cost(const GenParams& params,
                                            CalibTableRegime regime);
 
+// --- Arrival-trace families -----------------------------------------------
+//
+// Shapes tuned for the online layer: the release time doubles as the
+// arrival time (ArrivalTrace::from_instance), so these control the
+// *arrival process* where the families above control window structure.
+// They remain plain instances — the offline solvers run on them unchanged,
+// which is exactly what the competitive-ratio bench needs.
+
+/// Poisson-like stream: integer exponential inter-arrival gaps with mean
+/// `mean_gap` (<= 0 derives horizon / n), windows with slack uniform in
+/// [0, 2T]. The steady-state case for the subscribe service.
+[[nodiscard]] Instance generate_online_poisson(const GenParams& params,
+                                               double mean_gap = 0.0);
+
+/// `bursts` waves of simultaneous arrivals with short windows (slack < T).
+/// Many urgent jobs reveal at one instant, which is what drives the online
+/// heuristic's doubling escalation.
+[[nodiscard]] Instance generate_online_burst(const GenParams& params,
+                                             int bursts = 4);
+
+/// Adversarial drip: one job at a time, gaps uniform in [1, max(1, T/2)],
+/// zero slack (d_j = r_j + p_j). Every arrival must be served the moment
+/// it lands, so laziness buys nothing — the worst regime for an online
+/// scheduler against a clairvoyant packer.
+[[nodiscard]] Instance generate_online_drip(const GenParams& params);
+
 }  // namespace calisched

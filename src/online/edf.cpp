@@ -1,0 +1,241 @@
+// The "online-edf" heuristic: lazy calibration opening at the latest
+// feasible start, EDF dispatch inside open calibrations, and
+// doubling-style escalation of how many calibrations one forced opening
+// may create.
+//
+// The structure transplants the source paper's two offline ideas into the
+// arrival stream. Lazy binding (Lemma 3 / the lazy-binding algorithm)
+// becomes an alarm at min_j (d_j - p_j - delay): a pending job forces a
+// calibration only when waiting any longer would make every type
+// infeasible for it, which is the online analogue of snapping calibration
+// starts to latest-feasible grid points. Latest-starting-deadlines
+// dispatch becomes plain EDF over the arrived-but-unscheduled set, packed
+// into the availability windows of already-committed calibrations.
+// Escalation follows Im-Moseley-Pruhs-Stein's online machine-minimization
+// doubling: when one forced opening cannot absorb the urgent backlog the
+// budget of simultaneous openings doubles (1, 2, 4, ... capped at m), so
+// a burst-heavy adversary raises the opening rate geometrically instead
+// of one calibration per alarm.
+//
+// Everything is deterministic — no randomness, no wall clock — so a replay
+// of the same trace produces a byte-identical schedule, which the
+// determinism property tests and the service's subscribe protocol rely on.
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "online/online.hpp"
+
+namespace calisched {
+
+namespace {
+
+/// One committed calibration with its remaining capacity. `next_free` is
+/// the earliest tick a new job could start inside it (monotone as jobs
+/// are packed front to back).
+struct OpenCalibration {
+  Calibration cal;
+  Time next_free = 0;
+  Time avail_end = 0;
+};
+
+class EdfScheduler final : public OnlineScheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "online-edf"; }
+
+  void begin(int machines, Time T, const CalibrationModel& cal) override {
+    machines_ = machines;
+    model_ = cal.empty() ? CalibrationModel::unit(T) : cal;
+    pending_.clear();
+    open_.clear();
+    occupied_until_.assign(static_cast<std::size_t>(machines), 0);
+    round_ = 0;
+  }
+
+  OnlineDecision on_event(Time now, const std::vector<Job>& arrivals) override {
+    for (const Job& job : arrivals) pending_.push_back(job);
+    OnlineDecision decision;
+    dispatch(now, decision);
+    open_forced(now, decision);
+    decision.wakeup = next_wakeup(now);
+    return decision;
+  }
+
+ private:
+  /// Latest time a calibration of type `k` could still open and finish
+  /// `job` before its deadline.
+  [[nodiscard]] Time open_deadline(const Job& job, std::size_t k) const {
+    return job.deadline - job.proc - model_.types[k].activation_delay;
+  }
+
+  /// Latest time *any* type could still open for `job`; the job's alarm.
+  /// Types too short for the job do not count. Returns min Time when no
+  /// type fits (the job can never be served — finish() will report it).
+  [[nodiscard]] Time latest_open(const Job& job) const {
+    Time best = std::numeric_limits<Time>::min();
+    for (std::size_t k = 0; k < model_.size(); ++k) {
+      if (model_.types[k].length < job.proc) continue;
+      best = std::max(best, open_deadline(job, k));
+    }
+    return best;
+  }
+
+  /// EDF: packs every pending job that fits into an already-open
+  /// calibration. Fitting does not depend on waiting (next_free only
+  /// moves when a job is packed), so dispatching eagerly loses nothing.
+  void dispatch(Time now, OnlineDecision& decision) {
+    std::sort(pending_.begin(), pending_.end(), [](const Job& a, const Job& b) {
+      if (a.deadline != b.deadline) return a.deadline < b.deadline;
+      return a.id < b.id;
+    });
+    std::vector<Job> still_pending;
+    for (const Job& job : pending_) {
+      OpenCalibration* best = nullptr;
+      Time best_start = 0;
+      for (OpenCalibration& slot : open_) {
+        const Time start = std::max({slot.next_free, now, job.release});
+        if (start + job.proc > std::min(slot.avail_end, job.deadline)) continue;
+        const bool better =
+            best == nullptr || start < best_start ||
+            (start == best_start &&
+             (slot.cal.machine < best->cal.machine ||
+              (slot.cal.machine == best->cal.machine &&
+               slot.cal.start < best->cal.start)));
+        if (better) {
+          best = &slot;
+          best_start = start;
+        }
+      }
+      if (best == nullptr) {
+        still_pending.push_back(job);
+        continue;
+      }
+      decision.jobs.push_back(ScheduledJob{job.id, best->cal.machine, best_start});
+      best->next_free = best_start + job.proc;
+    }
+    pending_ = std::move(still_pending);
+  }
+
+  /// Opens calibrations for jobs whose latest open time has arrived,
+  /// re-dispatching after each opening. The per-event budget starts at
+  /// 2^round and doubles while the urgent backlog outlasts it.
+  void open_forced(Time now, OnlineDecision& decision) {
+    std::size_t budget = std::min<std::size_t>(
+        static_cast<std::size_t>(machines_), std::size_t{1} << round_);
+    std::size_t opened = 0;
+    for (;;) {
+      // Most urgent job that can no longer wait: minimal latest-open
+      // time, then EDF order.
+      const Job* urgent = nullptr;
+      Time urgent_open = 0;
+      for (const Job& job : pending_) {
+        const Time open_by = latest_open(job);
+        if (open_by == std::numeric_limits<Time>::min()) continue;  // hopeless
+        if (open_by > now) continue;  // can still wait
+        const bool more_urgent =
+            urgent == nullptr || open_by < urgent_open ||
+            (open_by == urgent_open &&
+             (job.deadline < urgent->deadline ||
+              (job.deadline == urgent->deadline && job.id < urgent->id)));
+        if (more_urgent) {
+          urgent = &job;
+          urgent_open = open_by;
+        }
+      }
+      if (urgent == nullptr) return;
+      if (opened >= budget) {
+        if (budget >= static_cast<std::size_t>(machines_)) return;
+        ++round_;  // escalate: the backlog outlasted this round's budget
+        budget = std::min<std::size_t>(static_cast<std::size_t>(machines_),
+                                       std::size_t{1} << round_);
+      }
+      // Cheapest type that can still serve the urgent job; ties prefer
+      // the longer window (more room for EDF packing), then the lower
+      // index. The opening start is `now` except for a pre-announced job
+      // (release in the future), where the calibration is committed at
+      // the earliest start whose availability window can still contain
+      // the job — committing a future start is append-only too.
+      int type = -1;
+      Time type_start = 0;
+      for (std::size_t k = 0; k < model_.size(); ++k) {
+        const CalibrationType& candidate = model_.types[k];
+        if (candidate.length < urgent->proc) continue;
+        const Time start =
+            std::max(now, urgent->release + urgent->proc - candidate.length -
+                              candidate.activation_delay);
+        if (start + candidate.activation_delay + urgent->proc > urgent->deadline)
+          continue;
+        if (type < 0) {
+          type = static_cast<int>(k);
+          type_start = start;
+          continue;
+        }
+        const CalibrationType& chosen = model_.types[static_cast<std::size_t>(type)];
+        if (candidate.cost < chosen.cost ||
+            (candidate.cost == chosen.cost && candidate.length > chosen.length)) {
+          type = static_cast<int>(k);
+          type_start = start;
+        }
+      }
+      // Lowest-numbered machine free at the opening start.
+      int machine = -1;
+      for (int m = 0; m < machines_; ++m) {
+        if (type >= 0 &&
+            occupied_until_[static_cast<std::size_t>(m)] <= type_start) {
+          machine = m;
+          break;
+        }
+      }
+      if (type < 0 || machine < 0) {
+        // The urgent job cannot be saved (deadline too close or no free
+        // machine). Drop it from pending so the opening loop terminates;
+        // finish() reports it as never scheduled.
+        const JobId dead = urgent->id;
+        pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
+                                      [dead](const Job& job) {
+                                        return job.id == dead;
+                                      }),
+                       pending_.end());
+        continue;
+      }
+      const CalibrationType& info = model_.types[static_cast<std::size_t>(type)];
+      const Calibration calibration{machine, type_start, type};
+      decision.calibrations.push_back(calibration);
+      open_.push_back(
+          OpenCalibration{calibration, type_start + info.activation_delay,
+                          type_start + info.activation_delay + info.length});
+      occupied_until_[static_cast<std::size_t>(machine)] = type_start + info.span();
+      ++opened;
+      dispatch(now, decision);
+    }
+  }
+
+  /// The next forced-opening time over jobs that can still wait.
+  [[nodiscard]] Time next_wakeup(Time now) const {
+    Time best = -1;
+    for (const Job& job : pending_) {
+      const Time open_by = latest_open(job);
+      if (open_by <= now) continue;
+      if (best < 0 || open_by < best) best = open_by;
+    }
+    return best;
+  }
+
+  int machines_ = 1;
+  CalibrationModel model_;
+  std::vector<Job> pending_;
+  std::vector<OpenCalibration> open_;
+  std::vector<Time> occupied_until_;
+  std::size_t round_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<OnlineScheduler> make_online_scheduler(const std::string& name) {
+  if (name == "online-edf") return std::make_unique<EdfScheduler>();
+  return nullptr;
+}
+
+}  // namespace calisched

@@ -53,11 +53,19 @@ std::vector<Instance> generate_batch(const BatchSpec& spec,
     } else if (spec.family == "calib-delayed") {
       instances.push_back(
           generate_calib_cost(params, CalibTableRegime::kDelayed));
+    } else if (spec.family == "online-poisson") {
+      instances.push_back(generate_online_poisson(params));
+    } else if (spec.family == "online-burst") {
+      instances.push_back(generate_online_burst(
+          params, spec.bursts > 0 ? spec.bursts : 4));
+    } else if (spec.family == "online-drip") {
+      instances.push_back(generate_online_drip(params));
     } else {
       throw std::invalid_argument(
           "unknown batch family '" + spec.family +
           "' (mixed|long|short|unit|clustered|calib-cheap-short|"
-          "calib-expensive-long|calib-delayed)");
+          "calib-expensive-long|calib-delayed|online-poisson|online-burst|"
+          "online-drip)");
     }
   }
   return instances;

@@ -48,6 +48,12 @@ struct AlgorithmCapabilities {
   /// non-unit instances instead of silently ignoring the table.
   bool supports_calibration_model = false;
   bool exact = false;               ///< exponential search; tiny instances only
+  /// Decides with arrival-time information only: the algorithm is (a
+  /// registry adapter over) an OnlineScheduler replayed through the
+  /// event-driven simulator, so its schedule respects the append-only
+  /// contract — nothing is committed before the triggering arrival. The
+  /// service's `subscribe` sessions only accept algorithms with this set.
+  bool supports_online = false;
   /// False for MM boxes and the gap minimizer: they report a machine /
   /// block count, and RunResult::schedule stays empty.
   bool produces_ise_schedule = true;
@@ -122,6 +128,7 @@ class AlgorithmRegistry {
   ///   gap-min                                   (related problem, Sec. 5)
   ///   exact-calib-cost, dp-calib-cost, greedy-calib-cost (cost model,
   ///                                              Angel et al. 2015)
+  ///   online-edf                  (arrival-stream heuristic, simulator-run)
   [[nodiscard]] static const AlgorithmRegistry& builtin();
 
  private:

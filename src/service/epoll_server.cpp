@@ -24,6 +24,7 @@
 #include "service/framing.hpp"
 #include "service/protocol.hpp"
 #include "service/server.hpp"
+#include "service/subscribe.hpp"
 
 namespace calisched {
 
@@ -110,6 +111,11 @@ struct Connection {
   int fd;
   std::uint64_t tag;
   LineFramer framer;
+  /// The connection's subscribe session. Owned by this connection and
+  /// driven only from its loop thread (process_line), so it needs no
+  /// locking; responses it produces are ready text by the time they are
+  /// queued — exactly like the stdio reader.
+  OnlineSession session;
   std::deque<Slot> slots;
   std::string out;
   std::size_t out_pos = 0;
@@ -486,6 +492,14 @@ bool EpollServer::Impl::Loop::process_line(Connection& c,
       c.close_after_flush = true;
       impl->shutdown_requested.store(true, std::memory_order_relaxed);
       return false;  // lines after shutdown are never consumed (stdio parity)
+    }
+    case RequestType::kSubscribe:
+    case RequestType::kArrive:
+    case RequestType::kFinalize: {
+      Slot slot;
+      slot.text = c.session.handle(request);
+      c.slots.push_back(std::move(slot));
+      return true;
     }
     case RequestType::kSolve: {
       Slot slot;

@@ -14,13 +14,15 @@
 #include <cmath>
 #include <cstring>
 #include <deque>
-#include <random>
+#include <numeric>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "runtime/batch.hpp"
 #include "service/framing.hpp"
 #include "util/percentile.hpp"
+#include "util/rng.hpp"
 
 namespace calisched {
 
@@ -100,31 +102,56 @@ bool flush(ClientConn& conn) {
 
 }  // namespace
 
+std::vector<std::int64_t> build_arrival_offsets(const LoadGenOptions& options) {
+  const std::size_t conn_count = std::max<std::size_t>(1, options.connections);
+  const std::size_t total = static_cast<std::size_t>(
+      std::max<std::int64_t>(0, options.requests));
+
+  // rate <= 0 floods (all at t0).
+  std::vector<std::int64_t> offsets(total, 0);
+  if (options.rate <= 0.0) return offsets;
+  const double mean_gap_ns = 1e9 / options.rate;
+  if (options.pacing == LoadGenOptions::Pacing::kPoisson) {
+    // One exponential stream per connection, not one global stream sliced
+    // round-robin: a shared stream makes every connection's process a
+    // correlated sum of the same draws (and leaves the schedule blind to
+    // the connection count). Connection c carries requests c, c+C, ... at
+    // rate/C each, so its mean gap is C times the aggregate mean; the
+    // superposition offers `rate` overall. Sampling is inverse-CDF over
+    // the repo Rng so the schedule is identical across toolchains.
+    const double conn_gap_ns = mean_gap_ns * static_cast<double>(conn_count);
+    for (std::size_t c = 0; c < conn_count && c < total; ++c) {
+      Rng rng(derive_instance_seed(options.seed, c));
+      double at = 0.0;
+      for (std::size_t i = c; i < total; i += conn_count) {
+        at += -conn_gap_ns * std::log1p(-rng.uniform01());
+        offsets[i] = static_cast<std::int64_t>(std::llround(at));
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < total; ++i) {
+      offsets[i] = static_cast<std::int64_t>(
+          std::llround(static_cast<double>(i + 1) * mean_gap_ns));
+    }
+  }
+  return offsets;
+}
+
 LoadGenReport run_loadgen(const LoadGenOptions& options) {
   LoadGenReport report;
   const std::size_t conn_count = std::max<std::size_t>(1, options.connections);
   const std::int64_t total = std::max<std::int64_t>(0, options.requests);
 
-  // Arrival schedule, in ns offsets from t0. rate <= 0 floods (all at t0).
-  std::vector<std::int64_t> offsets(static_cast<std::size_t>(total), 0);
-  if (options.rate > 0.0) {
-    const double mean_gap_ns = 1e9 / options.rate;
-    if (options.pacing == LoadGenOptions::Pacing::kPoisson) {
-      std::mt19937_64 rng(options.seed);
-      std::exponential_distribution<double> gap(1.0 / mean_gap_ns);
-      double at = 0.0;
-      for (std::int64_t i = 0; i < total; ++i) {
-        at += gap(rng);
-        offsets[static_cast<std::size_t>(i)] =
-            static_cast<std::int64_t>(std::llround(at));
-      }
-    } else {
-      for (std::int64_t i = 0; i < total; ++i) {
-        offsets[static_cast<std::size_t>(i)] = static_cast<std::int64_t>(
-            std::llround(static_cast<double>(i + 1) * mean_gap_ns));
-      }
-    }
-  }
+  const std::vector<std::int64_t> offsets = build_arrival_offsets(options);
+  // Poisson offsets are per-connection streams, so they are not monotone
+  // in the global index; send in time order, with the index breaking ties
+  // so each connection's own requests still go out in id order.
+  std::vector<std::size_t> order(offsets.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&offsets](std::size_t a, std::size_t b) {
+                     return offsets[a] < offsets[b];
+                   });
 
   const int epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
   if (epoll_fd < 0) {
@@ -189,17 +216,18 @@ LoadGenReport run_loadgen(const LoadGenOptions& options) {
     // schedule never waits for responses (open loop).
     std::vector<std::size_t> dirty;
     while (next < total &&
-           t0 + offsets[static_cast<std::size_t>(next)] <= now) {
-      const std::size_t target = static_cast<std::size_t>(next) % conn_count;
+           t0 + offsets[order[static_cast<std::size_t>(next)]] <= now) {
+      const std::size_t id = order[static_cast<std::size_t>(next)];
+      const std::size_t target = id % conn_count;
       ClientConn& conn = conns[target];
       if (conn.out.empty()) dirty.push_back(target);
       conn.out += "{\"id\":";
-      conn.out += std::to_string(next);
+      conn.out += std::to_string(id);
       conn.out += ',';
       conn.out += options.body;
       conn.out += "}\n";
-      conn.inflight.emplace_back(
-          next, t0 + offsets[static_cast<std::size_t>(next)]);
+      conn.inflight.emplace_back(static_cast<std::int64_t>(id),
+                                 t0 + offsets[id]);
       ++report.sent;
       ++next;
     }
@@ -223,7 +251,7 @@ LoadGenReport run_loadgen(const LoadGenOptions& options) {
     int timeout_ms;
     if (next < total) {
       const std::int64_t wait_ns =
-          t0 + offsets[static_cast<std::size_t>(next)] - now_ns();
+          t0 + offsets[order[static_cast<std::size_t>(next)]] - now_ns();
       timeout_ms = static_cast<int>(std::clamp<std::int64_t>(
           (wait_ns + 999'999) / 1'000'000, 0, 100));
     } else {

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace calisched {
 
@@ -70,6 +71,17 @@ struct LoadGenReport {
   /// mid-run protocol error (response line overflowing the framer).
   std::string error;
 };
+
+/// The precomputed arrival schedule: offsets[i] is request i's send time
+/// in ns after t0 (request i rides connection i % connections). Poisson
+/// pacing draws one independent exponential stream per connection, seeded
+/// derive_instance_seed(options.seed, connection) — the same convention
+/// the batch runner uses for per-instance seeds — so no connection's
+/// arrival process is a correlated slice of another's. Offsets are
+/// nondecreasing within a connection but NOT across the global index;
+/// senders must iterate in (offset, index) order. Exposed for tests.
+[[nodiscard]] std::vector<std::int64_t> build_arrival_offsets(
+    const LoadGenOptions& options);
 
 /// Runs one open-loop load session against a listening server. Blocking;
 /// returns when every response arrived, the timeout expired, or setup

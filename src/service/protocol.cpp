@@ -19,25 +19,15 @@ bool read_int(const JsonValue& object, std::string_view key,
   return true;
 }
 
-bool parse_instance(const JsonValue& value, Instance* out, std::string* error) {
-  if (!value.is_object()) {
-    *error = "field 'instance' must be an object";
+bool parse_jobs(const JsonValue& value, std::vector<Job>* out,
+                std::string* error) {
+  if (!value.is_array()) {
+    *error = "field 'jobs' must be an array";
     return false;
   }
-  std::int64_t machines = 0;
-  std::int64_t T = 0;
-  if (!read_int(value, "machines", &machines, error)) return false;
-  if (!read_int(value, "T", &T, error)) return false;
-  out->machines = static_cast<int>(machines);
-  out->T = T;
-  const JsonValue* jobs = value.find("jobs");
-  if (jobs == nullptr || !jobs->is_array()) {
-    *error = "field 'instance.jobs' must be an array";
-    return false;
-  }
-  out->jobs.clear();
-  out->jobs.reserve(jobs->as_array().size());
-  for (const JsonValue& entry : jobs->as_array()) {
+  out->clear();
+  out->reserve(value.as_array().size());
+  for (const JsonValue& entry : value.as_array()) {
     if (!entry.is_array() || entry.as_array().size() != 4) {
       *error = "each job must be [id, release, deadline, proc]";
       return false;
@@ -54,25 +44,52 @@ bool parse_instance(const JsonValue& value, Instance* out, std::string* error) {
     job.release = fields[1].as_int();
     job.deadline = fields[2].as_int();
     job.proc = fields[3].as_int();
-    out->jobs.push_back(job);
+    out->push_back(job);
   }
-  out->cal.types.clear();
-  if (const JsonValue* caltypes = value.find("caltypes")) {
-    if (!caltypes->is_array()) {
-      *error = "field 'instance.caltypes' must be an array";
+  return true;
+}
+
+bool parse_caltypes(const JsonValue& value, CalibrationModel* out,
+                    std::string* error) {
+  if (!value.is_array()) {
+    *error = "field 'caltypes' must be an array";
+    return false;
+  }
+  out->types.clear();
+  for (const JsonValue& entry : value.as_array()) {
+    if (!entry.is_array() || entry.as_array().size() != 3 ||
+        !entry.as_array()[0].is_int() || !entry.as_array()[1].is_int() ||
+        !entry.as_array()[2].is_int()) {
+      *error = "each caltype must be [length, cost, delay] (integers)";
       return false;
     }
-    for (const JsonValue& entry : caltypes->as_array()) {
-      if (!entry.is_array() || entry.as_array().size() != 3 ||
-          !entry.as_array()[0].is_int() || !entry.as_array()[1].is_int() ||
-          !entry.as_array()[2].is_int()) {
-        *error = "each caltype must be [length, cost, delay] (integers)";
-        return false;
-      }
-      const JsonValue::Array& fields = entry.as_array();
-      out->cal.types.push_back(CalibrationType{
-          fields[0].as_int(), fields[1].as_int(), fields[2].as_int()});
-    }
+    const JsonValue::Array& fields = entry.as_array();
+    out->types.push_back(CalibrationType{fields[0].as_int(), fields[1].as_int(),
+                                         fields[2].as_int()});
+  }
+  return true;
+}
+
+bool parse_instance(const JsonValue& value, Instance* out, std::string* error) {
+  if (!value.is_object()) {
+    *error = "field 'instance' must be an object";
+    return false;
+  }
+  std::int64_t machines = 0;
+  std::int64_t T = 0;
+  if (!read_int(value, "machines", &machines, error)) return false;
+  if (!read_int(value, "T", &T, error)) return false;
+  out->machines = static_cast<int>(machines);
+  out->T = T;
+  const JsonValue* jobs = value.find("jobs");
+  if (jobs == nullptr) {
+    *error = "field 'instance.jobs' must be an array";
+    return false;
+  }
+  if (!parse_jobs(*jobs, &out->jobs, error)) return false;
+  out->cal.types.clear();
+  if (const JsonValue* caltypes = value.find("caltypes")) {
+    if (!parse_caltypes(*caltypes, &out->cal, error)) return false;
   }
   if (const auto invalid = out->validate()) {
     *error = "invalid instance: " + *invalid;
@@ -154,9 +171,65 @@ ParsedRequest parse_request(std::string_view line) {
       }
       request.want_schedule = schedule->as_bool();
     }
+  } else if (name == "subscribe") {
+    request.type = RequestType::kSubscribe;
+    request.algorithm = "online-edf";
+    if (const JsonValue* algo = document.find("algo")) {
+      if (!algo->is_string()) {
+        parsed.error = "field 'algo' must be a string";
+        return parsed;
+      }
+      request.algorithm = algo->as_string();
+    }
+    std::int64_t machines = 0;
+    std::int64_t T = 0;
+    if (!read_int(document, "machines", &machines, &parsed.error)) return parsed;
+    if (!read_int(document, "T", &T, &parsed.error)) return parsed;
+    if (machines < 1) {
+      parsed.error = "field 'machines' must be >= 1";
+      return parsed;
+    }
+    if (T < 1) {
+      parsed.error = "field 'T' must be >= 1";
+      return parsed;
+    }
+    request.instance.machines = static_cast<int>(machines);
+    request.instance.T = T;
+    request.instance.cal.types.clear();
+    if (const JsonValue* caltypes = document.find("caltypes")) {
+      if (!parse_caltypes(*caltypes, &request.instance.cal, &parsed.error)) {
+        return parsed;
+      }
+    }
+    if (const auto invalid = request.instance.cal.validate()) {
+      parsed.error = "invalid caltypes: " + *invalid;
+      return parsed;
+    }
+  } else if (name == "arrive") {
+    request.type = RequestType::kArrive;
+    if (!read_int(document, "time", &request.arrive_time, &parsed.error)) {
+      return parsed;
+    }
+    if (request.arrive_time < 0) {
+      parsed.error = "field 'time' must be non-negative";
+      return parsed;
+    }
+    if (const JsonValue* jobs = document.find("jobs")) {
+      if (!parse_jobs(*jobs, &request.arrivals, &parsed.error)) return parsed;
+    }
+  } else if (name == "finalize") {
+    request.type = RequestType::kFinalize;
+    if (const JsonValue* schedule = document.find("schedule")) {
+      if (!schedule->is_bool()) {
+        parsed.error = "field 'schedule' must be a boolean";
+        return parsed;
+      }
+      request.want_schedule = schedule->as_bool();
+    }
   } else {
-    parsed.error = "unknown request type '" + name +
-                   "' (solve|stats|ping|pause|resume|shutdown)";
+    parsed.error =
+        "unknown request type '" + name +
+        "' (solve|stats|ping|pause|resume|shutdown|subscribe|arrive|finalize)";
     return parsed;
   }
   parsed.ok = true;
@@ -259,6 +332,37 @@ JsonValue make_reject_response(const JsonValue& id, std::string_view error) {
   object.emplace_back("id", id);
   object.emplace_back("type", JsonValue("reject"));
   object.emplace_back("error", JsonValue(error));
+  return JsonValue(std::move(object));
+}
+
+JsonValue make_delta_response(const JsonValue& id, Time time,
+                              const std::vector<Calibration>& calibrations,
+                              const std::vector<ScheduledJob>& jobs,
+                              bool unit_model) {
+  JsonValue::Object object;
+  object.emplace_back("id", id);
+  object.emplace_back("type", JsonValue("delta"));
+  object.emplace_back("time", JsonValue(time));
+  JsonValue::Array cals;
+  cals.reserve(calibrations.size());
+  for (const Calibration& cal : calibrations) {
+    JsonValue::Array fields;
+    fields.emplace_back(cal.machine);
+    fields.emplace_back(cal.start);
+    if (!unit_model) fields.emplace_back(cal.type);
+    cals.emplace_back(std::move(fields));
+  }
+  object.emplace_back("calibrations", JsonValue(std::move(cals)));
+  JsonValue::Array placed;
+  placed.reserve(jobs.size());
+  for (const ScheduledJob& sj : jobs) {
+    JsonValue::Array fields;
+    fields.emplace_back(static_cast<std::int64_t>(sj.job));
+    fields.emplace_back(sj.machine);
+    fields.emplace_back(sj.start);
+    placed.emplace_back(std::move(fields));
+  }
+  object.emplace_back("jobs", JsonValue(std::move(placed)));
   return JsonValue(std::move(object));
 }
 

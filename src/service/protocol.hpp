@@ -11,11 +11,27 @@
 // optional: a nonzero value caps the node/state count of exact engines
 // (exhaustion reports status "limit", never "infeasible"); 0 keeps each
 // solver's default.
+// "timeout_ms" is optional: absent means no deadline; an explicit 0 is an
+// already-expired deadline (the request completes synchronously with
+// status "deadline", running nothing — the uniform deadline-0 probe).
 //   {"type":"stats","id":R}      counters + latency percentiles snapshot
 //   {"type":"ping","id":R}       liveness probe
 //   {"type":"pause","id":R}      hold workers (queued requests wait)
 //   {"type":"resume","id":R}     release paused workers
 //   {"type":"shutdown","id":R}   drain in-flight solves, then exit
+//
+// Online-arrival session (one per connection, at most one live at a time):
+//   {"type":"subscribe","id":R,"algo":"online-edf","machines":M,"T":T,
+//    "caltypes":[[length,cost,delay],...]}        -> {"type":"ack","op":"subscribe"}
+//   {"type":"arrive","id":R,"time":t,"jobs":[[id,release,deadline,proc],...]}
+//       -> {"id":R,"type":"delta","time":t,"calibrations":[[m,start(,type)],...],
+//           "jobs":[[id,m,start],...]}
+//   {"type":"finalize","id":R,"schedule":false}   -> a "result" response
+// The delta response carries everything the scheduler committed in
+// (previous arrival time, t]; concatenating the deltas reproduces the
+// final schedule exactly. Arrivals run on the reader/loop thread through
+// the same ordered writer as every other response, so the delta stream is
+// byte-identical across front ends and worker-thread counts.
 //
 // Response shapes:
 //   {"id":R,"type":"result","status":"ok","feasible":true,...}
@@ -42,18 +58,35 @@
 
 namespace calisched {
 
-enum class RequestType { kSolve, kStats, kPing, kPause, kResume, kShutdown };
+enum class RequestType {
+  kSolve,
+  kStats,
+  kPing,
+  kPause,
+  kResume,
+  kShutdown,
+  kSubscribe,
+  kArrive,
+  kFinalize,
+};
 
 /// One decoded request line.
 struct ServiceRequest {
   RequestType type = RequestType::kSolve;
   JsonValue id;  ///< echoed verbatim; null when the client sent none
-  // Solve-only fields:
+  // Solve-only fields (subscribe reuses `algorithm` and the machine-park
+  // part of `instance`: machines, T, caltypes — jobs stays empty):
   std::string algorithm = "combined";
   Instance instance;
-  std::int64_t timeout_ms = 0;  ///< per-request deadline; 0 means none
+  /// Per-request deadline. -1 (absent) means none; an explicit 0 is an
+  /// already-expired deadline and must complete with status "deadline"
+  /// without running the solver.
+  std::int64_t timeout_ms = -1;
   std::int64_t node_budget = 0; ///< exact-engine node/state cap; 0 = default
   bool want_schedule = false;   ///< attach the full schedule to the result
+  // Arrive-only fields:
+  Time arrive_time = 0;
+  std::vector<Job> arrivals;
 };
 
 /// parse_request outcome: `ok` selects between `request` and `error`;
@@ -101,6 +134,14 @@ struct SolveOutcome {
                                              std::string_view error);
 [[nodiscard]] JsonValue make_ack_response(const JsonValue& id,
                                           std::string_view op);
+
+/// One subscribe-session schedule delta. `unit_model` selects the
+/// two-field calibration shape ([machine,start]) over the explicit
+/// three-field one ([machine,start,type]), mirroring schedule_to_json.
+[[nodiscard]] JsonValue make_delta_response(const JsonValue& id, Time time,
+                                            const std::vector<Calibration>& calibrations,
+                                            const std::vector<ScheduledJob>& jobs,
+                                            bool unit_model);
 
 /// One compact line (no trailing newline).
 [[nodiscard]] std::string dump_response(const JsonValue& response);

@@ -1,5 +1,7 @@
 #include "service/server.hpp"
 
+#include "service/subscribe.hpp"
+
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -112,6 +114,10 @@ ServeReport serve_connection(SolveService& service, std::istream& in,
   ServeReport report;
   ResponseQueue queue;
   std::thread writer([&queue, &out] { queue.drain(out); });
+  // At most one live subscribe session per connection; it runs entirely
+  // on this reader thread, so its responses are ready text by the time
+  // they are queued.
+  OnlineSession session;
 
   std::string line;
   while (!report.shutdown_requested && std::getline(in, line)) {
@@ -160,6 +166,13 @@ ServeReport serve_connection(SolveService& service, std::istream& in,
       case RequestType::kShutdown: {
         report.shutdown_requested = true;
         std::string text = dump_response(make_ack_response(id, "shutdown"));
+        queue.push([text] { return text; });
+        break;
+      }
+      case RequestType::kSubscribe:
+      case RequestType::kArrive:
+      case RequestType::kFinalize: {
+        std::string text = session.handle(request);
         queue.push([text] { return text; });
         break;
       }

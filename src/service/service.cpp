@@ -90,9 +90,11 @@ SolveService::PendingPtr SolveService::completed(SolveOutcome outcome) {
 SolveService::PendingPtr SolveService::submit(const ServiceRequest& request) {
   // Deadline stamped at admission: time spent waiting in the queue burns
   // the request's budget, so a flooded server fails queued requests fast
-  // instead of solving stale ones.
+  // instead of solving stale ones. timeout_ms < 0 means the field was
+  // absent (no deadline); any value >= 0 — including 0 — stamps one, and
+  // deadline_after treats a zero budget as already expired.
   RunLimits limits;
-  if (request.timeout_ms > 0) {
+  if (request.timeout_ms >= 0) {
     limits = RunLimits::deadline_after(std::chrono::milliseconds(request.timeout_ms));
   }
   limits.cancel = &abort_;
@@ -107,6 +109,19 @@ SolveService::PendingPtr SolveService::submit(const ServiceRequest& request) {
     fail_result(bounced, SolveStatus::kCancelled, "service is shutting down",
                 "service");
     return completed(std::move(bounced));
+  }
+
+  // An already-expired deadline completes synchronously — before the cache
+  // probe, because a cached answer to a request whose budget was spent
+  // before it arrived would make "timeout_ms":0 responses depend on cache
+  // state, which the response-stream determinism contract forbids.
+  if (const SolveStatus expired = limits.check(); expired != SolveStatus::kOk) {
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    record_completion(0);
+    SolveOutcome out;
+    out.jobs = request.instance.size();
+    fail_result(out, expired, {}, "service");
+    return completed(std::move(out));
   }
 
   // Cache fast path: a hit is a completed request — no queue slot, no

@@ -1,0 +1,95 @@
+#include "service/subscribe.hpp"
+
+#include <utility>
+
+#include "runtime/registry.hpp"
+
+namespace calisched {
+
+std::string OnlineSession::handle(const ServiceRequest& request) {
+  switch (request.type) {
+    case RequestType::kSubscribe:
+      return subscribe(request);
+    case RequestType::kArrive:
+      return arrive(request);
+    case RequestType::kFinalize:
+      return finalize(request);
+    default:
+      return dump_response(make_error_response(
+          request.id, "not a subscribe-session request"));
+  }
+}
+
+std::string OnlineSession::subscribe(const ServiceRequest& request) {
+  if (active()) {
+    return dump_response(make_error_response(
+        request.id, "a subscribe session is already active on this "
+                    "connection (finalize it first)"));
+  }
+  // The registry's capability flag is the contract: only algorithms that
+  // decide with arrival-time information may serve a live stream.
+  if (const Algorithm* algorithm =
+          AlgorithmRegistry::builtin().find(request.algorithm)) {
+    if (!algorithm->capabilities().supports_online) {
+      return dump_response(make_error_response(
+          request.id, "algorithm '" + request.algorithm +
+                          "' does not support online sessions"));
+    }
+  }
+  std::unique_ptr<OnlineScheduler> scheduler =
+      make_online_scheduler(request.algorithm);
+  if (scheduler == nullptr) {
+    return dump_response(make_error_response(
+        request.id, "unknown online algorithm '" + request.algorithm + "'"));
+  }
+  auto simulation = std::make_unique<OnlineSimulation>(
+      std::move(scheduler), request.instance.machines, request.instance.T,
+      request.instance.cal);
+  if (simulation->failed()) {
+    return dump_response(
+        make_error_response(request.id, simulation->error()));
+  }
+  simulation_ = std::move(simulation);
+  unit_model_ = request.instance.cal.empty();
+  return dump_response(make_ack_response(request.id, "subscribe"));
+}
+
+std::string OnlineSession::arrive(const ServiceRequest& request) {
+  if (!active()) {
+    return dump_response(make_error_response(
+        request.id, "no active subscribe session on this connection"));
+  }
+  ScheduleDelta delta;
+  std::string error;
+  if (!simulation_->arrive(request.arrive_time, request.arrivals, &delta,
+                           &error)) {
+    return dump_response(make_error_response(request.id, error));
+  }
+  return dump_response(make_delta_response(
+      request.id, delta.time, delta.calibrations, delta.jobs, unit_model_));
+}
+
+std::string OnlineSession::finalize(const ServiceRequest& request) {
+  if (!active()) {
+    return dump_response(make_error_response(
+        request.id, "no active subscribe session on this connection"));
+  }
+  OnlineResult finished = simulation_->finish();
+  simulation_.reset();
+  SolveOutcome outcome;
+  outcome.status =
+      finished.feasible ? SolveStatus::kOk : SolveStatus::kInfeasible;
+  outcome.feasible = finished.feasible;
+  outcome.verified = finished.feasible;  // finish() ran the verifier
+  outcome.jobs = finished.schedule.jobs.size();
+  outcome.calibrations = finished.schedule.num_calibrations();
+  outcome.machines = finished.schedule.machines;
+  outcome.speed = finished.schedule.speed;
+  outcome.total_cost = finished.schedule.total_cost();
+  outcome.error = finished.error;
+  outcome.schedule = std::move(finished.schedule);
+  return dump_response(
+      make_result_response(request.id, outcome, request.want_schedule));
+}
+
+}  // namespace calisched

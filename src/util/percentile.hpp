@@ -9,21 +9,28 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
 namespace calisched {
 
-/// Nearest-rank percentile of `samples` at quantile `q` in [0, 1].
-/// Returns 0 on an empty sample set (the stats paths report zero rather
-/// than invent a value before any request completed).
+/// Nearest-rank percentile of `samples` at quantile `q` in [0, 1]: the
+/// smallest value with at least ceil(q*N) samples at or below it, i.e.
+/// sorted index clamp(ceil(q*N), 1, N) - 1. q=0 is the minimum, q=1 the
+/// maximum, and a single sample answers every quantile. Returns 0 on an
+/// empty sample set (the stats paths report zero rather than invent a
+/// value before any request completed).
 [[nodiscard]] inline std::int64_t percentile_of(
     std::vector<std::int64_t> samples, double q) {
   if (samples.empty()) return 0;
+  const auto count = static_cast<double>(samples.size());
   const auto rank = static_cast<std::size_t>(
-      q * static_cast<double>(samples.size() - 1) + 0.5);
-  std::nth_element(samples.begin(), samples.begin() + rank, samples.end());
+      std::clamp(std::ceil(q * count), 1.0, count)) - 1;
+  std::nth_element(samples.begin(),
+                   samples.begin() + static_cast<std::ptrdiff_t>(rank),
+                   samples.end());
   return samples[rank];
 }
 

@@ -750,6 +750,31 @@ TEST(SolveServiceLatency, CacheHitFastPathCompletesSynchronously) {
   EXPECT_EQ(service.stats().cache_hits, 1);
 }
 
+// ------------------------------------------------ subscribe over epoll --
+
+TEST(EpollServe, SubscribeStreamMatchesStdioFrontEnd) {
+  // A subscribe session is front-end agnostic: the exact bytes the stdio
+  // server writes for a conversation — ack, per-arrival deltas, an
+  // interleaved solve result, the finalize result — must come back over a
+  // TCP connection to the epoll front end too. Sessions run synchronously
+  // on the reader/loop thread, so thread counts must not matter either.
+  std::string input;
+  input += "{\"type\":\"subscribe\",\"id\":1,\"machines\":2,\"T\":10}\n";
+  input += "{\"type\":\"arrive\",\"id\":2,\"time\":0,"
+           "\"jobs\":[[1,0,6,3],[2,0,8,3]]}\n";
+  input += "{\"type\":\"solve\",\"id\":3,\"algo\":\"combined\",\"instance\":"
+           "{\"machines\":1,\"T\":4,\"jobs\":[[0,0,4,2]]}}\n";
+  input += "{\"type\":\"arrive\",\"id\":4,\"time\":5,\"jobs\":[[3,5,15,2]]}\n";
+  input += "{\"type\":\"finalize\",\"id\":5,\"schedule\":true}\n";
+  const std::string stdio_output = stdio_script(input, 2);
+  EXPECT_NE(stdio_output.find("\"type\":\"delta\""), std::string::npos)
+      << stdio_output;
+  EXPECT_EQ(stdio_output, epoll_script(input, 2));
+  // Byte-for-byte stable when the input dribbles in 7-byte chunks and the
+  // pools are sized differently.
+  EXPECT_EQ(stdio_output, epoll_script(input, 4, 2, 7));
+}
+
 TEST(SolveServiceLatency, OnReadyHookFiresOnceFromCompletion) {
   ServiceOptions options;
   options.threads = 1;

@@ -27,6 +27,7 @@
 
 #include "gen/generators.hpp"
 #include "service/instance_hash.hpp"
+#include "service/loadgen.hpp"
 #include "service/lru_cache.hpp"
 #include "service/protocol.hpp"
 #include "service/server.hpp"
@@ -316,11 +317,44 @@ TEST(SolveService, DeadlineStampedAtAdmission) {
   EXPECT_FALSE(outcome.feasible);
 
   // A limit-stopped outcome must not poison the cache: the same instance
-  // without a deadline solves honestly.
-  request.timeout_ms = 0;
+  // without a deadline (-1 = field absent) solves honestly.
+  request.timeout_ms = -1;
   const SolveOutcome retry = service.submit(request)->wait();
   EXPECT_TRUE(retry.feasible) << retry.error;
   EXPECT_EQ(service.stats().cache_hits, 0);
+}
+
+TEST(SolveService, ExplicitZeroTimeoutExpiresSynchronously) {
+  // An explicit "timeout_ms":0 is an already-expired deadline, not "no
+  // deadline": the request completes synchronously with status "deadline"
+  // and runs no solver. Regression test — the old code treated 0 as the
+  // absent-field sentinel and solved the instance honestly.
+  ServiceOptions options;
+  options.threads = 1;
+  SolveService service(AlgorithmRegistry::builtin(), options);
+  service.pause();  // workers held: a synchronous answer cannot come from one
+  ServiceRequest request = solve_request(generate_mixed(small_params(17), 0.5));
+  request.timeout_ms = 0;
+  auto pending = service.submit(request);
+  ASSERT_TRUE(pending->ready());  // never queued, never touched a worker
+  const SolveOutcome& outcome = pending->wait();
+  EXPECT_EQ(outcome.status, SolveStatus::kDeadlineExceeded);
+  EXPECT_FALSE(outcome.feasible);
+  EXPECT_FALSE(outcome.rejected);  // completed, not backpressure
+
+  // The expired answer is position-independent: it must not have probed or
+  // seeded the cache, so the honest solve afterwards is a miss that solves.
+  service.resume();
+  request.timeout_ms = -1;
+  const SolveOutcome honest = service.submit(request)->wait();
+  EXPECT_TRUE(honest.feasible) << honest.error;
+  EXPECT_EQ(service.stats().cache_hits, 0);
+
+  // And once cached, "timeout_ms":0 still answers "deadline" — the probe
+  // must not be short-circuited by a hit.
+  request.timeout_ms = 0;
+  const SolveOutcome again = service.submit(request)->wait();
+  EXPECT_EQ(again.status, SolveStatus::kDeadlineExceeded);
 }
 
 TEST(SolveService, UnknownAlgorithmIsClientError) {
@@ -387,6 +421,22 @@ TEST(ServiceProtocol, ParseRejectsMalformedShapes) {
       "\"T\":4,\"jobs\":[[0,0,4,2]]}}");
   EXPECT_FALSE(bad_timeout.ok);
   EXPECT_NE(bad_timeout.error.find("timeout_ms"), std::string::npos);
+}
+
+TEST(ServiceProtocol, TimeoutAbsentAndZeroAreDistinct) {
+  // Absent "timeout_ms" parses to the -1 sentinel (no deadline); an
+  // explicit 0 survives as 0 (already-expired deadline). Regression test —
+  // the old decoder used 0 for both, making "timeout_ms":0 unexpressable.
+  const ParsedRequest absent = parse_request(
+      "{\"type\":\"solve\",\"instance\":{\"machines\":1,\"T\":4,"
+      "\"jobs\":[[0,0,4,2]]}}");
+  ASSERT_TRUE(absent.ok) << absent.error;
+  EXPECT_EQ(absent.request.timeout_ms, -1);
+  const ParsedRequest zero = parse_request(
+      "{\"type\":\"solve\",\"timeout_ms\":0,\"instance\":{\"machines\":1,"
+      "\"T\":4,\"jobs\":[[0,0,4,2]]}}");
+  ASSERT_TRUE(zero.ok) << zero.error;
+  EXPECT_EQ(zero.request.timeout_ms, 0);
 }
 
 TEST(ServiceProtocol, ParseRecoversIdFromBadRequests) {
@@ -658,6 +708,62 @@ TEST(ServeTcp, SolvesOverLoopbackAndShutsDownCleanly) {
   serving.join();  // the shutdown request stopped the accept loop
   service.shutdown(/*drain=*/true);
   EXPECT_EQ(service.stats().cache_hits, 1);
+}
+
+// -------------------------------------------------------------- loadgen --
+
+TEST(LoadGen, PoissonArrivalsArePerConnectionStreams) {
+  LoadGenOptions options;
+  options.pacing = LoadGenOptions::Pacing::kPoisson;
+  options.rate = 50'000.0;
+  options.requests = 64;
+  options.seed = 9;
+
+  // Regression: the old generator drew every gap from one global RNG, so
+  // the connection count had no effect on the arrival schedule and each
+  // connection's process was a correlated slice of the same stream. With
+  // per-connection seeding the count is part of the draw.
+  options.connections = 1;
+  const std::vector<std::int64_t> one = build_arrival_offsets(options);
+  options.connections = 2;
+  const std::vector<std::int64_t> two = build_arrival_offsets(options);
+  ASSERT_EQ(one.size(), two.size());
+  EXPECT_NE(one, two);
+
+  // Deterministic per seed; a different seed moves the schedule.
+  EXPECT_EQ(two, build_arrival_offsets(options));
+  options.seed = 10;
+  EXPECT_NE(two, build_arrival_offsets(options));
+  options.seed = 9;
+
+  // The two connections see different schedules: their gap sequences are
+  // independent streams, each nondecreasing in its own send order.
+  std::vector<std::int64_t> gaps[2];
+  std::int64_t last[2] = {0, 0};
+  for (std::size_t i = 0; i < two.size(); ++i) {
+    const std::size_t c = i % 2;
+    EXPECT_GE(two[i], last[c]) << "connection " << c << " regressed at " << i;
+    gaps[c].push_back(two[i] - last[c]);
+    last[c] = two[i];
+  }
+  EXPECT_NE(gaps[0], gaps[1]);
+}
+
+TEST(LoadGen, FixedPacingAndFloodAreUnchanged) {
+  LoadGenOptions options;
+  options.connections = 4;
+  options.requests = 10;
+  options.rate = 0.0;  // flood: everything at t0
+  EXPECT_EQ(build_arrival_offsets(options),
+            std::vector<std::int64_t>(10, 0));
+
+  options.rate = 1000.0;  // 1ms spacing, globally monotone
+  options.pacing = LoadGenOptions::Pacing::kFixed;
+  const std::vector<std::int64_t> fixed = build_arrival_offsets(options);
+  ASSERT_EQ(fixed.size(), 10u);
+  for (std::size_t i = 0; i < fixed.size(); ++i) {
+    EXPECT_EQ(fixed[i], static_cast<std::int64_t>(i + 1) * 1'000'000);
+  }
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 
 #include "util/arith.hpp"
 #include "util/cli.hpp"
+#include "util/percentile.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -353,6 +354,51 @@ TEST(Cli, GetBoolAcceptsCanonicalSpellings) {
   EXPECT_FALSE(args.get_bool("d", true));
   EXPECT_TRUE(args.get_bool("e", false));
   EXPECT_FALSE(args.get_bool("f", true));
+}
+
+// ------------------------------------------------------------ percentile --
+
+TEST(Percentile, EmptyAndSingleSampleBoundaries) {
+  EXPECT_EQ(percentile_of({}, 0.0), 0);
+  EXPECT_EQ(percentile_of({}, 0.999), 0);
+  // A single sample answers every quantile, including q=0.
+  EXPECT_EQ(percentile_of({42}, 0.0), 42);
+  EXPECT_EQ(percentile_of({42}, 0.5), 42);
+  EXPECT_EQ(percentile_of({42}, 1.0), 42);
+  const LatencyPercentiles one = latency_percentiles({7});
+  EXPECT_EQ(one.samples, 1);
+  EXPECT_EQ(one.p50_ns, 7);
+  EXPECT_EQ(one.p999_ns, 7);
+}
+
+TEST(Percentile, NearestRankMatchesDefinition) {
+  // Nearest rank: the smallest value with >= ceil(q*N) samples at or
+  // below it. Regression test — the old q*(N-1)+0.5 rounding overshot by
+  // one at even sizes (N=4, q=0.5 picked the 3rd smallest, not the 2nd).
+  EXPECT_EQ(percentile_of({40, 10, 30, 20}, 0.50), 20);
+  EXPECT_EQ(percentile_of({20, 10}, 0.50), 10);
+  EXPECT_EQ(percentile_of({30, 10, 20}, 0.50), 20);
+  // q=0 is the minimum, q=1 the maximum.
+  EXPECT_EQ(percentile_of({40, 10, 30, 20}, 0.0), 10);
+  EXPECT_EQ(percentile_of({40, 10, 30, 20}, 1.0), 40);
+}
+
+TEST(Percentile, TailRankAtRingCapacity) {
+  // At the service ring's size, p999 over 0..4095 must pick sorted index
+  // ceil(0.999 * 4096) - 1 = 4091 — never one past it, never the max.
+  std::vector<std::int64_t> samples(4096);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    samples[i] = static_cast<std::int64_t>(samples.size() - 1 - i);
+  }
+  EXPECT_EQ(percentile_of(samples, 0.999), 4091);
+  EXPECT_EQ(percentile_of(samples, 0.99), 4055);   // ceil(4055.04) - 1
+  EXPECT_EQ(percentile_of(samples, 0.5), 2047);    // ceil(2048) - 1
+  // 1000 samples: p999 is the 999th smallest, one below the maximum.
+  std::vector<std::int64_t> thousand(1000);
+  for (std::size_t i = 0; i < thousand.size(); ++i) {
+    thousand[i] = static_cast<std::int64_t>(i);
+  }
+  EXPECT_EQ(percentile_of(thousand, 0.999), 998);
 }
 
 }  // namespace

@@ -18,6 +18,16 @@
 //   calisched serve (--stdio | --port=P) [--threads=N] [--queue-capacity=N]
 //             [--cache-capacity=N] [--cache-shards=N]
 //             [--server=epoll|threads] [--io-threads=N] [--backlog=N]
+//   calisched replay <instance-file> [--algo=online-edf] [--schedule]
+//
+// replay feeds the instance through the online-arrival simulator (each job
+// becomes known at its release time) and prints the schedule-delta stream:
+// one NDJSON "delta" line per advancement — byte-identical to what a
+// `subscribe` session over serve streams for the same trace — followed by
+// one "result" line (--schedule attaches the full committed schedule).
+// The replay is deterministic: the same instance prints the same bytes on
+// every run. Exit status 0 when the online run is feasible, 1 when the
+// heuristic lost a job (the stream and result line are still printed).
 //
 // serve starts the persistent solve service (see src/service/): newline-
 // delimited JSON requests in, one response line per request, in request
@@ -83,6 +93,7 @@
 //   exact-calib-cost   exact minimum cost under a caltype table (tiny)
 //   dp-calib-cost      single-machine cost DP (exact, tiny)
 //   greedy-calib-cost  lazy greedy over the caltype table
+//   online-edf         online EDF-into-calibrations (arrival-time replay)
 // MM boxes (--mm): greedy (default), exact, unit, lp-rounding.
 #include <fstream>
 #include <iostream>
@@ -101,6 +112,8 @@
 #include "lp/simplex.hpp"
 #include "mm/lp_rounding_mm.hpp"
 #include "mm/mm.hpp"
+#include "online/online.hpp"
+#include "service/protocol.hpp"
 #include "report/ascii_gantt.hpp"
 #include "report/stats.hpp"
 #include "runtime/batch.hpp"
@@ -146,10 +159,18 @@ int generate_mode(const CliArgs& args) {
     instance = generate_calib_cost(params, CalibTableRegime::kExpensiveLong);
   } else if (family == "calib-delayed") {
     instance = generate_calib_cost(params, CalibTableRegime::kDelayed);
+  } else if (family == "online-poisson") {
+    instance = generate_online_poisson(params, args.get_double("mean-gap", 0.0));
+  } else if (family == "online-burst") {
+    instance = generate_online_burst(
+        params, static_cast<int>(args.get_int("bursts", 4)));
+  } else if (family == "online-drip") {
+    instance = generate_online_drip(params);
   } else {
     std::cerr << "unknown family '" << family
               << "' (mixed|long|short|unit|clustered|calib-cheap-short|"
-                 "calib-expensive-long|calib-delayed)\n";
+                 "calib-expensive-long|calib-delayed|online-poisson|"
+                 "online-burst|online-drip)\n";
     return 2;
   }
   const std::string out = args.get("out", "");
@@ -339,6 +360,65 @@ int serve_mode(const CliArgs& args) {
   return 0;
 }
 
+int replay_mode(const CliArgs& args) {
+  const std::vector<std::string>& positional = args.positional();
+  if (positional.size() < 2) {
+    std::cerr << "replay needs an instance file\n";
+    return 2;
+  }
+  std::ifstream file(positional[1]);
+  if (!file) {
+    std::cerr << "cannot read " << positional[1] << '\n';
+    return 2;
+  }
+  Instance instance;
+  try {
+    instance = read_instance(file);
+  } catch (const std::exception& error) {
+    std::cerr << positional[1] << ": " << error.what() << '\n';
+    return 2;
+  }
+  const std::string algo = args.get("algo", "online-edf");
+  const bool want_schedule = args.get_bool("schedule", false);
+  for (const std::string& flag : args.unused()) {
+    std::cerr << "warning: unused flag --" << flag << '\n';
+  }
+
+  const ArrivalTrace trace = ArrivalTrace::from_instance(instance);
+  const OnlineResult result = simulate_trace(algo, trace);
+  // The stream a subscribe client would see for the same trace, byte for
+  // byte: one delta line per advancement (null id — replay has no request
+  // ids), then the result line a finalize would answer with.
+  const bool unit_model = trace.cal.empty();
+  for (const ScheduleDelta& delta : result.deltas) {
+    std::cout << dump_response(make_delta_response(JsonValue(), delta.time,
+                                                   delta.calibrations,
+                                                   delta.jobs, unit_model))
+              << '\n';
+  }
+  SolveOutcome outcome;
+  outcome.status =
+      result.feasible ? SolveStatus::kOk : SolveStatus::kInfeasible;
+  outcome.feasible = result.feasible;
+  outcome.verified = result.feasible;  // finish() ran the verifier
+  outcome.jobs = result.schedule.jobs.size();
+  outcome.calibrations = result.schedule.num_calibrations();
+  outcome.machines = result.schedule.machines;
+  outcome.speed = result.schedule.speed;
+  outcome.total_cost = result.schedule.total_cost();
+  outcome.error = result.error;
+  outcome.schedule = result.schedule;
+  std::cout << dump_response(
+                   make_result_response(JsonValue(), outcome, want_schedule))
+            << '\n';
+  std::cerr << "replay: " << algo << " over " << trace.events.size()
+            << " arrival(s), " << result.events << " event(s), "
+            << result.alarms << " alarm(s), "
+            << (result.feasible ? "feasible" : "infeasible: " + result.error)
+            << '\n';
+  return result.feasible ? 0 : 1;
+}
+
 std::shared_ptr<const MachineMinimizer> make_mm(const std::string& name,
                                                 std::int64_t speed,
                                                 ExactEngine engine,
@@ -498,13 +578,18 @@ int run_cli(int argc, char** argv) {
   if (!args.positional().empty() && args.positional()[0] == "serve") {
     return serve_mode(args);
   }
+  if (!args.positional().empty() && args.positional()[0] == "replay") {
+    return replay_mode(args);
+  }
 
   if (args.positional().empty()) {
     std::cerr << "usage: calisched <instance-file> [--algo=NAME] [--gantt] "
                  "[--csv]\n       calisched --generate=FAMILY --out=FILE\n"
                  "       calisched solve-batch [files...] [--algo=NAME] "
                  "[--threads=N] [--timeout-ms=N]\n"
-                 "       calisched serve (--stdio | --port=P) [--threads=N]\n";
+                 "       calisched serve (--stdio | --port=P) [--threads=N]\n"
+                 "       calisched replay <instance-file> "
+                 "[--algo=online-edf] [--schedule]\n";
     return 2;
   }
   std::ifstream file(args.positional()[0]);

@@ -266,6 +266,18 @@ SELF_TEST_FIXTURES = [
      {"metrics": {"mm_max_certified_n_state": 48}},
      {"metrics": {"mm_max_certified_n_state": 96}},
      0, 0, ["note: metric 'mm_max_certified_n_state' improved"]),
+    ("competitive_ratio_rise_fails",
+     {"metrics": {"competitive_ratio_mean_online-burst": 1.2}},
+     {"metrics": {"competitive_ratio_mean_online-burst": 1.8}},
+     1, 0, ["FAILURE: metric 'competitive_ratio_mean_online-burst'"]),
+    ("competitive_ratio_drop_is_improvement",
+     {"metrics": {"competitive_ratio_max_online-burst": 1.8}},
+     {"metrics": {"competitive_ratio_max_online-burst": 1.2}},
+     0, 0, ["note: metric 'competitive_ratio_max_online-burst' improved"]),
+    ("online_solved_drop_fails",
+     {"metrics": {"online_solved_online-poisson": 15}},
+     {"metrics": {"online_solved_online-poisson": 9}},
+     1, 0, ["FAILURE: metric 'online_solved_online-poisson'"]),
 ]
 
 
